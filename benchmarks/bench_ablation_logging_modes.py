@@ -1,0 +1,54 @@
+"""Ablation: logging placement — sync vs async vs bubble, full vs fp16.
+
+Decomposes the Section 5.1 design: how much of the logging cost does each
+mechanism remove?  Synchronous logging sits fully on the critical path;
+asynchronous logging leaves PCIe-contention residue; bubble scheduling is
+free whenever one iteration's volume fits in the bubble; fp16 (Section 8)
+halves/quarters the volume, widening the feasible region.
+"""
+
+from _common import emit, fmt_table
+from repro.sim import BERT_128, VIT_128_32, CostModel
+
+GB = 1e9
+
+
+def compute():
+    rows = []
+    for w in (VIT_128_32, BERT_128):
+        cost = CostModel(w)
+        copy = cost.logging_copy_time()
+        bubble = cost.bubble_time
+        for mode in ("sync", "async", "bubble"):
+            overhead = cost.logging_overhead(mode)
+            slowdown = overhead / cost.iteration_time
+            rows.append([w.name, mode, f"{copy * 1e3:.1f}ms",
+                         f"{bubble:.2f}s", f"{overhead * 1e3:.1f}ms",
+                         f"{slowdown * 100:.1f}%"])
+        # fp16 ablation: volume halves -> copy halves -> even more headroom
+        half_copy = copy / 2
+        rows.append([w.name, "bubble+fp16", f"{half_copy * 1e3:.1f}ms",
+                     f"{bubble:.2f}s",
+                     f"{max(0.0, half_copy - bubble) * 1e3:.1f}ms", "0.0%"])
+    return rows
+
+
+def test_ablation_logging_modes(benchmark):
+    rows = benchmark(compute)
+    emit(
+        "ablation_logging_modes",
+        fmt_table(
+            ["model", "mode", "PCIe copy/machine", "bubble budget",
+             "per-iter overhead", "slowdown"],
+            rows,
+        ),
+    )
+    # ordering: sync > async > bubble, for both workloads
+    for w in (VIT_128_32, BERT_128):
+        cost = CostModel(w)
+        sync = cost.logging_overhead("sync")
+        asyn = cost.logging_overhead("async")
+        bub = cost.logging_overhead("bubble")
+        assert sync > asyn > bub == 0.0
+        # the Section 5.4 feasibility reasoning: copy fits the bubble
+        assert cost.logging_copy_time() < cost.bubble_time

@@ -1,0 +1,50 @@
+"""Figure 3: Wide-ResNet-50 failure-free throughput timeline.
+
+Reproduces the snapshot-stall spikes at iterations 30/60/90 (CheckFreq and
+Elastic Horovod), CheckFreq's post-snapshot persist drag, and the large
+synchronous global-checkpoint stall at iteration 100.
+"""
+
+from _common import emit, fmt_table
+from repro.sim import WIDE_RESNET_50, ThroughputSimulator
+
+
+def build_timelines():
+    sim = ThroughputSimulator(WIDE_RESNET_50)
+    return {
+        "normal": sim.swift_replication(),  # Swift == no snapshot overhead
+        "global_ckpt": sim.global_checkpointing(),
+        "checkfreq": sim.checkfreq(),
+        "elastic_horovod": sim.elastic_horovod(),
+    }
+
+
+def test_fig03(benchmark):
+    timelines = benchmark(build_timelines)
+    sample_iters = [10, 29, 30, 31, 60, 90, 99, 100, 101]
+    rows = []
+    for it in sample_iters:
+        rows.append(
+            [it]
+            + [f"{tl.points[it].duration:.2f}s"
+               for tl in timelines.values()]
+        )
+    txt = fmt_table(["iteration", *timelines.keys()], rows)
+    steady = fmt_table(
+        ["method", "steady throughput (img/s)"],
+        [[k, tl.steady_throughput] for k, tl in timelines.items()],
+    )
+    emit("fig03_snapshot_overhead", txt + "\n\n" + steady)
+
+    cf = timelines["checkfreq"]
+    normal = timelines["normal"]
+    # snapshot iterations are visibly slower (the Figure 3 spikes)
+    assert cf.points[30].duration > 1.5 * cf.points[10].duration
+    assert cf.points[60].event == "snapshot"
+    # CheckFreq's persist drags the following iteration too
+    assert cf.points[31].duration > normal.points[31].duration
+    # the synchronous global checkpoint is the biggest stall
+    gc = timelines["global_ckpt"]
+    assert gc.points[100].duration > cf.points[30].duration
+    # Swift's failure-free iterations match normal training
+    assert normal.points[10].duration == gc.points[10].duration

@@ -1,0 +1,56 @@
+"""Figure 8b: ViT-128/32 — logging-based recovery macro-benchmark.
+
+Throughput under global checkpointing vs Swift logging (16 and 8 machine
+groups, sync-logging baseline) and recovery time with/without parallel
+recovery.  Paper shapes: sync logging significantly degrades throughput;
+bubble logging ≈ checkpointing; recovery reduced 36% (16 groups) and
+57.3% (with parallel recovery); 8 groups recover slower than 16.
+"""
+
+from _common import emit, fmt_table
+from repro.sim import VIT_128_32, ThroughputSimulator
+
+
+def run_all():
+    sim = ThroughputSimulator(VIT_128_32)
+    return {
+        "global_ckpt": sim.global_checkpointing(),
+        "swift_16groups": sim.swift_logging(num_groups=16),
+        "swift_8groups": sim.swift_logging(num_groups=8),
+        "swift_sync_logging": sim.swift_logging(mode="sync"),
+        "swift_16groups_PR": sim.swift_logging(num_groups=16,
+                                               parallel_degree=16),
+    }
+
+
+def test_fig08b(benchmark):
+    tl = benchmark(run_all)
+    ckpt = tl["global_ckpt"]
+    rows = [
+        [name,
+         t.steady_throughput,
+         f"{t.initialization_time:.1f}s",
+         f"{t.recovery_time:.1f}s",
+         f"{(1 - t.recovery_time / ckpt.recovery_time) * 100:.1f}%"]
+        for name, t in tl.items()
+    ]
+    emit(
+        "fig08b_vit_logging",
+        fmt_table(
+            ["method", "throughput (img/s)", "init", "recovery",
+             "reduction vs ckpt (paper: 36.0% @16g, 57.3% PR)"],
+            rows,
+        ),
+    )
+
+    # throughput shapes
+    assert tl["swift_sync_logging"].steady_throughput \
+        < 0.9 * tl["swift_16groups"].steady_throughput
+    assert tl["swift_16groups"].steady_throughput \
+        == ckpt.steady_throughput  # bubble logging off the critical path
+    # recovery shapes
+    assert tl["swift_16groups"].recovery_time < ckpt.recovery_time
+    assert tl["swift_8groups"].recovery_time \
+        > tl["swift_16groups"].recovery_time
+    assert tl["swift_16groups_PR"].recovery_time \
+        < tl["swift_16groups"].recovery_time

@@ -1,0 +1,72 @@
+"""Figure 10: trade-off between recovery time and storage space limit.
+
+Sweeps the selective-logging storage budget for both pipeline workloads
+and reports (storage limit, chosen #groups, expected recovery time).
+Paper shape: lower budgets force coarser groups and longer recovery; the
+curve is monotone with diminishing storage returns.
+"""
+
+from _common import emit, fmt_table
+from repro.core import PipelineProfile, SelectiveLoggingPlanner
+from repro.sim import BERT_128, VIT_128_32, CostModel
+
+GB = 1e9
+CHECKPOINT_INTERVAL = 50  # iterations between global checkpoints
+
+
+def profile_for(workload):
+    """Per-machine replay compute + per-boundary traffic (Section 5.3)."""
+    cost = CostModel(workload)
+    stages_per_machine = workload.num_stages // workload.num_machines
+    per_machine_compute = (
+        workload.num_microbatches * stages_per_machine * cost.slot_time
+    )
+    boundary = 2.0 * workload.num_microbatches * workload.boundary_bytes
+    n = workload.num_machines
+    return PipelineProfile(
+        compute_times=tuple([per_machine_compute] * n),
+        boundary_bytes=tuple([boundary] * (n - 1)),
+    )
+
+
+def sweep(workload, limits):
+    planner = SelectiveLoggingPlanner(
+        profile_for(workload),
+        checkpoint_interval=CHECKPOINT_INTERVAL,
+        network_bandwidth=CostModel(workload).hw.network_bw,
+    )
+    return [(lim, planner.plan(lim)) for lim in limits]
+
+
+def run_both():
+    vit_limits = [1.4e12, 1.0e12, 7e11, 5e11, 3e11, 2e11, 1e11]
+    bert_limits = [5e11, 3.5e11, 2.5e11, 1.5e11, 1e11, 8e10, 5e10]
+    return {
+        "ViT-128/32": sweep(VIT_128_32, vit_limits),
+        "BERT-128": sweep(BERT_128, bert_limits),
+    }
+
+
+def test_fig10(benchmark):
+    results = benchmark(run_both)
+    txt = []
+    for name, swept in results.items():
+        rows = [
+            [f"{lim / GB:.0f} GB", r.plan.num_groups,
+             f"{r.storage_bytes / GB:.1f} GB",
+             f"{r.expected_recovery_time:.3f} s/lost-iter"]
+            for lim, r in swept
+        ]
+        txt.append(f"{name}\n" + fmt_table(
+            ["storage limit", "#groups", "storage used",
+             "expected recovery per lost iteration"], rows))
+    emit("fig10_space_time_tradeoff", "\n\n".join(txt))
+
+    for name, swept in results.items():
+        times = [r.expected_recovery_time for _, r in swept]
+        groups = [r.plan.num_groups for _, r in swept]
+        storages = [r.storage_bytes for lim, r in swept]
+        # Figure 10 shape: tighter budget -> no faster recovery, fewer groups
+        assert times == sorted(times), name
+        assert groups == sorted(groups, reverse=True), name
+        assert all(s <= lim for (lim, _), s in zip(swept, storages)), name

@@ -1,0 +1,71 @@
+"""Figure 12: impact of checkpoint frequency on end-to-end training time.
+
+Sweeps the checkpoint/snapshot interval for Wide-ResNet-50 and BERT-128.
+Paper shapes: each baseline has an interior optimal frequency; Swift is
+the lower envelope at every frequency (its replication/logging recovery
+barely depends on the checkpoint cadence).
+"""
+
+import numpy as np
+
+from _common import emit, fmt_table
+from repro.sim import BERT_128, WIDE_RESNET_50, EndToEndSimulator
+
+WRN_INTERVALS = [30, 100, 300, 1000, 5000, 20000]
+BERT_INTERVALS = [100, 500, 2000, 5000, 20000, 100000]
+
+
+def run_sweeps():
+    wrn = EndToEndSimulator(WIDE_RESNET_50, repeats=8, seed=3)
+    bert = EndToEndSimulator(BERT_128, repeats=8, seed=3)
+    return {
+        "wrn": {
+            "global_checkpoint": wrn.sweep_interval("global_checkpoint",
+                                                    WRN_INTERVALS),
+            "checkfreq": wrn.sweep_interval("checkfreq", WRN_INTERVALS),
+            "elastic_horovod": wrn.sweep_interval("elastic_horovod",
+                                                  WRN_INTERVALS),
+            "swift_replication": wrn.sweep_interval("swift_replication",
+                                                    WRN_INTERVALS),
+        },
+        "bert": {
+            "global_checkpoint": bert.sweep_interval("global_checkpoint",
+                                                     BERT_INTERVALS),
+            "swift_logging_pr": bert.sweep_interval("swift_logging_pr",
+                                                    BERT_INTERVALS),
+        },
+    }
+
+
+def test_fig12(benchmark):
+    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    txt = []
+    for model, methods in sweeps.items():
+        intervals = WRN_INTERVALS if model == "wrn" else BERT_INTERVALS
+        rows = [
+            [i] + [f"{methods[m][k].mean_hours:.1f}h" for m in methods]
+            for k, i in enumerate(intervals)
+        ]
+        txt.append(f"{model}\n" + fmt_table(
+            ["interval (iters)", *methods.keys()], rows))
+    emit("fig12_ckpt_frequency", "\n\n".join(txt))
+
+    # Swift is the lower envelope at every frequency (Figure 12)
+    wrn = sweeps["wrn"]
+    for k in range(len(WRN_INTERVALS)):
+        swift = wrn["swift_replication"][k].mean_hours
+        for m in ("global_checkpoint", "checkfreq", "elastic_horovod"):
+            assert swift <= wrn[m][k].mean_hours + 1e-6
+    # each baseline has an interior optimum (too frequent OR too rare hurts)
+    hours = [r.mean_hours for r in wrn["global_checkpoint"]]
+    best = int(np.argmin(hours))
+    assert 0 < best < len(hours) - 1
+    # optimal-vs-optimal saving is positive (paper: 11.8h vs global ckpt)
+    assert min(hours) > min(r.mean_hours for r in wrn["swift_replication"])
+
+    bert = sweeps["bert"]
+    for k in range(len(BERT_INTERVALS)):
+        assert (
+            bert["swift_logging_pr"][k].mean_hours
+            <= bert["global_checkpoint"][k].mean_hours + 1e-6
+        )

@@ -1,0 +1,72 @@
+"""Figure 13: impact of failure frequency on end-to-end training time.
+
+Sweeps the median time between failures at each method's optimal
+checkpoint frequency.  Paper shapes: Swift's speedup grows as failures
+become more frequent, and Swift remains (weakly) fastest even when
+failures are rare.
+"""
+
+from _common import emit, fmt_table
+from repro.sim import BERT_128, WIDE_RESNET_50, EndToEndSimulator
+
+MTBFS = [4.0, 8.0, 17.0, 34.0, 68.0]
+
+
+def optimal_interval(sim, method, candidates):
+    best, best_hours = None, None
+    for interval in candidates:
+        hours = sim.simulate(method, interval=interval).mean_hours
+        if best_hours is None or hours < best_hours:
+            best, best_hours = interval, hours
+    return best
+
+
+def run_sweeps():
+    out = {}
+    wrn = EndToEndSimulator(WIDE_RESNET_50, repeats=8, seed=4)
+    candidates = [30, 100, 300, 1000, 5000]
+    out["wrn"] = {
+        m: wrn.sweep_mtbf(m, MTBFS, interval=optimal_interval(wrn, m,
+                                                              candidates))
+        for m in ("global_checkpoint", "checkfreq", "elastic_horovod",
+                  "swift_replication")
+    }
+    bert = EndToEndSimulator(BERT_128, repeats=8, seed=4)
+    out["bert"] = {
+        m: bert.sweep_mtbf(m, MTBFS, interval=optimal_interval(
+            bert, m, [500, 2000, 5000, 20000]))
+        for m in ("global_checkpoint", "swift_logging_pr")
+    }
+    return out
+
+
+def test_fig13(benchmark):
+    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    txt = []
+    for model, methods in sweeps.items():
+        rows = [
+            [f"{mtbf:.0f}h"]
+            + [f"{methods[m][k].mean_hours:.1f}h" for m in methods]
+            for k, mtbf in enumerate(MTBFS)
+        ]
+        txt.append(f"{model}\n" + fmt_table(
+            ["median TBF", *methods.keys()], rows))
+    emit("fig13_failure_frequency", "\n\n".join(txt))
+
+    wrn = sweeps["wrn"]
+    # Swift fastest at every failure frequency
+    for k in range(len(MTBFS)):
+        swift = wrn["swift_replication"][k].mean_hours
+        for m in ("global_checkpoint", "checkfreq", "elastic_horovod"):
+            assert swift <= wrn[m][k].mean_hours + 1e-6
+    # speedup grows when failures are frequent
+    speedups = [
+        wrn["global_checkpoint"][k].mean_hours
+        / wrn["swift_replication"][k].mean_hours
+        for k in range(len(MTBFS))
+    ]
+    assert speedups[0] > speedups[-1]
+    # fewer failures -> shorter total time, for every method
+    for m, series in wrn.items():
+        hours = [r.mean_hours for r in series]
+        assert hours == sorted(hours, reverse=True), m

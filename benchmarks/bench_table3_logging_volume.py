@@ -1,0 +1,47 @@
+"""Table 3: space overhead caused by logging per iteration.
+
+Total logging size and average per-machine bandwidth for ViT-128/32 and
+BERT-128 with 16 and 8 machine groups.  Paper values: ViT 24.66/11.51 GB
+at 0.23/0.11 GB/s; BERT 8.05/3.76 GB at 0.075/0.035 GB/s.
+"""
+
+import pytest
+
+from _common import emit, fmt_table
+from repro.sim import BERT_128, VIT_128_32, CostModel
+
+GB = 1e9
+
+PAPER = {
+    ("ViT-128/32", 16): (24.66, 0.23),
+    ("ViT-128/32", 8): (11.51, 0.11),
+    ("BERT-128", 16): (8.05, 0.075),
+    ("BERT-128", 8): (3.76, 0.035),
+}
+
+
+def compute_rows():
+    rows = []
+    for w in (VIT_128_32, BERT_128):
+        cost = CostModel(w)
+        for groups in (16, 8):
+            total = cost.logging_bytes_per_iteration(groups) / GB
+            bw = cost.logging_bandwidth_per_machine(groups) / GB
+            paper_total, paper_bw = PAPER[(w.name, groups)]
+            rows.append([w.name, groups, total, paper_total, bw, paper_bw])
+    return rows
+
+
+def test_table3(benchmark):
+    rows = benchmark(compute_rows)
+    emit(
+        "table3_logging_volume",
+        fmt_table(
+            ["model", "#groups", "log GB/iter", "paper GB/iter",
+             "GB/s per machine", "paper GB/s"],
+            rows,
+        ),
+    )
+    for _, _, total, paper_total, bw, paper_bw in rows:
+        assert total == pytest.approx(paper_total, rel=0.02)
+        assert bw == pytest.approx(paper_bw, rel=0.08)

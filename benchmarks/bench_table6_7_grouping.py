@@ -1,0 +1,88 @@
+"""Tables 6 and 7: selective-logging grouping outcomes per storage limit.
+
+Runs the Section 5.3 greedy ΔR/ΔM planner over the paper's storage limits
+for BERT-128 (Table 6) and ViT-128/32 (Table 7).  The paper's profiled
+stage times are not published, so machine compute times are uniform here
+and the *shape* is validated: monotone group counts, budget compliance,
+contiguity, and the two endpoints (all singletons at the loosest limit,
+one group / zero logging at the tightest).
+"""
+
+from _common import emit, fmt_table
+from repro.core import PipelineProfile, SelectiveLoggingPlanner
+from repro.sim import BERT_128, VIT_128_32, CostModel
+
+CHECKPOINT_INTERVAL = 50
+
+#: the paper's storage limits (bytes)
+TABLE6_LIMITS = [5.0e11, 4.0e11, 3.5e11, 3.0e11, 2.5e11, 2.2e11, 1.5e11,
+                 1.0e11, 8.0e10, 5.0e10]
+TABLE7_LIMITS = [1.4e12, 1.2e12, 1.1e12, 1.0e12, 9.0e11, 8.0e11, 7.0e11,
+                 6.0e11, 5.0e11, 4.0e11, 3.0e11, 2.0e11, 1.0e11]
+
+#: paper group counts per limit (read off Tables 6 and 7)
+PAPER_GROUPS_T6 = [16, 14, 13, 11, 9, 7, 5, 3, 2, 1]
+PAPER_GROUPS_T7 = [16, 14, 13, 11, 10, 9, 8, 7, 5, 4, 3, 2, 1]
+
+
+def plan_for(workload, limits):
+    cost = CostModel(workload)
+    n = workload.num_machines
+    stages_per_machine = workload.num_stages // n
+    compute = workload.num_microbatches * stages_per_machine * cost.slot_time
+    boundary = 2.0 * workload.num_microbatches * workload.boundary_bytes
+    planner = SelectiveLoggingPlanner(
+        PipelineProfile(tuple([compute] * n), tuple([boundary] * (n - 1))),
+        checkpoint_interval=CHECKPOINT_INTERVAL,
+        network_bandwidth=cost.hw.network_bw,
+    )
+    return [planner.plan(lim) for lim in limits]
+
+
+def run_both():
+    return {
+        "table6_bert": plan_for(BERT_128, TABLE6_LIMITS),
+        "table7_vit": plan_for(VIT_128_32, TABLE7_LIMITS),
+    }
+
+
+def test_tables_6_and_7(benchmark):
+    results = benchmark(run_both)
+    txt = []
+    for (name, plans), limits, paper in (
+        (("table6_bert", results["table6_bert"]), TABLE6_LIMITS,
+         PAPER_GROUPS_T6),
+        (("table7_vit", results["table7_vit"]), TABLE7_LIMITS,
+         PAPER_GROUPS_T7),
+    ):
+        rows = [
+            [f"{lim:.2e}", r.plan.num_groups, pg,
+             str([list(g) for g in r.plan.groups])]
+            for lim, r, pg in zip(limits, plans, paper)
+        ]
+        txt.append(f"{name}\n" + fmt_table(
+            ["storage limit (B)", "#groups", "paper #groups", "grouping"],
+            rows))
+    emit("table6_7_grouping", "\n\n".join(txt))
+
+    for name, limits in (("table6_bert", TABLE6_LIMITS),
+                         ("table7_vit", TABLE7_LIMITS)):
+        plans = results[name]
+        counts = [r.plan.num_groups for r in plans]
+        # monotone coarsening with tighter budgets
+        assert counts == sorted(counts, reverse=True), name
+        # loose endpoint matches the paper (all 16 machines singleton);
+        # the tight endpoint approaches one group — exact counts differ
+        # because the paper's profiled (non-uniform) stage times and its
+        # checkpoint interval are unpublished
+        assert counts[0] == 16
+        assert counts[-1] <= 2
+        # budgets respected; groups contiguous
+        for lim, r in zip(limits, plans):
+            assert r.storage_bytes <= lim
+            flat = [m for g in r.plan.groups for m in g]
+            assert flat == list(range(16))
+
+    # a zero budget always degenerates to one group / no logging
+    from repro.sim import BERT_128 as _b
+    assert plan_for(_b, [0.0])[0].plan.num_groups == 1

@@ -1,0 +1,15 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper: it computes
+the same rows/series the paper reports, prints them, and writes them under
+``benchmarks/out/`` so results survive pytest's output capture.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+and inspect ``benchmarks/out/*.txt`` for the reproduced artifacts.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

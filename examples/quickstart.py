@@ -1,0 +1,61 @@
+"""Quickstart: fault-tolerant data-parallel training in ~40 lines.
+
+Trains a small MLP with synchronous data parallelism on a simulated
+2-machine cluster, kills machine 1 in the middle of a parameter update
+(the crash-consistency scenario of the Swift paper, Figure 5), and lets
+Swift recover via update-undo + replica broadcast.  The final loss matches
+a failure-free run exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster, FailureEvent, FailurePhase, FailureSchedule
+from repro.core import SwiftTrainer, TrainerConfig
+from repro.data import ClassificationTask
+from repro.models import make_mlp
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGDMomentum
+from repro.parallel import DataParallelEngine
+
+
+def build_trainer() -> SwiftTrainer:
+    cluster = Cluster(num_machines=2, devices_per_machine=2)
+    engine = DataParallelEngine(
+        cluster,
+        model_factory=lambda: make_mlp(16, 32, 4, depth=2, seed=42),
+        opt_factory=lambda m: SGDMomentum(m, lr=0.05, momentum=0.9),
+        loss_factory=CrossEntropyLoss,
+        task=ClassificationTask(dim=16, num_classes=4, batch_size=32, seed=7),
+        placement=[(0, 0), (0, 1), (1, 0), (1, 1)],  # 4 workers, 2 machines
+    )
+    return SwiftTrainer(engine, TrainerConfig(checkpoint_interval=25))
+
+
+def main() -> None:
+    # failure-free reference
+    reference = build_trainer().train(60)
+
+    # same run, but machine 1 crashes mid-update at iteration 30
+    trainer = build_trainer()
+    failures = FailureSchedule([
+        FailureEvent(machine_id=1, iteration=30,
+                     phase=FailurePhase.MID_UPDATE, after_updates=2)
+    ])
+    trace = trainer.train(60, failures=failures)
+
+    report = trace.recoveries[0]
+    print(f"strategy:          {report.strategy}")
+    print(f"failed machines:   {report.failed_machines}")
+    print(f"iterations lost:   {report.lost_iterations}")
+    print(f"detection time:    {report.detection_time * 1e3:.1f} ms")
+    print(f"recovery time:     {report.recovery_time * 1e3:.1f} ms")
+    print(f"final loss (failure-free): {reference.losses[-1]:.6f}")
+    print(f"final loss (recovered):    {trace.losses[-1]:.6f}")
+    assert np.allclose(reference.losses, trace.losses, rtol=1e-5)
+    print("loss curves match: recovery was exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Swift: expedited failure recovery for large-scale DNN training.
+
+Reproduction of Zhong et al., PPoPP 2023 (arXiv:2302.06173).  The package
+is layered:
+
+* :mod:`repro.nn`, :mod:`repro.models`, :mod:`repro.optim`, :mod:`repro.data`
+  -- a from-scratch NumPy deep-learning substrate with invertible optimizers;
+* :mod:`repro.cluster`, :mod:`repro.comm`, :mod:`repro.parallel`
+  -- a simulated multi-machine cluster with data/pipeline-parallel engines;
+* :mod:`repro.core` -- Swift itself: update-undo, replication-based and
+  logging-based recovery, parallel recovery, selective logging, strategy
+  selection, and the :class:`~repro.core.SwiftTrainer` orchestration loop;
+* :mod:`repro.sim` -- the analytic cost model and simulators behind every
+  table and figure of the paper's evaluation.
+"""
+
+from repro import cluster, comm, core, data, models, nn, optim, parallel, sim
+from repro.core import (
+    FTStrategy,
+    GroupingPlan,
+    LoggingMode,
+    LoggingRecovery,
+    ReplicationRecovery,
+    SelectiveLoggingPlanner,
+    SwiftTrainer,
+    TrainerConfig,
+    choose_strategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "models",
+    "optim",
+    "data",
+    "cluster",
+    "comm",
+    "parallel",
+    "core",
+    "sim",
+    "SwiftTrainer",
+    "TrainerConfig",
+    "FTStrategy",
+    "choose_strategy",
+    "GroupingPlan",
+    "LoggingMode",
+    "LoggingRecovery",
+    "ReplicationRecovery",
+    "SelectiveLoggingPlanner",
+    "__version__",
+]

@@ -1,0 +1,173 @@
+"""Command-line interface: run paper experiments from the terminal.
+
+Usage::
+
+    python -m repro.cli table3
+    python -m repro.cli table5 [--mtbf 17] [--repeats 10]
+    python -m repro.cli fig8 {wrn|vit|bert}
+    python -m repro.cli plan --workload bert --budget-gb 200
+    python -m repro.cli workloads
+
+Each subcommand prints the same rows the corresponding paper artifact
+reports (the pytest benchmarks under ``benchmarks/`` are the asserted
+versions of the same computations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import PipelineProfile, SelectiveLoggingPlanner
+from repro.sim import (
+    BERT_128,
+    VIT_128_32,
+    WIDE_RESNET_50,
+    WORKLOADS,
+    CostModel,
+    EndToEndSimulator,
+    ThroughputSimulator,
+)
+
+GB = 1e9
+
+_WORKLOAD_ALIASES = {
+    "wrn": WIDE_RESNET_50,
+    "vit": VIT_128_32,
+    "bert": BERT_128,
+}
+
+
+def cmd_workloads(_: argparse.Namespace) -> int:
+    print(f"{'model':<16} {'params':>8} {'parallelism':>11} {'workers':>7} "
+          f"{'batch':>6} {'state':>8}")
+    for w in WORKLOADS.values():
+        print(f"{w.name:<16} {w.num_params / 1e9:>7.2f}B {w.parallelism:>11} "
+              f"{w.num_workers:>7} {w.batch_size:>6} "
+              f"{w.state_bytes / GB:>7.2f}G")
+    return 0
+
+
+def cmd_table3(_: argparse.Namespace) -> int:
+    print(f"{'model':<12} {'#groups':>7} {'GB/iter':>8} {'GB/s/machine':>13}")
+    for w in (VIT_128_32, BERT_128):
+        cost = CostModel(w)
+        for groups in (16, 8):
+            print(f"{w.name:<12} {groups:>7} "
+                  f"{cost.logging_bytes_per_iteration(groups) / GB:>8.2f} "
+                  f"{cost.logging_bandwidth_per_machine(groups) / GB:>13.3f}")
+    return 0
+
+
+def cmd_table5(args: argparse.Namespace) -> int:
+    methods = {
+        "Wide-ResNet-50": "swift_replication",
+        "ViT-128/32": "swift_logging_pr",
+        "BERT-128": "swift_logging_pr",
+    }
+    print(f"median TBF = {args.mtbf}h, repeats = {args.repeats}")
+    print(f"{'model':<16} {'#fail':>5} {'ckpt':>8} {'swift':>8} {'speedup':>8}")
+    for w in (WIDE_RESNET_50, VIT_128_32, BERT_128):
+        sim = EndToEndSimulator(w, median_tbf_hours=args.mtbf,
+                                repeats=args.repeats, seed=args.seed)
+        ckpt = sim.simulate("global_checkpoint")
+        swift = sim.simulate(methods[w.name])
+        print(f"{w.name:<16} {ckpt.mean_failures:>5.0f} "
+              f"{ckpt.mean_hours:>7.1f}h {swift.mean_hours:>7.1f}h "
+              f"{ckpt.mean_hours / swift.mean_hours:>7.2f}x")
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    workload = _WORKLOAD_ALIASES[args.workload]
+    sim = ThroughputSimulator(workload)
+    if workload.parallelism == "DP":
+        timelines = {
+            "global_ckpt": sim.global_checkpointing(),
+            "checkfreq": sim.checkfreq(),
+            "elastic_horovod": sim.elastic_horovod(),
+            "swift_replication": sim.swift_replication(),
+        }
+    else:
+        timelines = {
+            "global_ckpt": sim.global_checkpointing(),
+            "swift_16groups": sim.swift_logging(num_groups=16),
+            "swift_8groups": sim.swift_logging(num_groups=8),
+            "swift_sync": sim.swift_logging(mode="sync"),
+            "swift_16g_PR": sim.swift_logging(num_groups=16,
+                                              parallel_degree=16),
+        }
+    print(f"{'method':<20} {'throughput':>11} {'recovery':>9}")
+    for name, tl in timelines.items():
+        print(f"{name:<20} {tl.steady_throughput:>11.1f} "
+              f"{tl.recovery_time:>8.1f}s")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    workload = _WORKLOAD_ALIASES[args.workload]
+    if workload.parallelism != "PP":
+        print("selective logging applies to pipeline-parallel workloads",
+              file=sys.stderr)
+        return 2
+    cost = CostModel(workload)
+    n = workload.num_machines
+    stages = workload.num_stages // n
+    profile = PipelineProfile(
+        tuple([workload.num_microbatches * stages * cost.slot_time] * n),
+        tuple([2.0 * workload.num_microbatches * workload.boundary_bytes]
+              * (n - 1)),
+    )
+    planner = SelectiveLoggingPlanner(
+        profile, checkpoint_interval=args.ckpt_interval,
+        network_bandwidth=cost.hw.network_bw,
+    )
+    result = planner.plan(args.budget_gb * GB)
+    print(f"workload: {workload.name}, budget {args.budget_gb} GB, "
+          f"ckpt interval {args.ckpt_interval}")
+    print(f"groups ({result.plan.num_groups}): "
+          f"{[list(g) for g in result.plan.groups]}")
+    print(f"storage used: {result.storage_bytes / GB:.1f} GB")
+    print(f"expected recovery: {result.expected_recovery_time:.3f} s "
+          f"per lost iteration")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Swift reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list Table-2 workloads").set_defaults(
+        fn=cmd_workloads
+    )
+    sub.add_parser("table3", help="logging space overhead").set_defaults(
+        fn=cmd_table3
+    )
+
+    t5 = sub.add_parser("table5", help="end-to-end simulation study")
+    t5.add_argument("--mtbf", type=float, default=17.0)
+    t5.add_argument("--repeats", type=int, default=10)
+    t5.add_argument("--seed", type=int, default=1)
+    t5.set_defaults(fn=cmd_table5)
+
+    f8 = sub.add_parser("fig8", help="macro-benchmark for one workload")
+    f8.add_argument("workload", choices=sorted(_WORKLOAD_ALIASES))
+    f8.set_defaults(fn=cmd_fig8)
+
+    plan = sub.add_parser("plan", help="selective-logging group planner")
+    plan.add_argument("--workload", choices=["vit", "bert"], default="bert")
+    plan.add_argument("--budget-gb", type=float, required=True)
+    plan.add_argument("--ckpt-interval", type=int, default=100)
+    plan.set_defaults(fn=cmd_plan)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Simulated accelerator device (GPU) with volatile state and memory model.
+
+A device hosts exactly one *worker*'s volatile model state (parameters and
+optimizer state live "mainly ... on the GPUs", paper Section 3).  A machine
+crash wipes every device on it — that wipe is what recovery must repair.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import MachineFailure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.machine import Machine
+
+__all__ = ["Device"]
+
+GiB = 1024**3
+
+
+class Device:
+    """One GPU: volatile key/value tensor store plus a memory accountant."""
+
+    def __init__(self, device_id: int, machine: "Machine", memory_bytes: int = 32 * GiB):
+        self.device_id = device_id
+        self.machine = machine
+        self.memory_bytes = int(memory_bytes)
+        self._store: dict[str, np.ndarray] = {}
+        #: extra memory claimed by activations/workspace, for occupancy checks
+        self.workspace_bytes = 0
+
+    # -- liveness ------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.machine.alive
+
+    def check_alive(self) -> None:
+        if not self.alive:
+            raise MachineFailure(self.machine.machine_id)
+
+    # -- volatile store -------------------------------------------------------
+    def put(self, key: str, value: np.ndarray) -> None:
+        self.check_alive()
+        self._store[key] = value
+
+    def get(self, key: str) -> np.ndarray:
+        self.check_alive()
+        return self._store[key]
+
+    def pop(self, key: str) -> np.ndarray:
+        self.check_alive()
+        return self._store.pop(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self.alive and key in self._store
+
+    def wipe(self) -> None:
+        """Fail-stop: all volatile state vanishes."""
+        self._store.clear()
+        self.workspace_bytes = 0
+
+    # -- memory accounting -------------------------------------------------------
+    def used_bytes(self) -> int:
+        return (
+            sum(int(v.nbytes) for v in self._store.values()) + self.workspace_bytes
+        )
+
+    def free_bytes(self) -> int:
+        return self.memory_bytes - self.used_bytes()
+
+    def fits(self, nbytes: int) -> bool:
+        """Would an extra allocation of ``nbytes`` fit on this device?
+
+        This is the check behind Section 2.2: a model-state snapshot that
+        does not fit on the GPU must be copied to CPU memory over PCIe,
+        which is what makes CheckFreq/Elastic-Horovod snapshots expensive
+        for large models.
+        """
+        return nbytes <= self.free_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Device(id={self.device_id}, machine={self.machine.machine_id}, "
+            f"used={self.used_bytes() / GiB:.2f}GiB)"
+        )

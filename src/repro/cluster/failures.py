@@ -1,0 +1,114 @@
+"""Failure injection: deterministic kill schedules and MTBF sampling.
+
+Two modes cover the paper's experiments:
+
+* **Deterministic** — "kill a machine (rank 1) at the beginning of
+  iteration 150" (Section 7): a :class:`FailureSchedule` of exact
+  ``(iteration, phase, machine)`` triggers, including *mid-update* points
+  that expose the crash-consistency problem.
+* **Stochastic** — the simulation study (Section 7.3) injects failures
+  "uniformly randomly during training, assuming a 17-hour
+  median-time-between-failure": :class:`MTBFSampler` draws exponential
+  inter-failure times with a given median.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["FailurePhase", "FailureEvent", "FailureSchedule", "MTBFSampler"]
+
+
+class FailurePhase(str, Enum):
+    """Where in an iteration the crash lands (granularity of Section 2.3)."""
+
+    ITERATION_START = "iteration_start"
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    #: between two layer-wise parameter updates — the crash-consistency window
+    MID_UPDATE = "mid_update"
+    ITERATION_END = "iteration_end"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One machine crash at a precise logical point."""
+
+    machine_id: int
+    iteration: int
+    phase: FailurePhase = FailurePhase.ITERATION_START
+    #: for MID_UPDATE: how many parameters were already updated when the
+    #: crash hit (the "some layers updated, others not" state of Figure 4)
+    after_updates: int = 0
+
+
+class FailureSchedule:
+    """A deterministic list of failure events consumed by engines."""
+
+    def __init__(self, events: list[FailureEvent] | None = None):
+        self._events: list[FailureEvent] = sorted(
+            events or [], key=lambda e: (e.iteration, e.machine_id)
+        )
+
+    def add(self, event: FailureEvent) -> "FailureSchedule":
+        self._events.append(event)
+        self._events.sort(key=lambda e: (e.iteration, e.machine_id))
+        return self
+
+    def pending(self) -> list[FailureEvent]:
+        return list(self._events)
+
+    def pop_due(self, iteration: int, phase: FailurePhase) -> list[FailureEvent]:
+        """Remove and return all events due at (iteration, phase)."""
+        due = [
+            e for e in self._events if e.iteration == iteration and e.phase == phase
+        ]
+        for e in due:
+            self._events.remove(e)
+        return due
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+@dataclass
+class MTBFSampler:
+    """Exponential failure-time sampler parameterised by *median* TBF.
+
+    The exponential with rate λ has median ln(2)/λ, so a 17-hour median
+    (the paper's assumption, following Maeng et al.) gives
+    λ = ln(2)/17h.
+    """
+
+    median_hours: float = 17.0
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.median_hours <= 0:
+            raise ValueError("median_hours must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def rate_per_hour(self) -> float:
+        return float(np.log(2.0) / self.median_hours)
+
+    def next_failure_hours(self) -> float:
+        """Hours until the next failure (exponential draw)."""
+        return float(self._rng.exponential(1.0 / self.rate_per_hour))
+
+    def failure_times_within(self, horizon_hours: float) -> list[float]:
+        """All failure timestamps (hours) within a training horizon."""
+        times: list[float] = []
+        t = self.next_failure_hours()
+        while t < horizon_hours:
+            times.append(t)
+            t += self.next_failure_hours()
+        return times
+
+    def pick_machine(self, num_machines: int) -> int:
+        """Uniformly choose which machine fails (equal-probability model)."""
+        return int(self._rng.integers(num_machines))

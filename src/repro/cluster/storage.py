@@ -1,0 +1,123 @@
+"""Persistent storage: local NVMe disks and an HDFS-like global store.
+
+Both are modelled as in-memory blob stores with bandwidth-based transfer
+costs.  The global store stands in for the paper's HDFS cluster (Section 7
+testbed): logging files are uploaded there by surviving machines and
+downloaded by replacements (Figure 6b steps 3-4), optionally *chunked* so
+upload, download, and replay pipeline with each other (Section 5.1: "steps
+3, 4, and 5 can be executed in a pipeline by chunking the logging file").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Blob", "LocalDisk", "GlobalStore", "pipelined_transfer_time"]
+
+GB = 1e9
+
+
+@dataclass
+class Blob:
+    """A stored object: opaque payload plus its size for the cost model."""
+
+    key: str
+    nbytes: int
+    payload: object = None
+
+
+class LocalDisk:
+    """Per-machine NVMe disk with distinct read and write bandwidths."""
+
+    def __init__(self, write_bw: float = 2.0 * GB, read_bw: float = 3.0 * GB):
+        self.write_bw = float(write_bw)
+        self.read_bw = float(read_bw)
+        self._blobs: dict[str, Blob] = {}
+
+    def write(self, key: str, nbytes: int, payload: object = None) -> float:
+        """Store a blob; returns the simulated write time in seconds."""
+        self._blobs[key] = Blob(key, int(nbytes), payload)
+        return nbytes / self.write_bw
+
+    def read(self, key: str) -> tuple[Blob, float]:
+        """Fetch a blob; returns (blob, simulated read seconds)."""
+        blob = self._blobs[key]
+        return blob, blob.nbytes / self.read_bw
+
+    def delete(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blobs
+
+    def keys(self) -> list[str]:
+        return list(self._blobs)
+
+    def used_bytes(self) -> int:
+        return sum(b.nbytes for b in self._blobs.values())
+
+
+class GlobalStore:
+    """Cluster-wide durable blob store (the HDFS substitute).
+
+    Survives any machine failure.  Upload/download costs are charged at the
+    machine's network bandwidth (the store is assumed wide enough not to be
+    the bottleneck itself; contention appears only through the per-machine
+    link, which is where the paper observed the Figure 9 transfer
+    bottleneck).
+    """
+
+    def __init__(self, network_bw: float = 5.0 * GB):
+        self.network_bw = float(network_bw)
+        self._blobs: dict[str, Blob] = {}
+
+    def upload(self, key: str, nbytes: int, payload: object = None) -> float:
+        self._blobs[key] = Blob(key, int(nbytes), payload)
+        return nbytes / self.network_bw
+
+    def download(self, key: str) -> tuple[Blob, float]:
+        blob = self._blobs[key]
+        return blob, blob.nbytes / self.network_bw
+
+    def delete(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+    def delete_prefix(self, prefix: str) -> int:
+        """Garbage-collect blobs under a key prefix; returns bytes freed."""
+        doomed = [k for k in self._blobs if k.startswith(prefix)]
+        freed = sum(self._blobs[k].nbytes for k in doomed)
+        for k in doomed:
+            del self._blobs[k]
+        return freed
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blobs
+
+    def keys(self) -> list[str]:
+        return list(self._blobs)
+
+    def used_bytes(self) -> int:
+        return sum(b.nbytes for b in self._blobs.values())
+
+
+def pipelined_transfer_time(
+    nbytes: float, stage_bandwidths: list[float], num_chunks: int = 1
+) -> float:
+    """Time to move ``nbytes`` through a chain of bandwidth-limited stages.
+
+    With one chunk the stages serialize (sum of times); with many chunks
+    they pipeline and the bottleneck stage dominates:
+
+        T = (nbytes/num_chunks) * sum(1/bw) + (num_chunks-1) * (nbytes/num_chunks) / min(bw)
+
+    This models Figure 6b's upload → download → replay chain when the
+    logging file is chunked.
+    """
+    if nbytes <= 0:
+        return 0.0
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    chunk = nbytes / num_chunks
+    fill = sum(chunk / bw for bw in stage_bandwidths)
+    drain = (num_chunks - 1) * chunk / min(stage_bandwidths)
+    return fill + drain

@@ -1,0 +1,109 @@
+"""Cluster topology and bandwidth model.
+
+Defaults follow the paper's testbed (Section 7): DGX-2 class machines with
+eight 32 GB V100s on NVLink, 40 Gbps Ethernet between machines, NVMe local
+disks, and an HDFS-like global store built on the same machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.device import Device, GiB
+from repro.cluster.kvstore import KVStore
+from repro.cluster.machine import Machine
+from repro.cluster.storage import GlobalStore
+
+__all__ = ["BandwidthModel", "Cluster"]
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Link bandwidths in bytes/second (paper testbed defaults)."""
+
+    #: inter-machine Ethernet (40 Gbps = 5 GB/s)
+    network: float = 5.0 * GB
+    #: intra-machine GPU-GPU (NVLink)
+    nvlink: float = 150.0 * GB
+    #: GPU <-> CPU copy path (PCIe 3.0 x16 effective)
+    pcie: float = 12.0 * GB
+    #: fixed per-message latency, seconds
+    latency: float = 20e-6
+
+
+class Cluster:
+    """A set of machines plus the shared services (KV store, global store).
+
+    The cluster is the root object of every scenario: engines place workers
+    on its devices, the failure injector kills its machines, and the cost
+    model prices transfers with its :class:`BandwidthModel`.
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        devices_per_machine: int = 8,
+        device_memory: int = 32 * GiB,
+        bandwidth: BandwidthModel | None = None,
+    ):
+        if num_machines < 1:
+            raise ValueError("cluster needs at least one machine")
+        self.bandwidth = bandwidth or BandwidthModel()
+        self.machines = [
+            Machine(m, devices_per_machine, device_memory)
+            for m in range(num_machines)
+        ]
+        self.kvstore = KVStore()
+        self.global_store = GlobalStore(network_bw=self.bandwidth.network)
+        #: monotonically increasing ids for replacement machines
+        self._replacements: list[int] = []
+
+    # -- lookup ------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    def machine(self, machine_id: int) -> Machine:
+        return self.machines[machine_id]
+
+    def device(self, machine_id: int, local_idx: int) -> Device:
+        return self.machines[machine_id].devices[local_idx]
+
+    def all_devices(self) -> list[Device]:
+        return [d for m in self.machines for d in m.devices]
+
+    def alive_machines(self) -> list[Machine]:
+        return [m for m in self.machines if m.alive]
+
+    def failed_machines(self) -> list[Machine]:
+        return [m for m in self.machines if not m.alive]
+
+    # -- failure handling ---------------------------------------------------
+    def fail_machine(self, machine_id: int) -> None:
+        self.machines[machine_id].fail()
+
+    def replace_machine(self, machine_id: int) -> Machine:
+        """Swap in a replacement for a failed machine (same slot/id)."""
+        machine = self.machines[machine_id]
+        machine.replace()
+        self._replacements.append(machine_id)
+        return machine
+
+    # -- transfer pricing -----------------------------------------------------
+    def same_machine(self, a: Device, b: Device) -> bool:
+        return a.machine.machine_id == b.machine.machine_id
+
+    def link_bandwidth(self, a: Device, b: Device) -> float:
+        return self.bandwidth.nvlink if self.same_machine(a, b) else self.bandwidth.network
+
+    def transfer_time(self, nbytes: float, a: Device, b: Device) -> float:
+        """Point-to-point transfer time between two devices."""
+        if nbytes <= 0:
+            return self.bandwidth.latency
+        return self.bandwidth.latency + nbytes / self.link_bandwidth(a, b)
+
+    def pcie_time(self, nbytes: float) -> float:
+        """GPU -> CPU (or back) copy time; the logging/snapshot cost unit."""
+        return nbytes / self.bandwidth.pcie if nbytes > 0 else 0.0

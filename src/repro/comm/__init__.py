@@ -1,0 +1,6 @@
+"""Simulated communication: point-to-point transport and collectives."""
+
+from repro.comm.collectives import CollectiveGroup
+from repro.comm.p2p import Message, Transport
+
+__all__ = ["Message", "Transport", "CollectiveGroup"]

@@ -1,0 +1,95 @@
+"""Collective communication over the simulated cluster.
+
+Data parallelism synchronizes gradients with all-reduce; replication-based
+recovery broadcasts the surviving replica's state (paper Sections 2.1, 4).
+Data semantics are computed exactly (NumPy); time is priced with the
+standard ring-algorithm model: all-reduce moves ``2 (n-1)/n`` of the buffer
+over the slowest link, broadcast/all-gather move ``(n-1)/n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.device import Device
+from repro.cluster.topology import Cluster
+from repro.errors import CommunicationError
+
+__all__ = ["CollectiveGroup"]
+
+
+class CollectiveGroup:
+    """A fixed group of ranks participating in collectives."""
+
+    def __init__(self, cluster: Cluster, devices: dict[int, Device]):
+        if not devices:
+            raise ValueError("collective group needs at least one member")
+        self.cluster = cluster
+        self.devices = dict(devices)
+
+    @property
+    def size(self) -> int:
+        return len(self.devices)
+
+    def _check_alive(self) -> None:
+        for rank, dev in self.devices.items():
+            if not dev.alive:
+                raise CommunicationError(rank, rank, f"rank {rank} is dead")
+
+    def _slowest_link(self) -> float:
+        """Bandwidth of the slowest pairwise link in the ring."""
+        devs = list(self.devices.values())
+        if len(devs) == 1:
+            return self.cluster.bandwidth.nvlink
+        return min(
+            self.cluster.link_bandwidth(devs[i], devs[(i + 1) % len(devs)])
+            for i in range(len(devs))
+        )
+
+    # -- timing -----------------------------------------------------------
+    def allreduce_time(self, nbytes: float) -> float:
+        n = self.size
+        if n == 1 or nbytes <= 0:
+            return 0.0
+        return 2.0 * (n - 1) / n * nbytes / self._slowest_link()
+
+    def broadcast_time(self, nbytes: float) -> float:
+        n = self.size
+        if n == 1 or nbytes <= 0:
+            return 0.0
+        return (n - 1) / n * nbytes / self._slowest_link()
+
+    allgather_time = broadcast_time
+
+    # -- data ---------------------------------------------------------------
+    def allreduce_mean(self, buffers: dict[int, np.ndarray]) -> np.ndarray:
+        """Average buffers across ranks (gradient synchronization).
+
+        The reduction order is fixed (ascending rank) so results are
+        bit-deterministic — required for logging-based replay to be exact.
+        """
+        self._check_alive()
+        if buffers.keys() != self.devices.keys():
+            raise CommunicationError(
+                -1, -1, "allreduce called with mismatched participant set"
+            )
+        ranks = sorted(buffers)
+        total = np.array(buffers[ranks[0]], dtype=np.float64, copy=True)
+        for r in ranks[1:]:
+            total += buffers[r]
+        return total / len(ranks)
+
+    def allreduce_sum(self, buffers: dict[int, np.ndarray]) -> np.ndarray:
+        self._check_alive()
+        ranks = sorted(buffers)
+        total = np.array(buffers[ranks[0]], dtype=np.float64, copy=True)
+        for r in ranks[1:]:
+            total += buffers[r]
+        return total
+
+    def broadcast(self, root: int, value: np.ndarray) -> dict[int, np.ndarray]:
+        """Copy ``value`` from root to every rank (replica restoration)."""
+        self._check_alive()
+        if root not in self.devices:
+            raise CommunicationError(root, root, f"root {root} not in group")
+        return {rank: np.array(value, copy=True) for rank in self.devices}

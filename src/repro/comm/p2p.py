@@ -1,0 +1,151 @@
+"""Point-to-point communication with sender-side logging taps.
+
+Pipeline parallelism moves activations forward and gradients backward with
+point-to-point messages (paper Section 2.1).  Swift's logging hooks in at
+the *sender* — "the sender rather than the receiver logs the message", the
+upstream-backup idea of Section 5.1 — so the transport exposes *taps*:
+callbacks invoked on every send with full message metadata, which the
+tensor log uses to capture inter-machine traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.device import Device
+from repro.cluster.topology import Cluster
+from repro.errors import CommunicationError
+
+__all__ = ["Message", "Transport"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message with the metadata Swift logs.
+
+    The (iteration, microbatch, phase) triple is the paper's "timestamp ...
+    used to determine the order of the data to replay" (Section 5.1).
+    """
+
+    src_rank: int
+    dst_rank: int
+    tensor: np.ndarray
+    iteration: int
+    microbatch: int
+    phase: str  # "fwd" (activation) or "bwd" (gradient)
+    seq: int = 0
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.tensor.nbytes)
+
+
+class Transport:
+    """Synchronous channel-based transport over the simulated cluster.
+
+    Sends are charged at link bandwidth by the caller's timing model (the
+    transport itself reports the transfer cost so engines can place it on
+    per-stage timelines).  Any operation touching a dead machine raises
+    :class:`CommunicationError`, which is how failures are *detected*.
+    """
+
+    def __init__(self, cluster: Cluster, devices: dict[int, Device]):
+        self.cluster = cluster
+        self.devices = dict(devices)
+        self._channels: dict[tuple[int, int], deque[Message]] = {}
+        self._taps: list[Callable[[Message, Device, Device], None]] = []
+        self._seq = 0
+
+    # -- taps ---------------------------------------------------------------
+    def add_tap(self, tap: Callable[[Message, Device, Device], None]) -> None:
+        """Register a callback fired on every successful send."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[Message, Device, Device], None]) -> None:
+        self._taps.remove(tap)
+
+    # -- liveness -----------------------------------------------------------
+    def rebind(self, rank: int, device: Device) -> None:
+        """Point a rank at a (replacement) device."""
+        self.devices[rank] = device
+
+    def _check(self, src: int, dst: int) -> tuple[Device, Device]:
+        try:
+            src_dev = self.devices[src]
+            dst_dev = self.devices[dst]
+        except KeyError as exc:
+            raise CommunicationError(src, dst, f"unknown rank {exc}") from None
+        if not src_dev.alive or not dst_dev.alive:
+            raise CommunicationError(src, dst)
+        return src_dev, dst_dev
+
+    # -- messaging -----------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        tensor: np.ndarray,
+        iteration: int,
+        microbatch: int,
+        phase: str,
+        **meta: object,
+    ) -> float:
+        """Enqueue a message; returns the simulated transfer time.
+
+        The tensor is copied so the sender may keep mutating its buffers —
+        the same reason Swift's logger snapshots outgoing tensors.
+        """
+        src_dev, dst_dev = self._check(src, dst)
+        self._seq += 1
+        msg = Message(
+            src_rank=src,
+            dst_rank=dst,
+            tensor=np.array(tensor, copy=True),
+            iteration=iteration,
+            microbatch=microbatch,
+            phase=phase,
+            seq=self._seq,
+            meta=dict(meta),
+        )
+        for tap in self._taps:
+            tap(msg, src_dev, dst_dev)
+        self._channels.setdefault((src, dst), deque()).append(msg)
+        return self.cluster.transfer_time(msg.nbytes, src_dev, dst_dev)
+
+    def recv(self, dst: int, src: int) -> Message:
+        """Pop the oldest message on the (src → dst) channel."""
+        self._check(src, dst)
+        channel = self._channels.get((src, dst))
+        if not channel:
+            raise CommunicationError(
+                src, dst, f"recv on empty channel {src} -> {dst}"
+            )
+        return channel.popleft()
+
+    def pending(self, src: int, dst: int) -> int:
+        return len(self._channels.get((src, dst), ()))
+
+    def drop_all(self) -> int:
+        """Discard every in-flight message (a failed iteration is aborted
+        wholesale — its partial traffic must not leak into the re-run)."""
+        dropped = sum(len(ch) for ch in self._channels.values())
+        self._channels.clear()
+        return dropped
+
+    def drop_channels_touching(self, ranks: set[int]) -> int:
+        """Discard in-flight messages to/from failed ranks; returns count.
+
+        In-flight data on a crashed machine is gone; data *to* it will be
+        regenerated by replay, so both directions are dropped on failure.
+        """
+        dropped = 0
+        for key in list(self._channels):
+            if key[0] in ranks or key[1] in ranks:
+                dropped += len(self._channels[key])
+                del self._channels[key]
+        return dropped

@@ -1,0 +1,69 @@
+"""Swift's core contribution: update-undo, replication & logging recovery,
+selective logging, strategy selection, and the orchestration trainer."""
+
+from repro.core.checkpoint import (
+    CheckpointManager,
+    SnapshotCost,
+    SnapshotManager,
+    checkfreq_interval,
+)
+from repro.core.detector import DetectionReport, FailureDetector
+from repro.core.elastic import ElasticCoordinator, ResizeEvent
+from repro.core.global_restart import GlobalCheckpointRecovery
+from repro.core.replay import LoggingRecovery, ReplaySpec
+from repro.core.replication import RecoveryReport, ReplicationRecovery
+from repro.core.sharded_recovery import ShardedReplicationRecovery
+from repro.core.selective import (
+    PipelineProfile,
+    PlanResult,
+    SelectiveLoggingPlanner,
+)
+from repro.core.strategy import (
+    FTStrategy,
+    LoggingFeasibility,
+    choose_strategy,
+    logging_worth_it,
+    transformer_message_bytes,
+)
+from repro.core.tlog import GroupingPlan, LoggingMode, LogRecord, TensorLog
+from repro.core.trainer import SwiftTrainer, TrainerConfig, TrainingTrace
+from repro.core.undo import (
+    UndoReport,
+    resolve_dp_consistency,
+    resolve_pipeline_consistency,
+)
+
+__all__ = [
+    "UndoReport",
+    "resolve_dp_consistency",
+    "resolve_pipeline_consistency",
+    "FailureDetector",
+    "DetectionReport",
+    "CheckpointManager",
+    "SnapshotManager",
+    "SnapshotCost",
+    "checkfreq_interval",
+    "TensorLog",
+    "LogRecord",
+    "GroupingPlan",
+    "LoggingMode",
+    "LoggingRecovery",
+    "ReplaySpec",
+    "ReplicationRecovery",
+    "RecoveryReport",
+    "ShardedReplicationRecovery",
+    "GlobalCheckpointRecovery",
+    "ElasticCoordinator",
+    "ResizeEvent",
+    "SelectiveLoggingPlanner",
+    "PipelineProfile",
+    "PlanResult",
+    "FTStrategy",
+    "choose_strategy",
+    "logging_worth_it",
+    "LoggingFeasibility",
+    "transformer_message_bytes",
+    "SwiftTrainer",
+    "TrainerConfig",
+    "TrainingTrace",
+]

@@ -1,0 +1,69 @@
+"""Failure detection via async communicator errors and a global flag.
+
+Reproduces the paper's protocol (Section 6): every worker runs a background
+thread polling ``ncclCommGetAsyncError()``; on error it sets a failure flag
+in the global KV store (co-located with rank 0) and aborts its own
+communicators; all other workers poll the flag and abort too.  Here the
+protocol is collapsed into a timing model plus the KV-store flag the
+engines already raise on injected failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.clock import SimClock
+from repro.cluster.kvstore import KVStore
+
+__all__ = ["DetectionReport", "FailureDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Outcome of failure detection."""
+
+    machine_id: int
+    iteration: int
+    #: simulated seconds from crash to all workers having aborted
+    detection_time: float
+
+
+class FailureDetector:
+    """Timing + protocol model of Swift's failure detection."""
+
+    def __init__(
+        self,
+        kvstore: KVStore,
+        clock: SimClock,
+        nccl_poll_interval: float = 0.002,
+        kv_roundtrip: float = 0.001,
+        abort_time: float = 0.05,
+    ):
+        self.kvstore = kvstore
+        self.clock = clock
+        self.nccl_poll_interval = nccl_poll_interval
+        self.kv_roundtrip = kv_roundtrip
+        self.abort_time = abort_time
+
+    def detection_time(self) -> float:
+        """Crash → error surfaced → flag set → peers polled → aborted."""
+        return (
+            self.nccl_poll_interval  # observer thread notices the error
+            + self.kv_roundtrip  # set the flag at rank 0's store
+            + self.kvstore.poll_interval  # other workers poll the flag
+            + self.abort_time  # abort NCCL communicators everywhere
+        )
+
+    def detect(self) -> DetectionReport:
+        """Consume the raised failure flag, charging detection time."""
+        info = self.kvstore.failure_info()
+        if info is None:
+            raise RuntimeError("detect() called but no failure flag is set")
+        t = self.detection_time()
+        self.clock.advance(t, "failure_detection", machine=info["machine_id"])
+        self.kvstore.clear_failure()
+        return DetectionReport(
+            machine_id=int(info["machine_id"]),
+            iteration=int(info["iteration"]),
+            detection_time=t,
+        )

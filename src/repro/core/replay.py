@@ -1,0 +1,307 @@
+"""Logging-based recovery: replay the failed sub-pipeline (Section 5).
+
+After a machine failure in pipeline-parallel training:
+
+1. detect; surviving stages undo past-consensus updates (Section 6);
+2. surviving upstream workers flush unlogged data and upload their logging
+   files to the global store (Figure 6b steps 1-3);
+3. the replacement loads the latest global checkpoint for the failed
+   stages and *replays* the logged tensors in timestamp order, re-running
+   only the failed machine's computation graph — without pipeline bubbles
+   (Figure 1b);
+4. with **parallel recovery** (Section 5.2, Figure 7), the replay of each
+   iteration's micro-batches is split round-robin over ``d`` recovery
+   workers; gradients are all-reduced, which is logically equivalent to
+   sequential replay.
+
+The recovery *scope* is the failed machine's group (selective logging
+widens it to the whole group, Section 5.3): surviving stages keep their
+state and simply wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.clock import SimClock
+from repro.core.checkpoint import CheckpointManager
+from repro.core.detector import FailureDetector
+from repro.core.replication import RecoveryReport
+from repro.core.tlog import GroupingPlan, TensorLog
+from repro.core.undo import resolve_pipeline_consistency
+from repro.errors import RecoveryError
+from repro.cluster.storage import pipelined_transfer_time
+from repro.parallel.pipeline import PipelineEngine, PipelineStage
+
+__all__ = ["LoggingRecovery", "ReplaySpec"]
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """What must be replayed: stage span, iteration span, parallelism."""
+
+    stage_ids: tuple[int, ...]  # contiguous, ascending
+    from_iteration: int  # checkpoint iteration (inclusive)
+    to_iteration: int  # consensus pre-failure iteration (exclusive)
+    parallel_degree: int = 1
+
+    @property
+    def lost_iterations(self) -> int:
+        return self.to_iteration - self.from_iteration
+
+
+class LoggingRecovery:
+    """Recovers failed pipeline stages from the tensor log."""
+
+    def __init__(
+        self,
+        engine: PipelineEngine,
+        tlog: TensorLog,
+        checkpoints: CheckpointManager,
+        detector: FailureDetector,
+        clock: SimClock,
+        parallel_degree: int = 1,
+        replacement_join_time: float = 5.0,
+        #: logging needs extra setup (CUDA stream + threads), Section 7.1
+        logging_init_time: float = 1.0,
+        transfer_chunks: int = 8,
+    ):
+        self.engine = engine
+        self.tlog = tlog
+        self.checkpoints = checkpoints
+        self.detector = detector
+        self.clock = clock
+        self.parallel_degree = max(1, int(parallel_degree))
+        self.replacement_join_time = replacement_join_time
+        self.logging_init_time = logging_init_time
+        self.transfer_chunks = transfer_chunks
+
+    # -- scope ------------------------------------------------------------
+    def recovery_spans(self, failed_machines: list[int]) -> list[list[int]]:
+        """Stage spans needing replay, one per contiguous pipeline portion.
+
+        All stages in the failed machines' *groups* roll back (with
+        selective logging intra-group traffic is unlogged, Section 5.3).
+        Failures spanning disjoint portions of the pipeline are recovered
+        independently (Appendix B): each contiguous run of failed stages
+        becomes its own replay span, bounded by surviving (logging)
+        machines.
+        """
+        grouping = self.tlog.grouping
+        machines: set[int] = set()
+        for m in failed_machines:
+            if grouping is None:
+                machines.add(m)
+            else:
+                machines.update(grouping.group_machines(m))
+        ids = sorted(
+            s.stage_id
+            for s in self.engine.stages
+            if self.engine.machine_of_stage(s.stage_id) in machines
+        )
+        if not ids:
+            raise RecoveryError(f"no stages placed on machines {failed_machines}")
+        spans: list[list[int]] = [[ids[0]]]
+        for sid in ids[1:]:
+            if sid == spans[-1][-1] + 1:
+                spans[-1].append(sid)
+            else:
+                spans.append([sid])
+        return spans
+
+    # -- the numeric replay ------------------------------------------------------
+    def _rebuild_stages(
+        self, stage_ids: list[int], from_iteration: int
+    ) -> tuple[dict[int, PipelineStage], float]:
+        """Fresh stage objects loaded from the checkpoint; returns load time."""
+        rebuilt: dict[int, PipelineStage] = {}
+        load_time = 0.0
+        for sid in stage_ids:
+            module = self.engine.build_stage_module(sid)
+            optimizer = self.engine.opt_factory(module)
+            state, t = self.checkpoints.load(sid, from_iteration)
+            stage = PipelineStage(
+                sid, module, optimizer, self.engine.stages[sid].device
+            )
+            stage.load_full_state(state)
+            rebuilt[sid] = stage
+            load_time = max(load_time, t)  # loads proceed in parallel
+        return rebuilt, load_time
+
+    def _replay_iteration(
+        self,
+        stages: dict[int, PipelineStage],
+        stage_ids: list[int],
+        iteration: int,
+        degree: int,
+    ) -> None:
+        """Replay one lost iteration, optionally data-parallel (Figure 7).
+
+        With ``degree > 1`` micro-batches are assigned round-robin; each
+        virtual recovery worker accumulates its own gradient bucket and the
+        buckets are summed in worker order before the update — mirroring
+        the gradient synchronization of parallel recovery.
+        """
+        xs, ys = self.engine.microbatches(iteration)
+        m = self.engine.num_microbatches
+        first, last = stage_ids[0], stage_ids[-1]
+        p = self.engine.num_stages
+
+        grad_buckets: list[dict[int, dict[str, np.ndarray]]] = []
+        for worker in range(degree):
+            for sid in stage_ids:
+                stages[sid].module.zero_grad()
+            for mb in range(worker, m, degree):
+                # forward through the failed span
+                if first == 0:
+                    h = xs[mb]
+                else:
+                    h = self.tlog.query(first, iteration, mb, "fwd").tensor
+                for sid in stage_ids:
+                    h = stages[sid].module(h)
+                # gradient entering the span
+                if last == p - 1:
+                    loss_fn = self.engine.loss_factory()
+                    loss_fn(h, ys[mb])
+                    g = loss_fn.backward() / m
+                else:
+                    g = self.tlog.query(last, iteration, mb, "bwd").tensor
+                for sid in reversed(stage_ids):
+                    g = stages[sid].module.backward(g)
+            grad_buckets.append(
+                {sid: stages[sid].module.grads() for sid in stage_ids}
+            )
+
+        # gradient synchronization across recovery workers (sum in rank
+        # order — bit-deterministic, logically equal to sequential replay)
+        for sid in stage_ids:
+            params = dict(stages[sid].module.named_parameters())
+            for name, param in params.items():
+                total = grad_buckets[0][sid][name].copy()
+                for bucket in grad_buckets[1:]:
+                    total += bucket[sid][name]
+                param.grad = total
+            stages[sid].step()
+
+    # -- timing model ---------------------------------------------------------
+    def _replay_time(self, spec: ReplaySpec) -> dict[str, float]:
+        """Price the recovery (Figure 6b/6c flow)."""
+        eng = self.engine
+        m = eng.num_microbatches
+        degree = spec.parallel_degree
+        # Replay pipelines micro-batches through the failed span with no
+        # waiting on other stages (Figure 1b): fill the span once, then one
+        # micro-batch per bottleneck-stage slot.  Parallel recovery divides
+        # the micro-batches across `degree` recovery workers (Figure 7).
+        stage_fb = [eng.fwd_times[sid] + eng.bwd_times[sid] for sid in spec.stage_ids]
+        mb_per_worker = -(-m // degree)  # ceil
+        per_iteration = sum(stage_fb) + (mb_per_worker - 1) * max(stage_fb)
+        compute = spec.lost_iterations * per_iteration
+        sync = 0.0
+        if degree > 1:
+            # per-iteration gradient all-reduce among recovery workers
+            state_bytes = sum(eng.state_nbytes(sid) for sid in spec.stage_ids)
+            sync = spec.lost_iterations * 2.0 * (degree - 1) / degree * (
+                state_bytes / eng.cluster.bandwidth.network
+            )
+        # log-file movement: flush (PCIe+disk) → upload → download, chunked
+        log_bytes = self.tlog.upload_bytes_for(
+            range(spec.from_iteration, spec.to_iteration),
+            exclude_machine=-1,
+        )
+        transfer = pipelined_transfer_time(
+            log_bytes,
+            [
+                eng.cluster.bandwidth.pcie,
+                eng.cluster.machines[0].disk.write_bw,
+                eng.cluster.bandwidth.network,  # upload
+                eng.cluster.bandwidth.network,  # download
+            ],
+            num_chunks=self.transfer_chunks,
+        )
+        # transfer pipelines with replay itself (chunked files): charge the max
+        replay_wall = max(compute + sync, transfer)
+        return {
+            "compute": compute,
+            "sync": sync,
+            "transfer": transfer,
+            "replay_wall": replay_wall,
+            "log_bytes": float(log_bytes),
+        }
+
+    # -- orchestration ----------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        detection = self.detector.detect()
+        failed_machines = [detection.machine_id] + [
+            mm.machine_id
+            for mm in self.engine.cluster.failed_machines()
+            if mm.machine_id != detection.machine_id
+        ]
+
+        # surviving stages: consensus + undo
+        undo_report = resolve_pipeline_consistency(self.engine)
+        consensus = undo_report.consensus_iteration
+        undo_time = 0.01 if undo_report.num_undone else 0.0
+        self.clock.advance(undo_time, "undo")
+
+        ckpt_iter = self.checkpoints.latest_iteration
+        if ckpt_iter is None:
+            raise RecoveryError("no global checkpoint exists to replay from")
+        # drop the failed machines' own (lost) records, then plan the spans
+        for machine_id in failed_machines:
+            self.tlog.drop_machine(machine_id)
+        spans = self.recovery_spans(failed_machines)
+
+        # replacement joins (plus logging re-initialization, Section 7.1)
+        for machine_id in failed_machines:
+            self.engine.cluster.replace_machine(machine_id)
+        init_time = self.replacement_join_time + self.logging_init_time
+        self.clock.advance(init_time, "replacement_join")
+
+        # rebuild + replay every span (numerics); disjoint spans recover
+        # independently and concurrently (Appendix B), so wall time is the
+        # max across spans
+        restore_time = 0.0
+        all_stage_ids: list[int] = []
+        timing_details: dict = {}
+        for span in spans:
+            spec = ReplaySpec(
+                stage_ids=tuple(span),
+                from_iteration=ckpt_iter,
+                to_iteration=consensus,
+                parallel_degree=self.parallel_degree,
+            )
+            rebuilt, load_time = self._rebuild_stages(span, ckpt_iter)
+            for it in range(spec.from_iteration, spec.to_iteration):
+                self._replay_iteration(rebuilt, span, it, spec.parallel_degree)
+            for sid in span:
+                stage = rebuilt[sid]
+                assert stage.iteration == consensus, (
+                    f"replayed stage {sid} at iteration {stage.iteration}, "
+                    f"expected {consensus}"
+                )
+                self.engine.stages[sid] = stage
+                self.engine.transport.rebind(sid, stage.device)
+            timing = self._replay_time(spec)
+            restore_time = max(restore_time, load_time + timing["replay_wall"])
+            timing_details[f"span_{span[0]}_{span[-1]}"] = timing
+            all_stage_ids.extend(span)
+
+        self.clock.advance(restore_time, "logging_replay")
+        self.engine.iteration = consensus
+
+        return RecoveryReport(
+            strategy="logging" if self.parallel_degree == 1 else "logging+pr",
+            failed_machines=failed_machines,
+            resume_iteration=consensus,
+            lost_iterations=consensus - ckpt_iter,
+            detection_time=detection.detection_time,
+            init_time=init_time,
+            undo_time=undo_time,
+            restore_time=restore_time,
+            details={**timing_details, "stage_ids": all_stage_ids,
+                     "checkpoint_iteration": ckpt_iter,
+                     "undone_params": undo_report.num_undone},
+        )

@@ -1,0 +1,177 @@
+"""Selective logging: grouping machines under a storage budget (§5.3).
+
+Logging every cross-machine message can consume large storage.  Swift
+groups machines and logs only *inter-group* traffic; if any machine in a
+group fails, the whole group rolls back and replays — so coarser groups
+trade longer recovery for less storage.
+
+Given per-machine per-iteration compute times ``R(G_i)``, adjacent-boundary
+transmission sizes ``M(G_i, G_{i+1})``, checkpoint interval ``T`` and
+network bandwidth ``B``, the planner greedily merges the adjacent pair
+minimizing ``ΔR/ΔM`` (recovery-time increase per unit of storage saved)
+until total storage ``M(G) = T · Σ boundary sizes`` fits the budget.  This
+reproduces Tables 6 and 7 and the Figure 10 trade-off curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tlog import GroupingPlan
+from repro.errors import ConfigurationError
+
+__all__ = ["PipelineProfile", "PlanResult", "SelectiveLoggingPlanner"]
+
+
+@dataclass(frozen=True)
+class PipelineProfile:
+    """Profiled inputs of the grouping algorithm.
+
+    ``compute_times[i]`` — averaged per-iteration computation time of
+    machine ``i``'s stages (the paper profiles 5 iterations and averages).
+    ``boundary_bytes[i]`` — per-iteration transmission size between
+    machines ``i`` and ``i+1`` (computable from the model configuration).
+    """
+
+    compute_times: tuple[float, ...]
+    boundary_bytes: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.boundary_bytes) != len(self.compute_times) - 1:
+            raise ConfigurationError(
+                "need exactly N-1 boundary sizes for N machines"
+            )
+        if len(self.compute_times) < 1:
+            raise ConfigurationError("profile needs at least one machine")
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.compute_times)
+
+
+@dataclass
+class PlanResult:
+    """Outcome of the planner: grouping plus its predicted costs."""
+
+    plan: GroupingPlan
+    #: expected per-iteration recovery time E[R] under uniform failures
+    expected_recovery_time: float
+    #: total log storage M(G) = T * sum of inter-group boundary bytes
+    storage_bytes: float
+    #: per-group recovery times R(G_i)
+    group_recovery_times: list[float] = field(default_factory=list)
+
+
+class SelectiveLoggingPlanner:
+    """Greedy ΔR/ΔM group merging under a storage cap."""
+
+    def __init__(
+        self,
+        profile: PipelineProfile,
+        checkpoint_interval: int,
+        network_bandwidth: float,
+        parallel_recovery: bool = False,
+    ):
+        if checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
+        if network_bandwidth <= 0:
+            raise ConfigurationError("network bandwidth must be positive")
+        self.profile = profile
+        self.T = int(checkpoint_interval)
+        self.B = float(network_bandwidth)
+        self.parallel_recovery = parallel_recovery
+
+    # -- cost primitives (paper §5.3) ------------------------------------
+    def _group_time(self, groups: list[list[int]], gi: int,
+                    times: list[float]) -> float:
+        """R(G_i), divided by ⌊N/|G_i|⌋ when parallel recovery is on."""
+        r = times[gi]
+        if self.parallel_recovery:
+            n = self.profile.num_machines
+            d = max(1, n // len(groups[gi]))
+            r = r / d
+        return r
+
+    def _expected_recovery(self, groups: list[list[int]],
+                           times: list[float]) -> float:
+        """E[R] = Σ (|G_i|/N) · R(G_i): each machine equally likely to fail."""
+        n = self.profile.num_machines
+        return sum(
+            len(g) / n * self._group_time(groups, gi, times)
+            for gi, g in enumerate(groups)
+        )
+
+    def _boundary_bytes(self, groups: list[list[int]], gi: int) -> float:
+        """M(G_i, G_{i+1}): traffic across the boundary after group gi."""
+        last_machine = groups[gi][-1]
+        return float(self.profile.boundary_bytes[last_machine])
+
+    def _storage(self, groups: list[list[int]]) -> float:
+        return self.T * sum(
+            self._boundary_bytes(groups, gi) for gi in range(len(groups) - 1)
+        )
+
+    # -- the greedy merge ---------------------------------------------------
+    def plan(self, max_storage_bytes: float) -> PlanResult:
+        """Merge adjacent groups until storage fits ``max_storage_bytes``.
+
+        Runs at most N-1 merges (all machines in one group means no logging
+        and zero storage), so overall O(N²).
+        """
+        n = self.profile.num_machines
+        groups: list[list[int]] = [[i] for i in range(n)]
+        times: list[float] = list(self.profile.compute_times)
+
+        while self._storage(groups) > max_storage_bytes and len(groups) > 1:
+            best_idx, best_ratio = None, None
+            for gi in range(len(groups) - 1):
+                merged_r = (
+                    times[gi]
+                    + times[gi + 1]
+                    + self._boundary_bytes(groups, gi) / self.B
+                )
+                # ΔR under the uniform-failure expectation (always > 0)
+                if self.parallel_recovery:
+                    merged_size = len(groups[gi]) + len(groups[gi + 1])
+                    d_merged = max(1, n // merged_size)
+                    dr = merged_size / n * merged_r / d_merged
+                    dr -= len(groups[gi]) / n * self._group_time(groups, gi, times)
+                    dr -= len(groups[gi + 1]) / n * self._group_time(
+                        groups, gi + 1, times
+                    )
+                else:
+                    dr = (
+                        merged_r * (len(groups[gi]) + len(groups[gi + 1])) / n
+                        - times[gi] * len(groups[gi]) / n
+                        - times[gi + 1] * len(groups[gi + 1]) / n
+                    )
+                dm = self._boundary_bytes(groups, gi) * self.T
+                if dm <= 0:
+                    continue
+                ratio = dr / dm
+                if best_ratio is None or ratio < best_ratio:
+                    best_idx, best_ratio = gi, ratio
+            if best_idx is None:
+                break
+            gi = best_idx
+            times[gi] = (
+                times[gi] + times[gi + 1] + self._boundary_bytes(groups, gi) / self.B
+            )
+            groups[gi] = groups[gi] + groups[gi + 1]
+            del groups[gi + 1]
+            del times[gi + 1]
+
+        plan = GroupingPlan.of(groups)
+        group_times = [
+            self._group_time(groups, gi, times) for gi in range(len(groups))
+        ]
+        return PlanResult(
+            plan=plan,
+            expected_recovery_time=self._expected_recovery(groups, times),
+            storage_bytes=self._storage(groups),
+            group_recovery_times=group_times,
+        )
+
+    def sweep(self, storage_limits: list[float]) -> list[PlanResult]:
+        """Plan for each storage limit (the Figure 10 curve generator)."""
+        return [self.plan(limit) for limit in storage_limits]

@@ -1,0 +1,271 @@
+"""The tensor log: upstream, asynchronous, bubble-scheduled logging (§5.1).
+
+Senders log every *inter-machine* (and, with selective logging, inter-
+*group*) message they emit: intermediate activations in the forward pass,
+gradients in the backward pass, each with (sender, receiver, iteration,
+micro-batch, phase) metadata — the timestamp that orders replay.
+
+Three logging modes model the paper's comparison:
+
+* ``SYNC``   — ``torch.save`` before every send; the copy sits on the
+  critical path (the paper's synchronous-logging baseline, Figure 8b/c).
+* ``ASYNC``  — background copy overlapped with compute, but PCIe contention
+  still leaks into iteration time (like CheckFreq's async persist, §2.2).
+* ``BUBBLE`` — Swift's design: copies wait for pipeline bubbles; overhead
+  appears only if an iteration's log volume exceeds what PCIe can move
+  within that stage's bubble time.
+
+Garbage collection: a global checkpoint obsoletes all earlier records, so
+the log size is bounded by (checkpoint interval) × (per-iteration volume)
+— the quantity selective logging constrains (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.cluster.device import Device
+from repro.cluster.topology import Cluster
+from repro.comm.p2p import Message, Transport
+from repro.errors import LogIntegrityError
+from repro.parallel.schedules import ScheduleTiming
+
+__all__ = ["LoggingMode", "LogRecord", "GroupingPlan", "TensorLog"]
+
+
+class LoggingMode(str, Enum):
+    SYNC = "sync"
+    ASYNC = "async"
+    BUBBLE = "bubble"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logged message (raw tensor + replay-ordering metadata)."""
+
+    sender_stage: int
+    receiver_stage: int
+    sender_machine: int
+    receiver_machine: int
+    iteration: int
+    microbatch: int
+    phase: str  # "fwd" or "bwd"
+    seq: int
+    tensor: np.ndarray = field(compare=False, repr=False)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.tensor.nbytes)
+
+
+@dataclass(frozen=True)
+class GroupingPlan:
+    """Machine grouping for selective logging (§5.3).
+
+    Only messages crossing a *group* boundary are logged; with singleton
+    groups (the default) this degenerates to logging all inter-machine
+    traffic.
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+
+    @staticmethod
+    def singletons(machine_ids: list[int]) -> "GroupingPlan":
+        return GroupingPlan(tuple((m,) for m in machine_ids))
+
+    @staticmethod
+    def of(groups: list[list[int]]) -> "GroupingPlan":
+        return GroupingPlan(tuple(tuple(g) for g in groups))
+
+    def group_of(self, machine_id: int) -> int:
+        for gi, group in enumerate(self.groups):
+            if machine_id in group:
+                return gi
+        raise KeyError(f"machine {machine_id} not in any group")
+
+    def same_group(self, a: int, b: int) -> bool:
+        return self.group_of(a) == self.group_of(b)
+
+    def group_machines(self, machine_id: int) -> tuple[int, ...]:
+        return self.groups[self.group_of(machine_id)]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+
+class TensorLog:
+    """Sender-side tensor log attached to a pipeline transport."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        grouping: GroupingPlan | None = None,
+        mode: LoggingMode = LoggingMode.BUBBLE,
+        async_interference: float = 0.25,
+        precision: str = "full",
+    ):
+        if precision not in ("full", "fp16"):
+            raise ValueError(f"unknown logging precision {precision!r}")
+        self.cluster = cluster
+        self.grouping = grouping
+        self.mode = mode
+        #: "fp16" halves the logged volume at the cost of exactness —
+        #: the mixed-precision extension the paper sketches in Section 8.
+        #: Replay then recovers an approximately (not bitwise) equal state.
+        self.precision = precision
+        #: PCIe-contention leak factor for plain ASYNC mode
+        self.async_interference = async_interference
+        #: (receiver_stage, iteration, microbatch, phase) -> record
+        self._index: dict[tuple[int, int, int, str], LogRecord] = {}
+        #: per-sender-machine record keys (for failure drops and accounting)
+        self._by_machine: dict[int, list[tuple[int, int, int, str]]] = {}
+        #: bytes logged per sender stage in the current iteration
+        self._iter_bytes_by_stage: dict[int, int] = {}
+        #: total bytes logged per iteration (history for Table 3)
+        self.bytes_per_iteration: dict[int, int] = {}
+        self._uploaded_bytes = 0
+
+    # -- wiring ---------------------------------------------------------------
+    def attach(self, transport: Transport) -> None:
+        transport.add_tap(self.tap)
+
+    def should_log(self, src_machine: int, dst_machine: int) -> bool:
+        if src_machine == dst_machine:
+            return False  # GPU-to-GPU within a machine is never logged
+        if self.grouping is not None and self.grouping.same_group(
+            src_machine, dst_machine
+        ):
+            return False  # intra-group traffic skipped (selective logging)
+        return True
+
+    def tap(self, msg: Message, src_dev: Device, dst_dev: Device) -> None:
+        src_m = src_dev.machine.machine_id
+        dst_m = dst_dev.machine.machine_id
+        if not self.should_log(src_m, dst_m):
+            return
+        tensor = msg.tensor
+        if self.precision == "fp16":
+            tensor = tensor.astype(np.float16)
+        record = LogRecord(
+            sender_stage=msg.src_rank,
+            receiver_stage=msg.dst_rank,
+            sender_machine=src_m,
+            receiver_machine=dst_m,
+            iteration=msg.iteration,
+            microbatch=msg.microbatch,
+            phase=msg.phase,
+            seq=msg.seq,
+            tensor=np.array(tensor, copy=True),
+        )
+        key = (msg.dst_rank, msg.iteration, msg.microbatch, msg.phase)
+        self._index[key] = record
+        self._by_machine.setdefault(src_m, []).append(key)
+        self._iter_bytes_by_stage[msg.src_rank] = (
+            self._iter_bytes_by_stage.get(msg.src_rank, 0) + record.nbytes
+        )
+        self.bytes_per_iteration[msg.iteration] = (
+            self.bytes_per_iteration.get(msg.iteration, 0) + record.nbytes
+        )
+
+    # -- timing hook (plugged into PipelineEngine.overhead_hooks) -----------
+    def make_overhead_hook(self):
+        """Return a hook charging this iteration's logging overhead.
+
+        The hook also resets the per-iteration byte counters, so it must be
+        registered exactly once per engine.
+        """
+
+        def hook(timing: ScheduleTiming) -> tuple[str, float]:
+            pcie = self.cluster.bandwidth.pcie
+            worst = 0.0
+            for stage, nbytes in self._iter_bytes_by_stage.items():
+                copy = nbytes / pcie
+                if self.mode is LoggingMode.SYNC:
+                    overhead = copy
+                elif self.mode is LoggingMode.ASYNC:
+                    overhead = self.async_interference * copy
+                else:  # BUBBLE: only the spill beyond the bubble window
+                    bubble = (
+                        timing.stage_bubble[stage]
+                        if stage < len(timing.stage_bubble)
+                        else 0.0
+                    )
+                    overhead = max(0.0, copy - bubble)
+                worst = max(worst, overhead)
+            self._iter_bytes_by_stage.clear()
+            return ("logging", worst)
+
+        return hook
+
+    # -- queries ---------------------------------------------------------------
+    def query(
+        self, receiver_stage: int, iteration: int, microbatch: int, phase: str
+    ) -> LogRecord:
+        """Fetch the record replay needs, or fail loudly (§1: a missing
+        record makes precise recovery impossible)."""
+        key = (receiver_stage, iteration, microbatch, phase)
+        try:
+            return self._index[key]
+        except KeyError:
+            raise LogIntegrityError(
+                f"missing log record for stage {receiver_stage}, iteration "
+                f"{iteration}, microbatch {microbatch}, phase {phase!r}"
+            ) from None
+
+    def has(self, receiver_stage: int, iteration: int, microbatch: int,
+            phase: str) -> bool:
+        return (receiver_stage, iteration, microbatch, phase) in self._index
+
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self._index.values())
+
+    def records_from_machine(self, machine_id: int) -> list[LogRecord]:
+        return [self._index[k] for k in self._by_machine.get(machine_id, [])
+                if k in self._index]
+
+    # -- lifecycle -----------------------------------------------------------
+    def drop_machine(self, machine_id: int) -> int:
+        """A sender machine crashed: its log records are gone (volatile).
+
+        Returns the number of records dropped.  Replay never needs a failed
+        machine's own records (upstream backup), but cascading-failure
+        handling must know they are unavailable.
+        """
+        keys = self._by_machine.pop(machine_id, [])
+        dropped = 0
+        for key in keys:
+            if self._index.pop(key, None) is not None:
+                dropped += 1
+        return dropped
+
+    def gc(self, checkpoint_iteration: int) -> int:
+        """Drop records older than a completed global checkpoint.
+
+        Returns bytes freed.  This is what bounds log storage by the
+        checkpoint interval (§5.1 "Garbage collection").
+        """
+        freed = 0
+        doomed = [
+            k for k, r in self._index.items() if r.iteration < checkpoint_iteration
+        ]
+        for key in doomed:
+            freed += self._index[key].nbytes
+            del self._index[key]
+        for machine, keys in self._by_machine.items():
+            self._by_machine[machine] = [k for k in keys if k in self._index]
+        for it in [i for i in self.bytes_per_iteration if i < checkpoint_iteration]:
+            del self.bytes_per_iteration[it]
+        return freed
+
+    # -- recovery-time transfer accounting ------------------------------------
+    def upload_bytes_for(self, iterations: range, exclude_machine: int) -> int:
+        """Bytes surviving machines must upload to the global store."""
+        return sum(
+            r.nbytes
+            for r in self._index.values()
+            if r.iteration in iterations and r.sender_machine != exclude_machine
+        )

@@ -1,0 +1,239 @@
+"""SwiftTrainer: the user-facing orchestration loop (paper Section 6 Usage).
+
+"A user only needs to provide a user-defined function (UDF) to train for
+one iteration and specify fault tolerance and training configurations.
+Then fault tolerance is in place ... and recovery upon a failure can be
+automatically run without requiring user involvement."
+
+Here the "UDF" is the engine's ``run_iteration`` and the trainer supplies
+everything else: periodic global checkpointing (with log garbage
+collection), failure-schedule consumption, recovery dispatch, and a
+training trace that the benchmark harness turns into the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.clock import SimClock
+from repro.cluster.failures import FailureEvent, FailurePhase, FailureSchedule
+from repro.core.checkpoint import CheckpointManager, SnapshotManager
+from repro.core.detector import FailureDetector
+from repro.core.replay import LoggingRecovery
+from repro.core.replication import RecoveryReport, ReplicationRecovery
+from repro.core.tlog import GroupingPlan, LoggingMode, TensorLog
+from repro.errors import ConfigurationError, RecoveryError
+from repro.parallel.data_parallel import DataParallelEngine
+from repro.parallel.pipeline import PipelineEngine
+from repro.parallel.results import IterationResult
+
+__all__ = ["TrainerConfig", "TrainingTrace", "SwiftTrainer"]
+
+
+@dataclass
+class TrainerConfig:
+    """Fault-tolerance configuration for a training run."""
+
+    #: global checkpoint every N iterations (the catastrophic-failure net)
+    checkpoint_interval: int = 100
+    #: checkpoint at iteration 0 too (before any training)
+    checkpoint_at_start: bool = True
+    #: workers assisting each failed worker during logging replay (§5.2)
+    parallel_recovery_degree: int = 1
+    #: replacement-machine provisioning time, seconds
+    replacement_join_time: float = 5.0
+    #: "auto" picks Swift's mechanism per the engine (replication for DP,
+    #: logging for PP); "checkpoint_only" forces the global
+    #: checkpoint-restart baseline (Section 3's fallback)
+    strategy: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
+        if self.parallel_recovery_degree < 1:
+            raise ConfigurationError("parallel_recovery_degree must be >= 1")
+        if self.strategy not in ("auto", "checkpoint_only"):
+            raise ConfigurationError(f"unknown strategy {self.strategy!r}")
+
+
+@dataclass
+class TrainingTrace:
+    """Everything a benchmark needs to redraw the paper's plots."""
+
+    losses: list[float] = field(default_factory=list)
+    iteration_times: list[float] = field(default_factory=list)
+    iteration_numbers: list[int] = field(default_factory=list)
+    checkpoints: list[tuple[int, float]] = field(default_factory=list)
+    recoveries: list[RecoveryReport] = field(default_factory=list)
+    #: simulated wall-clock at the end of each completed iteration
+    wall_times: list[float] = field(default_factory=list)
+
+    def throughput(self, samples_per_iteration: int) -> list[float]:
+        """Per-iteration throughput series (samples / simulated second)."""
+        return [
+            samples_per_iteration / t if t > 0 else 0.0
+            for t in self.iteration_times
+        ]
+
+    @property
+    def total_time(self) -> float:
+        return self.wall_times[-1] if self.wall_times else 0.0
+
+
+class SwiftTrainer:
+    """Drives an engine to completion through checkpoints and failures."""
+
+    def __init__(
+        self,
+        engine: DataParallelEngine | PipelineEngine,
+        config: TrainerConfig,
+        clock: SimClock | None = None,
+        grouping: GroupingPlan | None = None,
+        logging_mode: LoggingMode = LoggingMode.BUBBLE,
+        snapshots: SnapshotManager | None = None,
+        snapshot_interval: int | None = None,
+    ):
+        self.engine = engine
+        self.config = config
+        self.clock = clock or engine.clock
+        self.cluster = engine.cluster
+        self.checkpoints = CheckpointManager(self.cluster, self.clock)
+        self.detector = FailureDetector(self.cluster.kvstore, self.clock)
+        #: optional CheckFreq/Elastic-Horovod style snapshotting baseline
+        self.snapshots = snapshots
+        self.snapshot_interval = snapshot_interval
+
+        self.is_pipeline = isinstance(engine, PipelineEngine)
+        if config.strategy == "checkpoint_only":
+            from repro.core.global_restart import GlobalCheckpointRecovery
+
+            self.tlog = None
+            if self.is_pipeline:
+                # logging disabled: the baseline does not record tensors
+                pass
+            self.recovery = GlobalCheckpointRecovery(
+                engine,
+                self.checkpoints,
+                self.detector,
+                self.clock,
+                replacement_join_time=config.replacement_join_time,
+            )
+        elif self.is_pipeline:
+            self.tlog = TensorLog(self.cluster, grouping, mode=logging_mode)
+            self.tlog.attach(engine.transport)
+            engine.overhead_hooks.append(self.tlog.make_overhead_hook())
+            self.checkpoints.post_checkpoint_hooks.append(self.tlog.gc)
+            self.recovery = LoggingRecovery(
+                engine,
+                self.tlog,
+                self.checkpoints,
+                self.detector,
+                self.clock,
+                parallel_degree=config.parallel_recovery_degree,
+                replacement_join_time=config.replacement_join_time,
+            )
+        else:
+            self.tlog = None
+            self.recovery = ReplicationRecovery(
+                engine,
+                self.detector,
+                self.clock,
+                replacement_join_time=config.replacement_join_time,
+            )
+
+    # -- checkpoint plumbing --------------------------------------------------
+    def _engine_states(self) -> dict[int, dict[str, np.ndarray]]:
+        if self.is_pipeline:
+            return self.engine.full_state()
+        return {w.rank: w.full_state() for w in self.engine.workers if w.alive}
+
+    def take_checkpoint(self) -> float:
+        """Synchronous global checkpoint of the whole job."""
+        return self.checkpoints.save_global(
+            self._engine_states(),
+            self.engine.iteration,
+            pipelined=self.is_pipeline,
+        )
+
+    def take_snapshot(self) -> None:
+        """CheckFreq/Elastic-Horovod snapshot of every shard (baseline)."""
+        assert self.snapshots is not None
+        for shard, state in self._engine_states().items():
+            if self.is_pipeline:
+                device = self.engine.stages[shard].device
+                machine = self.engine.stages[shard].machine_id
+            else:
+                device = self.engine.workers[shard].device
+                machine = self.engine.workers[shard].machine_id
+            self.snapshots.take(
+                shard, machine, state, self.engine.iteration,
+                gpu_free_bytes=device.free_bytes(),
+            )
+
+    # -- the loop -----------------------------------------------------------------
+    def train(
+        self,
+        num_iterations: int,
+        failures: FailureSchedule | None = None,
+        max_recoveries: int = 16,
+    ) -> TrainingTrace:
+        """Train to ``num_iterations``, recovering from scheduled failures."""
+        failures = failures or FailureSchedule()
+        trace = TrainingTrace()
+        recoveries = 0
+        if self.config.checkpoint_at_start and self.checkpoints.latest_iteration is None:
+            stall = self.take_checkpoint()
+            trace.checkpoints.append((self.engine.iteration, stall))
+
+        while self.engine.iteration < num_iterations:
+            it = self.engine.iteration
+            if (
+                it > 0
+                and it % self.config.checkpoint_interval == 0
+                and self.checkpoints.latest_iteration != it
+            ):
+                stall = self.take_checkpoint()
+                trace.checkpoints.append((it, stall))
+            if (
+                self.snapshots is not None
+                and self.snapshot_interval
+                and it > 0
+                and it % self.snapshot_interval == 0
+            ):
+                self.take_snapshot()
+
+            failure = self._due_failure(failures, it)
+            result: IterationResult = self.engine.run_iteration(failure=failure)
+
+            if result.failed:
+                # multiple simultaneous failures: fail the co-scheduled
+                # machines before recovery so it handles them jointly
+                # (Appendix B)
+                for phase in FailurePhase:
+                    for extra in failures.pop_due(it, phase):
+                        self.cluster.fail_machine(extra.machine_id)
+                recoveries += 1
+                if recoveries > max_recoveries:
+                    raise RecoveryError("too many recoveries; giving up")
+                report = self.recovery.recover()
+                trace.recoveries.append(report)
+                continue  # re-run the interrupted iteration
+
+            trace.losses.append(result.loss)
+            trace.iteration_times.append(result.sim_time)
+            trace.iteration_numbers.append(result.iteration)
+            trace.wall_times.append(self.clock.now)
+
+        return trace
+
+    @staticmethod
+    def _due_failure(
+        failures: FailureSchedule, iteration: int
+    ) -> FailureEvent | None:
+        for phase in FailurePhase:
+            due = failures.pop_due(iteration, phase)
+            if due:
+                return due[0]
+        return None

@@ -1,0 +1,5 @@
+"""Deterministic synthetic datasets for training and recovery replay."""
+
+from repro.data.synthetic import ClassificationTask, ImageTask, TokenTask
+
+__all__ = ["ClassificationTask", "ImageTask", "TokenTask"]

@@ -1,0 +1,89 @@
+"""Deterministic synthetic datasets (the ImageNet/Wikipedia substitutes).
+
+Logging-based replay requires the recovered worker to re-read *exactly* the
+batches consumed before the failure (paper Section 5.1, "using the same
+inputs as the pre-failure computation").  Every dataset here is a pure
+function of ``(seed, iteration)``: any worker can regenerate batch ``t``
+at any time, which is how data loading stays deterministic across recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeding import RngStream
+
+__all__ = [
+    "ClassificationTask",
+    "ImageTask",
+    "TokenTask",
+]
+
+
+class ClassificationTask:
+    """Gaussian-mixture classification over dense feature vectors."""
+
+    def __init__(self, dim: int, num_classes: int, batch_size: int, seed: int = 0,
+                 noise: float = 0.5):
+        self.dim = dim
+        self.num_classes = num_classes
+        self.batch_size = batch_size
+        self.noise = noise
+        self.rng = RngStream(seed, "cls_task")
+        gen = self.rng.generator("centers")
+        self.centers = gen.normal(0.0, 1.0, (num_classes, dim))
+
+    def batch(self, iteration: int) -> tuple[np.ndarray, np.ndarray]:
+        """Deterministic batch ``(x, y)`` for a given training iteration."""
+        gen = self.rng.generator("batch", iteration)
+        y = gen.integers(self.num_classes, size=self.batch_size)
+        x = self.centers[y] + self.noise * gen.normal(size=(self.batch_size, self.dim))
+        return x, y
+
+
+class ImageTask:
+    """Synthetic image classification: class-dependent blob patterns."""
+
+    def __init__(self, image_size: int, num_classes: int, batch_size: int,
+                 in_channels: int = 3, seed: int = 0, noise: float = 0.3):
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.batch_size = batch_size
+        self.in_channels = in_channels
+        self.noise = noise
+        self.rng = RngStream(seed, "img_task")
+        gen = self.rng.generator("templates")
+        self.templates = gen.normal(
+            0.0, 1.0, (num_classes, in_channels, image_size, image_size)
+        )
+
+    def batch(self, iteration: int) -> tuple[np.ndarray, np.ndarray]:
+        gen = self.rng.generator("batch", iteration)
+        y = gen.integers(self.num_classes, size=self.batch_size)
+        x = self.templates[y] + self.noise * gen.normal(
+            size=(self.batch_size, self.in_channels, self.image_size, self.image_size)
+        )
+        return x, y
+
+
+class TokenTask:
+    """Synthetic next-token-style task over integer sequences.
+
+    The target for each position is a fixed permutation of the input token
+    (a learnable, deterministic mapping), standing in for masked-LM /
+    span-prediction objectives.
+    """
+
+    def __init__(self, vocab_size: int, seq_len: int, batch_size: int, seed: int = 0):
+        self.vocab_size = vocab_size
+        self.seq_len = seq_len
+        self.batch_size = batch_size
+        self.rng = RngStream(seed, "tok_task")
+        gen = self.rng.generator("perm")
+        self.mapping = gen.permutation(vocab_size)
+
+    def batch(self, iteration: int) -> tuple[np.ndarray, np.ndarray]:
+        gen = self.rng.generator("batch", iteration)
+        x = gen.integers(self.vocab_size, size=(self.batch_size, self.seq_len))
+        y = self.mapping[x]
+        return x, y

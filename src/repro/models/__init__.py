@@ -1,0 +1,18 @@
+"""Benchmark model families (paper Table 2): MLP, Wide-ResNet, ViT, BERT."""
+
+from repro.models.bert import BertEmbedding, LMHead, make_bert
+from repro.models.mlp import make_mlp
+from repro.models.vit import PatchEmbedding, PoolHead, make_vit
+from repro.models.wide_resnet import BasicBlock, make_wide_resnet
+
+__all__ = [
+    "make_mlp",
+    "make_wide_resnet",
+    "BasicBlock",
+    "make_vit",
+    "PatchEmbedding",
+    "PoolHead",
+    "make_bert",
+    "BertEmbedding",
+    "LMHead",
+]

@@ -1,0 +1,80 @@
+"""BERT-style encoder — the BERT-128 pipeline workload (paper Table 2).
+
+The paper scales BERT-Large from 24 to 128 transformer layers (1.11 B
+parameters, hidden size unchanged at 1024, max sequence length 128) and
+pipelines it over 128 GPUs.  This builder produces the architecture family
+as a flat Sequential: embedding stage, ``depth`` encoder layers, and a
+token-level LM head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    PositionalEmbedding,
+    Sequential,
+    TransformerEncoderLayer,
+)
+from repro.utils.seeding import RngStream
+
+__all__ = ["BertEmbedding", "LMHead", "make_bert"]
+
+
+class BertEmbedding(Module):
+    """Token + position embedding with a final LayerNorm."""
+
+    def __init__(self, vocab_size: int, max_len: int, dim: int,
+                 rng: RngStream | None = None):
+        super().__init__()
+        rng = rng or RngStream(0, "bert_embed")
+        self.tok = Embedding(vocab_size, dim, rng=rng.child("tok"))
+        self.pos = PositionalEmbedding(max_len, dim, rng=rng.child("pos"))
+        self.norm = LayerNorm(dim)
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        return self.norm(self.pos(self.tok(ids)))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.tok.backward(self.pos.backward(self.norm.backward(grad_out)))
+
+
+class LMHead(Module):
+    """Per-token classification head: (B, T, H) → (B, T, vocab)."""
+
+    def __init__(self, dim: int, vocab_size: int, rng: RngStream | None = None):
+        super().__init__()
+        rng = rng or RngStream(0, "lm_head")
+        self.norm = LayerNorm(dim)
+        self.fc = Linear(dim, vocab_size, rng=rng.child("fc"))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc(self.norm(x))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.norm.backward(self.fc.backward(grad_out))
+
+
+def make_bert(
+    vocab_size: int = 64,
+    max_len: int = 16,
+    dim: int = 32,
+    depth: int = 4,
+    num_heads: int = 4,
+    seed: int = 0,
+) -> Sequential:
+    """Build a BERT-style encoder as a flat, partitionable Sequential."""
+    rng = RngStream(seed, "bert")
+    layers: list[Module] = [
+        BertEmbedding(vocab_size, max_len, dim, rng=rng.child("embed"))
+    ]
+    for i in range(depth):
+        layers.append(
+            TransformerEncoderLayer(dim, num_heads, rng=rng.child("layer", i))
+        )
+    layers.append(LMHead(dim, vocab_size, rng=rng.child("head")))
+    return Sequential(layers)

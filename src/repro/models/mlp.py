@@ -1,0 +1,30 @@
+"""Simple MLP — the smoke-test model for engines and recovery paths."""
+
+from __future__ import annotations
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.utils.seeding import RngStream
+
+__all__ = ["make_mlp"]
+
+
+def make_mlp(
+    in_dim: int,
+    hidden_dim: int,
+    out_dim: int,
+    depth: int = 2,
+    seed: int = 0,
+) -> Sequential:
+    """Build an MLP with ``depth`` hidden layers as a flat Sequential.
+
+    The flat layer list makes it directly partitionable into pipeline
+    stages, which is why tests use it to exercise the pipeline engine.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    rng = RngStream(seed, "mlp")
+    layers = [Linear(in_dim, hidden_dim, rng=rng.child("in")), ReLU()]
+    for i in range(depth - 1):
+        layers += [Linear(hidden_dim, hidden_dim, rng=rng.child("hidden", i)), ReLU()]
+    layers.append(Linear(hidden_dim, out_dim, rng=rng.child("out")))
+    return Sequential(layers)

@@ -1,0 +1,110 @@
+"""Vision Transformer — the ViT-128/32 pipeline workload (paper Table 2).
+
+The paper scales ViT-Large/32 from 24 to 128 transformer layers (1.64 B
+parameters) and pipelines it over 128 GPUs, one layer per stage.  This
+builder produces the same shape family: a patch-embedding stage, ``depth``
+transformer layers, and a classification head, as a flat Sequential that
+the pipeline partitioner can split at layer boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    LayerNorm,
+    Linear,
+    Module,
+    PositionalEmbedding,
+    Sequential,
+    TransformerEncoderLayer,
+)
+from repro.utils.seeding import RngStream
+
+__all__ = ["PatchEmbedding", "PoolHead", "make_vit"]
+
+
+class PatchEmbedding(Module):
+    """Flatten image patches and project them to the model dimension.
+
+    Input ``(B, C, H, W)`` with ``H, W`` divisible by ``patch``; output
+    ``(B, T, dim)`` with ``T = (H/patch) * (W/patch)`` (ViT-/32 with 224px
+    inputs gives T = 49, the sequence length behind Table 3's numbers).
+    """
+
+    def __init__(self, in_channels: int, patch: int, dim: int,
+                 rng: RngStream | None = None):
+        super().__init__()
+        self.patch = patch
+        self.in_channels = in_channels
+        self.proj = Linear(in_channels * patch * patch, dim,
+                           rng=(rng or RngStream(0, "patch")).child("proj"))
+        self._x_shape: tuple[int, ...] | None = None
+
+    def _to_patches(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        p = self.patch
+        gh, gw = h // p, w // p
+        x = x.reshape(n, c, gh, p, gw, p)
+        return x.transpose(0, 2, 4, 1, 3, 5).reshape(n, gh * gw, c * p * p)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if h % self.patch or w % self.patch:
+            raise ValueError(f"image {h}x{w} not divisible by patch {self.patch}")
+        self._x_shape = x.shape
+        return self.proj(self._to_patches(x))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x_shape is not None
+        g = self.proj.backward(grad_out)
+        n, c, h, w = self._x_shape
+        p = self.patch
+        gh, gw = h // p, w // p
+        g = g.reshape(n, gh, gw, c, p, p)
+        return g.transpose(0, 3, 1, 4, 2, 5).reshape(n, c, h, w)
+
+
+class PoolHead(Module):
+    """Mean-pool over tokens then classify: (B, T, H) → (B, classes)."""
+
+    def __init__(self, dim: int, num_classes: int, rng: RngStream | None = None):
+        super().__init__()
+        self.norm = LayerNorm(dim)
+        self.fc = Linear(dim, num_classes,
+                         rng=(rng or RngStream(0, "head")).child("fc"))
+        self._tokens: int | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._tokens = x.shape[1]
+        return self.fc(self.norm(x).mean(axis=1))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._tokens is not None
+        g = self.fc.backward(grad_out)
+        g = np.repeat(g[:, None, :], self._tokens, axis=1) / self._tokens
+        return self.norm.backward(g)
+
+
+def make_vit(
+    image_size: int = 16,
+    patch: int = 8,
+    dim: int = 32,
+    depth: int = 4,
+    num_heads: int = 4,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    seed: int = 0,
+) -> Sequential:
+    """Build a ViT as a flat, pipeline-partitionable Sequential."""
+    rng = RngStream(seed, "vit")
+    layers: list[Module] = [
+        PatchEmbedding(in_channels, patch, dim, rng=rng.child("patch")),
+        PositionalEmbedding((image_size // patch) ** 2, dim, rng=rng.child("pos")),
+    ]
+    for i in range(depth):
+        layers.append(
+            TransformerEncoderLayer(dim, num_heads, rng=rng.child("layer", i))
+        )
+    layers.append(PoolHead(dim, num_classes, rng=rng.child("head")))
+    return Sequential(layers)

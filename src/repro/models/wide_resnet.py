@@ -1,0 +1,112 @@
+"""Wide-ResNet — the data-parallel workload (paper Table 2).
+
+The paper enlarges Wide-ResNet-50 to 1.23 B parameters by raising the base
+channel width from 64 to 320 and trains it with pure data parallelism.
+Here we provide the same architecture family at configurable width/depth:
+paper-scale configs are consumed analytically by the cost model, while
+small widths train for real in tests and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.seeding import RngStream
+
+__all__ = ["BasicBlock", "make_wide_resnet"]
+
+
+class BasicBlock(Module):
+    """Pre-activation residual block: BN-ReLU-Conv ×2 with skip connection."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: RngStream | None = None,
+    ):
+        super().__init__()
+        rng = rng or RngStream(0, "block")
+        self.bn1 = BatchNorm2d(in_channels)
+        self.relu1 = ReLU()
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False,
+            rng=rng.child("conv1"),
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+        self.conv2 = Conv2d(
+            out_channels, out_channels, 3, stride=1, padding=1, bias=False,
+            rng=rng.child("conv2"),
+        )
+        self.shortcut: Conv2d | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Conv2d(
+                in_channels, out_channels, 1, stride=stride, bias=False,
+                rng=rng.child("shortcut"),
+            )
+        self._pre: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        pre = self.relu1(self.bn1(x))
+        self._pre = pre
+        out = self.conv2(self.relu2(self.bn2(self.conv1(pre))))
+        skip = self.shortcut(pre) if self.shortcut is not None else x
+        return out + skip
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g_main = self.conv1.backward(
+            self.bn2.backward(self.relu2.backward(self.conv2.backward(grad_out)))
+        )
+        if self.shortcut is not None:
+            g_pre = g_main + self.shortcut.backward(grad_out)
+            return self.bn1.backward(self.relu1.backward(g_pre))
+        g_x = self.bn1.backward(self.relu1.backward(g_main))
+        return g_x + grad_out
+
+
+def make_wide_resnet(
+    num_classes: int = 10,
+    base_channels: int = 16,
+    blocks_per_group: int = 1,
+    in_channels: int = 3,
+    seed: int = 0,
+) -> Sequential:
+    """Wide-ResNet with three resolution groups (widths c, 2c, 4c).
+
+    ``base_channels=320`` with ImageNet-style depth corresponds to the
+    paper's enlarged Wide-ResNet-50; tests use small widths.
+    """
+    rng = RngStream(seed, "wrn")
+    layers: list[Module] = [
+        Conv2d(in_channels, base_channels, 3, padding=1, bias=False,
+               rng=rng.child("stem"))
+    ]
+    channels = base_channels
+    for group, width_mult in enumerate((1, 2, 4)):
+        out_ch = base_channels * width_mult
+        for block in range(blocks_per_group):
+            stride = 2 if (group > 0 and block == 0) else 1
+            layers.append(
+                BasicBlock(channels, out_ch, stride, rng=rng.child("g", group, block))
+            )
+            channels = out_ch
+    layers += [
+        BatchNorm2d(channels),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Flatten(),
+        Linear(channels, num_classes, rng=rng.child("head")),
+    ]
+    return Sequential(layers)

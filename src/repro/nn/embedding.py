@@ -1,0 +1,69 @@
+"""Token and position embeddings for transformer workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.utils.seeding import RngStream
+
+__all__ = ["Embedding", "PositionalEmbedding"]
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids ``(B, T)`` to ``(B, T, H)``."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: RngStream | None = None):
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.dim = dim
+        gen = (rng or RngStream(0, "embedding")).generator("weight")
+        self.weight = self.register_parameter(
+            "weight", Parameter(gen.normal(0.0, 0.02, (vocab_size, dim)))
+        )
+        self._ids: np.ndarray | None = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.min() < 0 or ids.max() >= self.vocab_size:
+            raise ValueError("token id out of range")
+        self._ids = ids
+        return self.weight.data[ids]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._ids is not None
+        grad = np.zeros_like(self.weight.data)
+        np.add.at(grad, self._ids.reshape(-1), grad_out.reshape(-1, self.dim))
+        self.weight.accumulate_grad(grad)
+        # token ids are not differentiable; return zeros of the id shape
+        return np.zeros(self._ids.shape)
+
+
+class PositionalEmbedding(Module):
+    """Learned absolute position embedding added to a ``(B, T, H)`` input."""
+
+    def __init__(self, max_len: int, dim: int, rng: RngStream | None = None):
+        super().__init__()
+        self.max_len = max_len
+        self.dim = dim
+        gen = (rng or RngStream(0, "pos_embedding")).generator("weight")
+        self.weight = self.register_parameter(
+            "weight", Parameter(gen.normal(0.0, 0.02, (max_len, dim)))
+        )
+        self._seq_len: int | None = None
+        self._batch: int | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        _, t, _ = x.shape
+        if t > self.max_len:
+            raise ValueError(f"sequence length {t} exceeds max_len {self.max_len}")
+        self._seq_len = t
+        self._batch = x.shape[0]
+        return x + self.weight.data[None, :t, :]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._seq_len is not None
+        grad = np.zeros_like(self.weight.data)
+        grad[: self._seq_len] = grad_out.sum(axis=0)
+        self.weight.accumulate_grad(grad)
+        return grad_out

@@ -1,0 +1,57 @@
+"""Fully-connected layer with exact manual backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.utils.seeding import RngStream
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` over the trailing dimension.
+
+    Accepts inputs of shape ``(..., in_features)``; leading dimensions are
+    treated as batch axes (needed for transformer inputs ``(B, T, H)``).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: RngStream | None = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        gen = (rng or RngStream(0, "linear")).generator("weight")
+        bound = 1.0 / np.sqrt(in_features)
+        self.weight = self.register_parameter(
+            "weight", Parameter(gen.uniform(-bound, bound, (out_features, in_features)))
+        )
+        self.bias = (
+            self.register_parameter("bias", Parameter(np.zeros(out_features)))
+            if bias
+            else None
+        )
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        y = x @ self.weight.data.T
+        if self.bias is not None:
+            y = y + self.bias.data
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward called before forward"
+        x = self._x
+        x2d = x.reshape(-1, self.in_features)
+        g2d = grad_out.reshape(-1, self.out_features)
+        self.weight.accumulate_grad(g2d.T @ x2d)
+        if self.bias is not None:
+            self.bias.accumulate_grad(g2d.sum(axis=0))
+        return (grad_out @ self.weight.data).reshape(x.shape)

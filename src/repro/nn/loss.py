@@ -1,0 +1,66 @@
+"""Loss functions returning (loss value, input gradient)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import softmax
+
+__all__ = ["CrossEntropyLoss", "MSELoss"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over the trailing class dimension.
+
+    Accepts logits of shape ``(B, C)`` or ``(B, T, C)`` with integer targets
+    of the leading shape.  ``backward`` returns the gradient w.r.t. logits
+    already divided by the number of target elements (mean reduction).
+    """
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.int64)
+        probs = softmax(logits, axis=-1)
+        flat_p = probs.reshape(-1, logits.shape[-1])
+        flat_t = targets.reshape(-1)
+        self._cache = (probs, targets)
+        picked = flat_p[np.arange(flat_t.size), flat_t]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    __call__ = forward
+
+    def backward(self) -> np.ndarray:
+        assert self._cache is not None, "backward called before forward"
+        probs, targets = self._cache
+        grad = probs.copy()
+        flat_g = grad.reshape(-1, grad.shape[-1])
+        flat_t = targets.reshape(-1)
+        flat_g[np.arange(flat_t.size), flat_t] -= 1.0
+        return grad / flat_t.size
+
+    def accuracy(self) -> float:
+        """Fraction of targets where the argmax class is correct."""
+        assert self._cache is not None
+        probs, targets = self._cache
+        pred = probs.argmax(axis=-1)
+        return float((pred == targets).mean())
+
+
+class MSELoss:
+    """Mean squared error with mean reduction."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._cache = (pred, np.asarray(target, dtype=np.float64))
+        return float(np.mean((pred - self._cache[1]) ** 2))
+
+    __call__ = forward
+
+    def backward(self) -> np.ndarray:
+        assert self._cache is not None
+        pred, target = self._cache
+        return 2.0 * (pred - target) / pred.size

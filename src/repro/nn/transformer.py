@@ -1,0 +1,65 @@
+"""Transformer encoder layer — the unit of pipeline partitioning.
+
+In the paper's large-model experiments each transformer layer occupies one
+GPU ("we use a 128-stage pipeline ... with each transformer layer occupying
+one GPU"), so this module is exactly one pipeline stage of the BERT-128 and
+ViT-128/32 workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import GELU
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.normalization import LayerNorm
+from repro.utils.seeding import RngStream
+
+__all__ = ["TransformerEncoderLayer", "MLPBlock"]
+
+
+class MLPBlock(Module):
+    """Position-wise feed-forward block: Linear → GELU → Linear."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: RngStream | None = None):
+        super().__init__()
+        rng = rng or RngStream(0, "mlp")
+        self.fc1 = Linear(dim, hidden_dim, rng=rng.child("fc1"))
+        self.act = GELU()
+        self.fc2 = Linear(hidden_dim, dim, rng=rng.child("fc2"))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc2(self.act(self.fc1(x)))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.fc1.backward(self.act.backward(self.fc2.backward(grad_out)))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer layer: x + MHSA(LN(x)); x + MLP(LN(x))."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        mlp_ratio: float = 4.0,
+        rng: RngStream | None = None,
+    ):
+        super().__init__()
+        rng = rng or RngStream(0, "transformer_layer")
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, rng=rng.child("attn"))
+        self.norm2 = LayerNorm(dim)
+        self.mlp = MLPBlock(dim, int(dim * mlp_ratio), rng=rng.child("mlp"))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = grad_out + self.norm2.backward(self.mlp.backward(grad_out))
+        g = g + self.norm1.backward(self.attn.backward(g))
+        return g

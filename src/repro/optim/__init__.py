@@ -1,0 +1,46 @@
+"""Optimizers with invertible updates (update-undo, paper Section 4).
+
+Every optimizer implements ``step`` / ``step_param`` and — where Table 1
+permits — ``undo`` / ``undo_param`` that exactly inverts the latest update
+using the cached gradient.
+"""
+
+from repro.optim.adam import Adam, AdamW
+from repro.optim.amsgrad import AMSGrad
+from repro.optim.base import Optimizer
+from repro.optim.lamb import LAMB
+from repro.optim.ops import (
+    OPERATORS,
+    OPTIMIZER_OPERATORS,
+    OperatorInfo,
+    optimizer_invertible,
+    table1_rows,
+)
+from repro.optim.schedulers import (
+    ConstantLR,
+    CosineLR,
+    LRScheduler,
+    StepDecayLR,
+    WarmupLR,
+)
+from repro.optim.sgd import SGD, SGDMomentum
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "SGDMomentum",
+    "Adam",
+    "AdamW",
+    "LAMB",
+    "AMSGrad",
+    "LRScheduler",
+    "ConstantLR",
+    "StepDecayLR",
+    "CosineLR",
+    "WarmupLR",
+    "OperatorInfo",
+    "OPERATORS",
+    "OPTIMIZER_OPERATORS",
+    "optimizer_invertible",
+    "table1_rows",
+]

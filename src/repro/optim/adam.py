@@ -1,0 +1,142 @@
+"""Adam and AdamW with exact undo (paper Algorithms 5-8)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module, Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Adam with L2 regularization folded into the gradient (Algorithm 5).
+
+    Undo (Algorithm 6) first recovers ``x_t`` from the bias-corrected
+    moments, then re-derives ``g'_t = g_t + wd * x_t`` to rewind the moment
+    estimates.  ``beta1 == 0`` or ``beta2 == 0`` would make the respective
+    moment rewind a division by zero, so they are rejected at construction.
+    """
+
+    def __init__(
+        self,
+        params: Module | Iterable[tuple[str, Parameter]],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 < beta1 < 1.0 and 0.0 < beta2 < 1.0):
+            raise ConfigurationError(
+                f"betas must lie in (0, 1) for an invertible Adam, got {betas}"
+            )
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+
+    def _direction(self, name: str, t: int) -> np.ndarray:
+        """Bias-corrected update direction ``m_hat / (sqrt(v_hat) + eps)``."""
+        m = self.state[name]["m"]
+        v = self.state[name]["v"]
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        m = self._slot(name, "m", param.data)
+        v = self._slot(name, "v", param.data)
+        g = grad + self.weight_decay * param.data
+        m *= self.beta1
+        m += (1.0 - self.beta1) * g
+        v *= self.beta2
+        v += (1.0 - self.beta2) * g**2
+        t = self.step_counts[name]
+        param.data -= self.lr * self._direction(name, t)
+
+    def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        lr = self.undo_journal[name]["lr"]
+        t = self.step_counts[name]
+        # x_t = x_{t+1} + lr * m_hat / (sqrt(v_hat) + eps)
+        param.data += lr * self._direction(name, t)
+        g = grad + self.weight_decay * param.data
+        m = self.state[name]["m"]
+        v = self.state[name]["v"]
+        m -= (1.0 - self.beta1) * g
+        m /= self.beta1
+        v -= (1.0 - self.beta2) * g**2
+        v /= self.beta2
+
+
+class AdamW(Optimizer):
+    """AdamW: decoupled weight decay (Algorithm 7) with undo (Algorithm 8).
+
+    Update::
+
+        m_t = b1*m + (1-b1)*g;  v_t = b2*v + (1-b2)*g^2
+        x_{t+1} = x_t - lr * (m_hat/(sqrt(v_hat)+eps) + wd * x_t)
+
+    Undo::
+
+        x_t = (x_{t+1} + lr * m_hat/(sqrt(v_hat)+eps)) / (1 - lr*wd)
+        m_{t-1} = (m_t - (1-b1)*g)/b1;  v_{t-1} = (v_t - (1-b2)*g^2)/b2
+    """
+
+    def __init__(
+        self,
+        params: Module | Iterable[tuple[str, Parameter]],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 < beta1 < 1.0 and 0.0 < beta2 < 1.0):
+            raise ConfigurationError(
+                f"betas must lie in (0, 1) for an invertible AdamW, got {betas}"
+            )
+        if lr * weight_decay >= 1.0:
+            raise ConfigurationError(
+                "lr * weight_decay >= 1 makes the AdamW update non-invertible"
+            )
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+
+    def _direction(self, name: str, t: int) -> np.ndarray:
+        m = self.state[name]["m"]
+        v = self.state[name]["v"]
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        m = self._slot(name, "m", param.data)
+        v = self._slot(name, "v", param.data)
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad**2
+        t = self.step_counts[name]
+        param.data -= self.lr * (
+            self._direction(name, t) + self.weight_decay * param.data
+        )
+
+    def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        lr = self.undo_journal[name]["lr"]
+        t = self.step_counts[name]
+        param.data = (param.data + lr * self._direction(name, t)) / (
+            1.0 - lr * self.weight_decay
+        )
+        m = self.state[name]["m"]
+        v = self.state[name]["v"]
+        m -= (1.0 - self.beta1) * grad
+        m /= self.beta1
+        v -= (1.0 - self.beta2) * grad**2
+        v /= self.beta2

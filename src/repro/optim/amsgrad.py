@@ -1,0 +1,61 @@
+"""AMSGrad — the deliberately non-invertible optimizer (paper Table 1).
+
+AMSGrad keeps ``v_hat_t = max(v_hat_{t-1}, v_t)``.  The element-wise maximum
+destroys information (when the max is the old value, ``v_t``'s contribution
+is unrecoverable... and when it's the new one, the old is), so update-undo
+is *not applicable* and :meth:`undo_param` raises
+:class:`~repro.errors.NotInvertibleError`.  Swift falls back to snapshot or
+checkpoint-based consistency for such optimizers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module, Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["AMSGrad"]
+
+
+class AMSGrad(Optimizer):
+    """Adam variant with a running maximum of the second moment."""
+
+    invertible = False
+
+    def __init__(
+        self,
+        params: Module | Iterable[tuple[str, Parameter]],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigurationError(f"betas must lie in [0, 1), got {betas}")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+
+    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        m = self._slot(name, "m", param.data)
+        v = self._slot(name, "v", param.data)
+        v_max = self._slot(name, "v_max", param.data)
+        g = grad + self.weight_decay * param.data
+        m *= self.beta1
+        m += (1.0 - self.beta1) * g
+        v *= self.beta2
+        v += (1.0 - self.beta2) * g**2
+        np.maximum(v_max, v, out=v_max)  # the non-invertible EW-max
+        t = self.step_counts[name]
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v_max / (1.0 - self.beta2**t)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        raise AssertionError("unreachable: guarded by invertible=False")

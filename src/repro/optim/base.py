@@ -1,0 +1,153 @@
+"""Optimizer base class with an invertible-update contract.
+
+Swift's update-undo (paper Section 4) relies on optimizers being
+*mathematically invertible*: for the update ``f`` there exists ``f⁻¹`` that
+recovers ``(x_t, state_{t-1})`` from ``(x_{t+1}, state_t, g_t)``.  Every
+optimizer here therefore implements both :meth:`step_param` and
+:meth:`undo_param`.  The undo path uses the gradient still cached in
+``Parameter.grad`` — exactly the "cache the latest gradients" observation
+the paper makes about mainstream DL frameworks.
+
+Updates are *per parameter* so that engines can model wait-free layer-wise
+updates (Section 2.3): a crash between two ``step_param`` calls leaves the
+model in the inconsistent state that update-undo then repairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import NotInvertibleError, ShapeError
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base optimizer over named parameters.
+
+    Parameters
+    ----------
+    params:
+        A :class:`~repro.nn.Module` or an iterable of ``(name, Parameter)``
+        pairs.  Parameters with ``requires_grad=False`` (e.g. batch-norm
+        running statistics) are excluded from updates.
+    lr:
+        Learning rate.  May be changed between iterations; the value used at
+        each step is journaled per-parameter so undo applies the right one.
+    """
+
+    #: Whether :meth:`undo_param` is implemented (Table 1).
+    invertible: bool = True
+
+    def __init__(self, params: Module | Iterable[tuple[str, Parameter]], lr: float):
+        if isinstance(params, Module):
+            named = list(params.named_parameters())
+        else:
+            named = list(params)
+        self.params: dict[str, Parameter] = {
+            name: p for name, p in named if p.requires_grad
+        }
+        if not self.params:
+            raise ShapeError("optimizer constructed with no trainable parameters")
+        self.lr = float(lr)
+        #: per-parameter update count (the ``t`` in the algorithms)
+        self.step_counts: dict[str, int] = {name: 0 for name in self.params}
+        #: per-parameter slot tensors (momentum, moments, ...)
+        self.state: dict[str, dict[str, np.ndarray]] = {
+            name: {} for name in self.params
+        }
+        #: per-parameter journal of scalars needed by undo (lr used, trust
+        #: ratios, ...) — only the *latest* step is kept, matching the
+        #: single-gradient-version memory budget of Section 4.
+        self.undo_journal: dict[str, dict[str, float]] = {
+            name: {} for name in self.params
+        }
+
+    # -- single-parameter update/undo (implemented by subclasses) ----------
+    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    # -- public API ----------------------------------------------------------
+    def step_param(self, name: str) -> None:
+        """Apply the update to one parameter using its cached gradient."""
+        param = self.params[name]
+        if param.grad is None:
+            raise ShapeError(f"parameter {name!r} has no gradient")
+        self.step_counts[name] += 1
+        self.undo_journal[name]["lr"] = self.lr
+        self._update(name, param, param.grad)
+
+    def step(self, order: Iterable[str] | None = None) -> list[str]:
+        """Update every parameter (optionally in a given order).
+
+        Returns the list of parameter names in update order — engines use
+        this to mark parameters updated for crash-consistency bookkeeping.
+        """
+        names = list(order) if order is not None else list(self.params)
+        for name in names:
+            self.step_param(name)
+        return names
+
+    def undo_param(self, name: str) -> None:
+        """Invert the most recent update of one parameter.
+
+        Requires ``Parameter.grad`` to still hold the gradient ``g_t`` used
+        by that update.
+        """
+        if not self.invertible:
+            raise NotInvertibleError(
+                f"{type(self).__name__} uses non-invertible operators and "
+                "cannot undo updates (paper Table 1)"
+            )
+        param = self.params[name]
+        if param.grad is None:
+            raise ShapeError(f"parameter {name!r} has no cached gradient to undo with")
+        if self.step_counts[name] <= 0:
+            raise NotInvertibleError(f"parameter {name!r} has no update to undo")
+        self._undo(name, param, param.grad)
+        self.step_counts[name] -= 1
+
+    def undo(self, names: Iterable[str] | None = None) -> list[str]:
+        """Undo the latest update of the given parameters (default: all)."""
+        names = list(names) if names is not None else list(self.params)
+        for name in names:
+            self.undo_param(name)
+        return names
+
+    # -- checkpointable state --------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flatten optimizer state (slots + step counts) into arrays.
+
+        Together with the model state dict this forms the *model state* the
+        paper protects: "parameters and optimizer states".
+        """
+        out: dict[str, np.ndarray] = {}
+        for name, slots in self.state.items():
+            for slot, arr in slots.items():
+                out[f"{name}::{slot}"] = np.array(arr, copy=True)
+            out[f"{name}::step"] = np.array(self.step_counts[name], dtype=np.int64)
+        return out
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> None:
+        for key, arr in state.items():
+            name, slot = key.rsplit("::", 1)
+            if name not in self.params:
+                raise ShapeError(f"unknown parameter {name!r} in optimizer state")
+            if slot == "step":
+                self.step_counts[name] = int(arr)
+            else:
+                self.state[name][slot] = np.array(arr, dtype=np.float64, copy=True)
+
+    # -- helpers for subclasses ---------------------------------------------
+    def _slot(self, name: str, slot: str, like: np.ndarray) -> np.ndarray:
+        """Fetch (or zero-initialize) a per-parameter state tensor."""
+        slots = self.state[name]
+        if slot not in slots:
+            slots[slot] = np.zeros_like(like)
+        return slots[slot]

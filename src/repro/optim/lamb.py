@@ -1,0 +1,100 @@
+"""LAMB optimizer with scalar-journal undo.
+
+LAMB scales the Adam direction by a layer-wise trust ratio
+``phi(||x_t||) / ||r_t||`` — a *non-linear* operator.  As the paper notes
+(Section 4): "For the LAMB optimizer, we can additionally save the L2 norm
+(a scalar), and recover the previous model state accordingly."  We journal
+the trust ratio actually applied at each step (one float per parameter),
+which makes the update affine in ``x_t`` and therefore invertible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module, Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["LAMB"]
+
+
+class LAMB(Optimizer):
+    """Layer-wise Adaptive Moments for Batch training (You et al., 2020).
+
+    Update::
+
+        m_t = b1*m + (1-b1)*g;  v_t = b2*v + (1-b2)*g^2
+        r_t = m_hat/(sqrt(v_hat)+eps) + wd * x_t
+        trust = ||x_t|| / ||r_t||       (1 when either norm is 0)
+        x_{t+1} = x_t - lr * trust * r_t
+
+    Undo (with journaled ``trust``)::
+
+        a   = m_hat/(sqrt(v_hat)+eps)
+        x_t = (x_{t+1} + lr*trust*a) / (1 - lr*trust*wd)
+        m/v rewound as in Adam (decay folded into r, not g)
+    """
+
+    def __init__(
+        self,
+        params: Module | Iterable[tuple[str, Parameter]],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-6,
+        weight_decay: float = 0.01,
+    ):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 < beta1 < 1.0 and 0.0 < beta2 < 1.0):
+            raise ConfigurationError(
+                f"betas must lie in (0, 1) for an invertible LAMB, got {betas}"
+            )
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+
+    def _adam_direction(self, name: str, t: int) -> np.ndarray:
+        m = self.state[name]["m"]
+        v = self.state[name]["v"]
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        m = self._slot(name, "m", param.data)
+        v = self._slot(name, "v", param.data)
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad**2
+        t = self.step_counts[name]
+        r = self._adam_direction(name, t) + self.weight_decay * param.data
+        x_norm = float(np.linalg.norm(param.data))
+        r_norm = float(np.linalg.norm(r))
+        trust = x_norm / r_norm if x_norm > 0.0 and r_norm > 0.0 else 1.0
+        if self.lr * trust * self.weight_decay >= 1.0:
+            raise ConfigurationError(
+                "lr * trust * weight_decay >= 1 makes this LAMB step non-invertible"
+            )
+        # The scalar journal entry is the paper's "save the L2 norm" trick.
+        self.undo_journal[name]["trust"] = trust
+        param.data -= self.lr * trust * r
+
+    def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
+        journal = self.undo_journal[name]
+        lr = journal["lr"]
+        trust = journal["trust"]
+        t = self.step_counts[name]
+        a = self._adam_direction(name, t)
+        param.data = (param.data + lr * trust * a) / (
+            1.0 - lr * trust * self.weight_decay
+        )
+        m = self.state[name]["m"]
+        v = self.state[name]["v"]
+        m -= (1.0 - self.beta1) * grad
+        m /= self.beta1
+        v -= (1.0 - self.beta2) * grad**2
+        v /= self.beta2

@@ -1,0 +1,73 @@
+"""Operator inventory of representative optimizers (paper Table 1).
+
+The table classifies the primitive operators each optimizer applies during
+its update and whether each operator is invertible.  Swift's strategy layer
+consults :func:`optimizer_invertible` when deciding whether update-undo is
+applicable at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "OperatorInfo",
+    "OPERATORS",
+    "OPTIMIZER_OPERATORS",
+    "optimizer_invertible",
+    "table1_rows",
+]
+
+
+@dataclass(frozen=True)
+class OperatorInfo:
+    """A primitive update operator and whether it can be undone."""
+
+    name: str
+    invertible: bool
+    note: str = ""
+
+
+#: The operator universe of Table 1.
+OPERATORS: dict[str, OperatorInfo] = {
+    "ew_add": OperatorInfo("EW add", True, "element-wise addition"),
+    "scalar_mul": OperatorInfo("scalar mul", True, "multiplication by a scalar"),
+    "ew_mul": OperatorInfo("EW mul", True, "element-wise multiplication"),
+    "ew_sqrt": OperatorInfo("EW sqrt", True, "element-wise square root (v >= 0)"),
+    "ew_div": OperatorInfo("EW div", True, "element-wise division"),
+    "ew_max": OperatorInfo("EW-max", False, "running maximum loses information"),
+    "sum": OperatorInfo("sum", True, "reduction used by L2 norms; invertible "
+                        "once the scalar result is journaled"),
+}
+
+#: Which operators each optimizer uses (Table 1 columns).
+OPTIMIZER_OPERATORS: dict[str, tuple[str, ...]] = {
+    "SGD": ("ew_add", "scalar_mul"),
+    "Adam": ("ew_add", "scalar_mul", "ew_mul", "ew_sqrt", "ew_div"),
+    "AdamW": ("ew_add", "scalar_mul", "ew_mul", "ew_sqrt", "ew_div"),
+    "LAMB": ("ew_add", "scalar_mul", "ew_mul", "ew_sqrt", "ew_div", "sum"),
+    "AMSGrad": ("ew_add", "scalar_mul", "ew_mul", "ew_sqrt", "ew_div", "ew_max"),
+}
+
+
+def optimizer_invertible(optimizer_name: str) -> bool:
+    """True iff every operator the optimizer uses is invertible."""
+    try:
+        ops = OPTIMIZER_OPERATORS[optimizer_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown optimizer {optimizer_name!r}; known: "
+            f"{sorted(OPTIMIZER_OPERATORS)}"
+        ) from None
+    return all(OPERATORS[op].invertible for op in ops)
+
+
+def table1_rows() -> list[dict[str, object]]:
+    """Render Table 1 as a list of row dicts (one per operator)."""
+    rows = []
+    for op_key, info in OPERATORS.items():
+        row: dict[str, object] = {"operator": info.name, "invertible": info.invertible}
+        for opt, ops in OPTIMIZER_OPERATORS.items():
+            row[opt] = op_key in ops
+        rows.append(row)
+    return rows

@@ -1,0 +1,112 @@
+"""Learning-rate schedulers compatible with update-undo.
+
+Undo must apply the learning rate *of the step being undone*, not the
+current one — the optimizer journals the lr per step (see
+:class:`~repro.optim.base.Optimizer`), so schedulers compose freely with
+Swift's recovery.  Recovery replays also re-drive the scheduler from the
+checkpointed step count, keeping lr sequences deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.optim.base import Optimizer
+
+__all__ = ["LRScheduler", "ConstantLR", "StepDecayLR", "CosineLR", "WarmupLR"]
+
+
+class LRScheduler:
+    """Base scheduler: computes lr(t) and pushes it into the optimizer.
+
+    Call :meth:`step` once per iteration *before* ``optimizer.step()``.
+    ``t`` starts at 0 and may be rewound (recovery calls :meth:`rewind_to`)
+    — the schedule is a pure function of ``t``, so rewinding is exact.
+    """
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.t = 0
+        self.base_lr = optimizer.lr
+
+    def lr_at(self, t: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        lr = self.lr_at(self.t)
+        self.optimizer.lr = lr
+        self.t += 1
+        return lr
+
+    def rewind_to(self, t: int) -> None:
+        """Reset the schedule position (used by recovery replay)."""
+        if t < 0:
+            raise ConfigurationError("cannot rewind before step 0")
+        self.t = t
+        self.optimizer.lr = self.lr_at(t) if t > 0 else self.base_lr
+
+    def state_dict(self) -> dict:
+        return {"t": self.t, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.t = int(state["t"])
+        self.base_lr = float(state["base_lr"])
+
+
+class ConstantLR(LRScheduler):
+    """lr(t) = base_lr."""
+
+    def lr_at(self, t: int) -> float:
+        return self.base_lr
+
+
+class StepDecayLR(LRScheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` iterations."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ConfigurationError("step_size must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigurationError("gamma must lie in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, t: int) -> float:
+        return self.base_lr * self.gamma ** (t // self.step_size)
+
+
+class CosineLR(LRScheduler):
+    """Cosine annealing from base_lr to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_steps < 1:
+            raise ConfigurationError("total_steps must be >= 1")
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, t: int) -> float:
+        progress = min(t / self.total_steps, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupLR(LRScheduler):
+    """Linear warm-up to base_lr, then delegate to an inner schedule."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int,
+                 after: LRScheduler | None = None):
+        super().__init__(optimizer)
+        if warmup_steps < 1:
+            raise ConfigurationError("warmup_steps must be >= 1")
+        self.warmup_steps = warmup_steps
+        self.after = after or ConstantLR(optimizer)
+
+    def lr_at(self, t: int) -> float:
+        if t < self.warmup_steps:
+            return self.base_lr * (t + 1) / self.warmup_steps
+        return self.after.lr_at(t - self.warmup_steps)

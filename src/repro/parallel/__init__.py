@@ -1,0 +1,59 @@
+"""Parallel execution engines: partitioning, schedules, DP, PP, hybrid."""
+
+from repro.parallel.data_parallel import DataParallelEngine, DPWorker
+from repro.parallel.fsdp import FSDPEngine, FSDPWorker, ShardPlan
+from repro.parallel.operator_parallel import (
+    ColumnParallelLinear,
+    RowParallelLinear,
+    TensorParallelMLP,
+    shard_linear_by_columns,
+    shard_linear_by_rows,
+)
+from repro.parallel.hybrid import (
+    ParallelLayout,
+    StagePlacement,
+    megatron_figure2_layout,
+)
+from repro.parallel.partition import (
+    partition_balanced,
+    partition_by_sizes,
+    stage_boundaries,
+)
+from repro.parallel.pipeline import PipelineEngine, PipelineStage
+from repro.parallel.results import IterationResult
+from repro.parallel.schedules import (
+    ScheduleTiming,
+    StageOp,
+    bubble_ratio,
+    schedule_1f1b,
+    schedule_gpipe,
+    simulate_schedule,
+)
+
+__all__ = [
+    "DataParallelEngine",
+    "DPWorker",
+    "FSDPEngine",
+    "FSDPWorker",
+    "ShardPlan",
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+    "TensorParallelMLP",
+    "shard_linear_by_columns",
+    "shard_linear_by_rows",
+    "PipelineEngine",
+    "PipelineStage",
+    "IterationResult",
+    "partition_balanced",
+    "partition_by_sizes",
+    "stage_boundaries",
+    "schedule_1f1b",
+    "schedule_gpipe",
+    "simulate_schedule",
+    "bubble_ratio",
+    "ScheduleTiming",
+    "StageOp",
+    "ParallelLayout",
+    "StagePlacement",
+    "megatron_figure2_layout",
+]

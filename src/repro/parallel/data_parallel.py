@@ -1,0 +1,253 @@
+"""Synchronous data-parallel training engine with wait-free updates.
+
+Each worker holds a full model replica; per-iteration gradients are
+all-reduced and every replica applies the same update (paper Section 2.1).
+Updates are *wait-free and layer-wise* (Section 2.3, Figure 4): a parameter
+is updated as soon as its gradient is synchronized, so a machine crash can
+strike between two parameter updates, leaving survivors partially updated —
+the crash-consistency problem that update-undo repairs.
+
+The engine keeps replicas bit-identical across workers (same deterministic
+init, same reduced gradients, same update order), which is the invariant
+replication-based recovery exploits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.cluster.clock import SimClock
+from repro.cluster.failures import FailureEvent, FailurePhase
+from repro.cluster.topology import Cluster
+from repro.comm.collectives import CollectiveGroup
+from repro.errors import ConfigurationError, MachineFailure
+from repro.nn.module import Module
+from repro.nn.sequential import Sequential
+from repro.optim.base import Optimizer
+from repro.parallel.results import IterationResult
+
+__all__ = ["DPWorker", "DataParallelEngine"]
+
+
+class DPWorker:
+    """One data-parallel worker: a replica, its optimizer, and undo marks."""
+
+    def __init__(self, rank: int, device, model: Module, optimizer: Optimizer):
+        self.rank = rank
+        self.device = device
+        self.model = model
+        self.optimizer = optimizer
+        self.iteration = 0
+        #: parameter names updated in the current (possibly interrupted)
+        #: update phase — the marks update-undo consumes (Section 6)
+        self.updated_params: list[str] = []
+
+    @property
+    def alive(self) -> bool:
+        return self.device.alive
+
+    @property
+    def machine_id(self) -> int:
+        return self.device.machine.machine_id
+
+    def model_state(self) -> dict[str, np.ndarray]:
+        return self.model.state_dict()
+
+    def full_state(self) -> dict[str, np.ndarray]:
+        """Model + optimizer state — the paper's "model state"."""
+        state = {f"model/{k}": v for k, v in self.model.state_dict().items()}
+        state.update(
+            {f"optim/{k}": v for k, v in self.optimizer.state_dict().items()}
+        )
+        return state
+
+    def load_full_state(self, state: dict[str, np.ndarray]) -> None:
+        self.model.load_state_dict(
+            {k[len("model/"):]: v for k, v in state.items() if k.startswith("model/")}
+        )
+        self.optimizer.load_state_dict(
+            {k[len("optim/"):]: v for k, v in state.items() if k.startswith("optim/")}
+        )
+
+
+class DataParallelEngine:
+    """Drives synchronous DP training over a simulated cluster.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a freshly initialized model.  It
+        must be deterministic so all replicas start identical (the paper's
+        setting: replicas are exact copies).
+    placement:
+        One ``(machine_id, device_idx)`` per worker.
+    compute_time_fn:
+        Maps a per-worker shard size to simulated forward+backward seconds
+        (the temporal layer; defaults to a throughput-neutral constant).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model_factory: Callable[[], Module],
+        opt_factory: Callable[[Module], Optimizer],
+        loss_factory: Callable[[], object],
+        task,
+        placement: list[tuple[int, int]],
+        clock: SimClock | None = None,
+        compute_time_fn: Callable[[int], float] | None = None,
+    ):
+        if len(placement) < 1:
+            raise ConfigurationError("need at least one worker")
+        self.cluster = cluster
+        self.model_factory = model_factory
+        self.opt_factory = opt_factory
+        self.loss_factory = loss_factory
+        self.task = task
+        self.clock = clock or SimClock()
+        self.compute_time_fn = compute_time_fn or (lambda n: 1e-3 * max(n, 1))
+        self.workers: list[DPWorker] = []
+        for rank, (machine_id, dev_idx) in enumerate(placement):
+            device = cluster.device(machine_id, dev_idx)
+            model = model_factory()
+            self.workers.append(DPWorker(rank, device, model, opt_factory(model)))
+        self.group = CollectiveGroup(
+            cluster, {w.rank: w.device for w in self.workers}
+        )
+        #: update order: reverse parameter order, approximating gradients
+        #: becoming ready from the output layer backwards (Figure 4)
+        self.update_order: list[str] = [
+            name for name, _ in self.workers[0].model.named_parameters()
+        ][::-1]
+        self.iteration = 0
+
+    # -- queries ------------------------------------------------------------
+    def alive_workers(self) -> list[DPWorker]:
+        return [w for w in self.workers if w.alive]
+
+    def worker(self, rank: int) -> DPWorker:
+        return self.workers[rank]
+
+    def state_nbytes(self) -> int:
+        w = self.workers[0]
+        return sum(int(np.asarray(v).nbytes) for v in w.full_state().values())
+
+    def replicas_consistent(self) -> bool:
+        """Bitwise agreement of all live replicas — the core DP invariant."""
+        live = self.alive_workers()
+        if len(live) < 2:
+            return True
+        ref = live[0].model.state_dict()
+        return all(
+            all(np.array_equal(ref[k], w.model.state_dict()[k]) for k in ref)
+            for w in live[1:]
+        )
+
+    # -- the iteration ----------------------------------------------------------
+    def run_iteration(
+        self,
+        failure: FailureEvent | None = None,
+        survivor_progress: dict[int, int] | None = None,
+    ) -> IterationResult:
+        """Execute one synchronous DP iteration, optionally crashing.
+
+        ``failure`` with phase ``MID_UPDATE`` kills the target machine after
+        ``after_updates`` parameters have been updated; surviving workers
+        stop at ``survivor_progress[rank]`` updates (default: the same
+        count), reproducing the partially-updated state of Figure 4/5.
+        """
+        live = self.alive_workers()
+        if not live:
+            raise MachineFailure(-1, "no live workers")
+        x, y = self.task.batch(self.iteration)
+        shards = np.array_split(np.arange(len(x)), len(live))
+
+        if failure is not None and failure.phase == FailurePhase.ITERATION_START:
+            return self._fail(failure)
+
+        # forward/backward on each live replica's shard
+        losses = []
+        t_compute = 0.0
+        for w, idx in zip(live, shards):
+            w.model.zero_grad()
+            w.updated_params = []
+            loss_fn = self.loss_factory()
+            out = w.model(x[idx])
+            losses.append(loss_fn(out, y[idx]))
+            w.model.backward(loss_fn.backward())
+            t_compute = max(t_compute, self.compute_time_fn(len(idx)))
+
+        if failure is not None and failure.phase in (
+            FailurePhase.FORWARD,
+            FailurePhase.BACKWARD,
+        ):
+            # crash before any gradient synchronization completed: nobody
+            # updated anything, survivors remain at iteration start state
+            return self._fail(failure)
+
+        # gradient synchronization (per-parameter ring all-reduce)
+        grad_bytes = 0
+        params_by_rank = [dict(w.model.named_parameters()) for w in self.workers]
+        for name in self.update_order:
+            buffers = {w.rank: params_by_rank[w.rank][name].grad for w in live}
+            reduced = self.group.allreduce_mean(buffers)
+            grad_bytes += int(reduced.nbytes)
+            for w in live:
+                params_by_rank[w.rank][name].grad = np.array(reduced, copy=True)
+        t_comm = self.group.allreduce_time(grad_bytes)
+
+        # wait-free layer-wise update
+        mid_update = (
+            failure is not None and failure.phase == FailurePhase.MID_UPDATE
+        )
+        for w in live:
+            budget = len(self.update_order)
+            if mid_update:
+                if w.machine_id == failure.machine_id:
+                    budget = failure.after_updates
+                else:
+                    budget = (survivor_progress or {}).get(
+                        w.rank, failure.after_updates
+                    )
+                budget = min(budget, len(self.update_order))
+            for name in self.update_order[:budget]:
+                w.optimizer.step_param(name)
+                w.updated_params.append(name)
+            if not mid_update or budget == len(self.update_order):
+                if not mid_update:
+                    w.iteration += 1
+                    w.updated_params = []
+
+        if mid_update:
+            return self._fail(failure, sim_time=t_compute + t_comm)
+
+        self.iteration += 1
+        self.clock.advance(t_compute + t_comm, "iteration", iteration=self.iteration)
+        return IterationResult(
+            iteration=self.iteration - 1,
+            loss=float(np.mean(losses)),
+            sim_time=t_compute + t_comm,
+        )
+
+    def _fail(self, failure: FailureEvent, sim_time: float = 0.0) -> IterationResult:
+        self.cluster.fail_machine(failure.machine_id)
+        self.cluster.kvstore.raise_failure(failure.machine_id, self.iteration)
+        if sim_time:
+            self.clock.advance(sim_time, "partial_iteration")
+        return IterationResult(
+            iteration=self.iteration,
+            failed=True,
+            failed_machine=failure.machine_id,
+            sim_time=sim_time,
+        )
+
+    # -- recovery hooks (used by repro.core.replication) -----------------------
+    def rebuild_worker(self, rank: int) -> DPWorker:
+        """Recreate a worker object on its (replaced) device."""
+        old = self.workers[rank]
+        model = self.model_factory()
+        worker = DPWorker(rank, old.device, model, self.opt_factory(model))
+        self.workers[rank] = worker
+        return worker

@@ -1,0 +1,111 @@
+"""Hybrid (3D-style) parallelism layouts — who holds a replica where.
+
+Figure 2 of the paper shows a hand-optimized Megatron-LM plan: 4 pipeline
+stages × 2-way operator parallelism × 2 replicas, with *both replicas of a
+stage on the same machine* — so a machine failure loses every copy of that
+stage and replication-based recovery is impossible.  Swift's strategy
+selection (Section 3) hinges on exactly this question: "does the model
+state have at least one replica on another machine?".
+
+This module describes layouts declaratively and answers that question; the
+strategy chooser (:mod:`repro.core.strategy`) consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StagePlacement", "ParallelLayout", "megatron_figure2_layout"]
+
+
+@dataclass(frozen=True)
+class StagePlacement:
+    """Placement of all replicas of one pipeline stage.
+
+    ``replica_machines[r]`` is the list of machines hosting replica ``r``
+    (more than one machine when the replica is itself operator-parallel).
+    """
+
+    stage_id: int
+    replica_machines: tuple[tuple[int, ...], ...]
+
+    def machines(self) -> set[int]:
+        return {m for replica in self.replica_machines for m in replica}
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replica_machines)
+
+
+@dataclass
+class ParallelLayout:
+    """A full parallelism plan: pipeline stages, replica groups, machines."""
+
+    stages: list[StagePlacement] = field(default_factory=list)
+
+    def validate(self) -> "ParallelLayout":
+        if not self.stages:
+            raise ConfigurationError("layout has no stages")
+        ids = [s.stage_id for s in self.stages]
+        if ids != list(range(len(self.stages))):
+            raise ConfigurationError("stage ids must be 0..p-1 in order")
+        for s in self.stages:
+            if s.num_replicas < 1:
+                raise ConfigurationError(f"stage {s.stage_id} has no replicas")
+        return self
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def machines(self) -> set[int]:
+        return {m for s in self.stages for m in s.machines()}
+
+    # -- the strategy-relevant predicates (paper Section 3) -----------------
+    def stage_survives_machine_loss(self, stage_id: int, machine_id: int) -> bool:
+        """Does some replica of the stage avoid ``machine_id`` entirely?"""
+        stage = self.stages[stage_id]
+        return any(
+            machine_id not in replica for replica in stage.replica_machines
+        )
+
+    def replication_covers_failure(self, machine_id: int) -> bool:
+        """Can replication-based recovery handle this machine's failure?"""
+        return all(
+            self.stage_survives_machine_loss(s.stage_id, machine_id)
+            for s in self.stages
+            if machine_id in s.machines()
+        )
+
+    def replication_covers_all_failures(self) -> bool:
+        """True iff any single machine failure leaves every stage a replica."""
+        return all(self.replication_covers_failure(m) for m in self.machines())
+
+    def is_pipeline_parallel(self) -> bool:
+        return self.num_stages > 1
+
+    def crosses_machines(self) -> bool:
+        """Does the pipeline cross machine boundaries (loggable edges)?"""
+        return any(
+            self.stages[i].machines() != self.stages[i + 1].machines()
+            for i in range(self.num_stages - 1)
+        )
+
+
+def megatron_figure2_layout() -> ParallelLayout:
+    """The Figure 2 plan: 4 stages, 2-way operator parallel, 2 replicas.
+
+    16 GPUs on two machines; both replicas of each stage sit on the same
+    machine, so replication cannot recover a machine failure — the case
+    that motivates logging-based recovery.
+    """
+    return ParallelLayout(
+        stages=[
+            StagePlacement(0, ((0,), (0,))),
+            StagePlacement(1, ((0,), (0,))),
+            StagePlacement(2, ((1,), (1,))),
+            StagePlacement(3, ((1,), (1,))),
+        ]
+    ).validate()

@@ -1,0 +1,197 @@
+"""Operator (tensor) parallelism: splitting single layers across workers.
+
+The paper's Section 2.1 and Figure 2: "Operator parallelism is a solution
+to handle large DNNs by splitting an operator in a DNN model among
+multiple workers along non-batch axes", used 2-way inside each pipeline
+stage of the Megatron-LM plan.  Swift treats an operator-parallel replica
+as a unit (its workers live on the same machine in Figure 2), so the
+relevant behaviours are (a) the sharded compute itself and (b) the
+collective traffic it adds — both implemented here in Megatron style:
+
+* :class:`ColumnParallelLinear` — weight split by output columns; each
+  worker computes a slice, the concatenation is the full output;
+* :class:`RowParallelLinear` — weight split by input rows; partial
+  products are summed (an all-reduce in the real system);
+* :class:`TensorParallelMLP` — the canonical Megatron pairing
+  (column-parallel expand, row-parallel contract) that needs exactly one
+  all-reduce in forward and one in backward per block.
+
+Numerics are exact: tests assert the sharded computation is bitwise
+equivalent to the unsharded layer, and the comm-volume accounting feeds
+the Figure 2 layout reasoning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.activations import GELU
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.utils.seeding import RngStream
+
+__all__ = [
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+    "TensorParallelMLP",
+    "shard_linear_by_columns",
+    "shard_linear_by_rows",
+]
+
+
+def shard_linear_by_columns(layer: Linear, world_size: int) -> list[Linear]:
+    """Split a Linear's weight into ``world_size`` column shards.
+
+    Each shard maps in_features -> out_features/world_size; concatenating
+    the shard outputs reproduces the original layer exactly.
+    """
+    if layer.out_features % world_size:
+        raise ConfigurationError(
+            f"out_features {layer.out_features} not divisible by "
+            f"world_size {world_size}"
+        )
+    per = layer.out_features // world_size
+    shards = []
+    for r in range(world_size):
+        shard = Linear(layer.in_features, per, bias=layer.bias is not None)
+        shard.weight.data = np.array(
+            layer.weight.data[r * per : (r + 1) * per], copy=True
+        )
+        if layer.bias is not None:
+            shard.bias.data = np.array(
+                layer.bias.data[r * per : (r + 1) * per], copy=True
+            )
+        shards.append(shard)
+    return shards
+
+
+def shard_linear_by_rows(layer: Linear, world_size: int) -> list[Linear]:
+    """Split a Linear's weight into ``world_size`` input-row shards.
+
+    Each shard maps in_features/world_size -> out_features; summing the
+    shard outputs (plus the bias once) reproduces the original layer.
+    The bias is kept only on shard 0 so the sum is exact.
+    """
+    if layer.in_features % world_size:
+        raise ConfigurationError(
+            f"in_features {layer.in_features} not divisible by "
+            f"world_size {world_size}"
+        )
+    per = layer.in_features // world_size
+    shards = []
+    for r in range(world_size):
+        shard = Linear(per, layer.out_features,
+                       bias=(layer.bias is not None and r == 0))
+        shard.weight.data = np.array(
+            layer.weight.data[:, r * per : (r + 1) * per], copy=True
+        )
+        if shard.bias is not None:
+            shard.bias.data = np.array(layer.bias.data, copy=True)
+        shards.append(shard)
+    return shards
+
+
+class ColumnParallelLinear(Module):
+    """A Linear executed as ``world_size`` column shards.
+
+    Forward output is mathematically identical to the reference layer;
+    :attr:`comm_bytes_forward` reports the all-gather volume the real
+    system would move to materialize the full activation.
+    """
+
+    def __init__(self, in_features: int, out_features: int, world_size: int,
+                 bias: bool = True, rng: RngStream | None = None):
+        super().__init__()
+        reference = Linear(in_features, out_features, bias=bias,
+                           rng=rng or RngStream(0, "colparallel"))
+        self.in_features = in_features
+        self.out_features = out_features
+        self.world_size = world_size
+        self.shards = shard_linear_by_columns(reference, world_size)
+        for r, shard in enumerate(self.shards):
+            self._modules[f"shard{r}"] = shard
+        self.comm_bytes_forward = 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        outs = [shard(x) for shard in self.shards]
+        full = np.concatenate(outs, axis=-1)
+        self.comm_bytes_forward = int(full.nbytes) * (self.world_size - 1) \
+            // max(self.world_size, 1)
+        return full
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if grad_out.shape[-1] != self.out_features:
+            raise ShapeError("gradient width mismatch")
+        per = self.out_features // self.world_size
+        grad_in = None
+        for r, shard in enumerate(self.shards):
+            g = shard.backward(grad_out[..., r * per : (r + 1) * per])
+            grad_in = g if grad_in is None else grad_in + g
+        return grad_in
+
+
+class RowParallelLinear(Module):
+    """A Linear executed as ``world_size`` row shards with a reduce.
+
+    The input is split along the feature axis; partial outputs sum —
+    :attr:`comm_bytes_forward` is the all-reduce volume.
+    """
+
+    def __init__(self, in_features: int, out_features: int, world_size: int,
+                 bias: bool = True, rng: RngStream | None = None):
+        super().__init__()
+        reference = Linear(in_features, out_features, bias=bias,
+                           rng=rng or RngStream(0, "rowparallel"))
+        self.in_features = in_features
+        self.out_features = out_features
+        self.world_size = world_size
+        self.shards = shard_linear_by_rows(reference, world_size)
+        for r, shard in enumerate(self.shards):
+            self._modules[f"shard{r}"] = shard
+        self.comm_bytes_forward = 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        per = self.in_features // self.world_size
+        total = None
+        for r, shard in enumerate(self.shards):
+            partial = shard(x[..., r * per : (r + 1) * per])
+            total = partial if total is None else total + partial
+        self.comm_bytes_forward = int(total.nbytes) * 2 * (
+            self.world_size - 1) // max(self.world_size, 1)
+        return total
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grads = [shard.backward(grad_out) for shard in self.shards]
+        return np.concatenate(grads, axis=-1)
+
+
+class TensorParallelMLP(Module):
+    """Megatron-style 2-layer MLP: column-parallel then row-parallel.
+
+    Needs one logical all-reduce in forward (after the row-parallel
+    contraction) and one in backward — the minimal-communication pattern
+    the Figure 2 plan uses within each stage.
+    """
+
+    def __init__(self, dim: int, hidden_dim: int, world_size: int,
+                 rng: RngStream | None = None):
+        super().__init__()
+        rng = rng or RngStream(0, "tp_mlp")
+        self.expand = ColumnParallelLinear(dim, hidden_dim, world_size,
+                                           rng=rng.child("expand"))
+        self.act = GELU()
+        self.contract = RowParallelLinear(hidden_dim, dim, world_size,
+                                          rng=rng.child("contract"))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.contract(self.act(self.expand(x)))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.expand.backward(
+            self.act.backward(self.contract.backward(grad_out))
+        )
+
+    @property
+    def comm_bytes_forward(self) -> int:
+        return self.contract.comm_bytes_forward

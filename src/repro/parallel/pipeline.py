@@ -1,0 +1,361 @@
+"""Pipeline-parallel training engine (1F1B) over the simulated cluster.
+
+Stages are contiguous slices of a Sequential model placed on devices across
+machines; micro-batches flow through point-to-point messages (which is what
+Swift's tensor log taps).  Numerics are exact NumPy; timing comes from the
+static schedule simulator so bubbles, iteration time, and the logging
+budget all fall out of the same model (paper Sections 2.1, 5.1).
+
+Design notes:
+
+* **Activation recomputation on backward.**  Layers cache a single forward
+  activation set, but 1F1B keeps several micro-batches in flight per stage.
+  Each stage therefore caches only its *input* per micro-batch and re-runs
+  the forward just before the corresponding backward.  This is numerically
+  identical (deterministic layers) and mirrors common activation
+  checkpointing practice.
+* **Per-stage iteration counters.**  Stages update as soon as their own
+  backwards finish, at different simulated times (wait-free across stages),
+  so a crash can catch stages on different iterations — the pipeline
+  flavour of the crash-consistency problem (Section 6, "Update-undo ...
+  surviving workers need to exchange their current iteration number").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.cluster.clock import SimClock
+from repro.cluster.failures import FailureEvent, FailurePhase
+from repro.cluster.topology import Cluster
+from repro.comm.p2p import Transport
+from repro.errors import ConfigurationError, MachineFailure
+from repro.nn.sequential import Sequential
+from repro.optim.base import Optimizer
+from repro.parallel.partition import partition_by_sizes
+from repro.parallel.results import IterationResult
+from repro.parallel.schedules import (
+    ScheduleTiming,
+    StageOp,
+    schedule_1f1b,
+    schedule_gpipe,
+    simulate_schedule,
+)
+
+__all__ = ["PipelineStage", "PipelineEngine"]
+
+
+class PipelineStage:
+    """One pipeline stage: a model slice, its optimizer, and mb caches."""
+
+    def __init__(self, stage_id: int, module: Sequential, optimizer: Optimizer,
+                 device):
+        self.stage_id = stage_id
+        self.module = module
+        self.optimizer = optimizer
+        self.device = device
+        self.iteration = 0
+        #: per-microbatch stage inputs, kept until the matching backward
+        self.input_cache: dict[int, np.ndarray] = {}
+        #: last-stage only: per-microbatch outputs for the loss
+        self.output_cache: dict[int, np.ndarray] = {}
+        self.updated_this_iteration = False
+
+    @property
+    def alive(self) -> bool:
+        return self.device.alive
+
+    @property
+    def machine_id(self) -> int:
+        return self.device.machine.machine_id
+
+    def forward_mb(self, microbatch: int, x: np.ndarray) -> np.ndarray:
+        self.input_cache[microbatch] = x
+        return self.module(x)
+
+    def backward_mb(self, microbatch: int, grad: np.ndarray) -> np.ndarray:
+        # repopulate layer caches for this micro-batch, then backprop
+        x = self.input_cache.pop(microbatch)
+        self.module(x)
+        return self.module.backward(grad)
+
+    def step(self) -> None:
+        self.optimizer.step()
+        self.iteration += 1
+        self.updated_this_iteration = True
+
+    def undo(self) -> None:
+        """Invert the latest update (update-undo, Section 4)."""
+        self.optimizer.undo()
+        self.iteration -= 1
+        self.updated_this_iteration = False
+
+    def clear_caches(self) -> None:
+        self.input_cache.clear()
+        self.output_cache.clear()
+
+    def reset_transient(self) -> None:
+        self.clear_caches()
+        self.updated_this_iteration = False
+
+    def full_state(self) -> dict[str, np.ndarray]:
+        state = {f"model/{k}": v for k, v in self.module.state_dict().items()}
+        state.update(
+            {f"optim/{k}": v for k, v in self.optimizer.state_dict().items()}
+        )
+        state["iteration"] = np.array(self.iteration, dtype=np.int64)
+        return state
+
+    def load_full_state(self, state: dict[str, np.ndarray]) -> None:
+        self.module.load_state_dict(
+            {k[len("model/"):]: v for k, v in state.items() if k.startswith("model/")}
+        )
+        self.optimizer.load_state_dict(
+            {k[len("optim/"):]: v for k, v in state.items() if k.startswith("optim/")}
+        )
+        self.iteration = int(state["iteration"])
+
+
+class PipelineEngine:
+    """Executes 1F1B (or GPipe) iterations with real numerics + sim timing.
+
+    Parameters
+    ----------
+    model_factory:
+        Deterministic zero-argument model builder; also used by recovery to
+        rebuild failed stages' architecture.
+    partition_sizes:
+        Layer counts per stage (``sum == len(model)``).
+    placement:
+        ``(machine_id, device_idx)`` per stage.
+    fwd_times / bwd_times:
+        Per-stage simulated compute seconds per micro-batch (temporal layer
+        only; defaults to uniform 1 ms / 2 ms).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model_factory: Callable[[], Sequential],
+        partition_sizes: list[int],
+        placement: list[tuple[int, int]],
+        num_microbatches: int,
+        opt_factory: Callable[[Sequential], Optimizer],
+        loss_factory: Callable[[], object],
+        task,
+        clock: SimClock | None = None,
+        fwd_times: list[float] | None = None,
+        bwd_times: list[float] | None = None,
+        schedule: str = "1f1b",
+        comm_time: float = 0.0,
+    ):
+        if len(partition_sizes) != len(placement):
+            raise ConfigurationError("one placement entry per stage required")
+        if num_microbatches < 1:
+            raise ConfigurationError("need at least one micro-batch")
+        self.cluster = cluster
+        self.model_factory = model_factory
+        self.partition_sizes = list(partition_sizes)
+        self.placement = list(placement)
+        self.num_stages = len(partition_sizes)
+        self.num_microbatches = num_microbatches
+        self.opt_factory = opt_factory
+        self.loss_factory = loss_factory
+        self.task = task
+        self.clock = clock or SimClock()
+        self.fwd_times = fwd_times or [1e-3] * self.num_stages
+        self.bwd_times = bwd_times or [2e-3] * self.num_stages
+        self.schedule_name = schedule
+        self.comm_time = comm_time
+
+        modules = partition_by_sizes(model_factory(), partition_sizes)
+        self.stages: list[PipelineStage] = []
+        for sid, (module, (machine_id, dev_idx)) in enumerate(
+            zip(modules, placement)
+        ):
+            device = cluster.device(machine_id, dev_idx)
+            self.stages.append(
+                PipelineStage(sid, module, opt_factory(module), device)
+            )
+        self.transport = Transport(
+            cluster, {s.stage_id: s.device for s in self.stages}
+        )
+        self.iteration = 0
+        self._timing_cache: ScheduleTiming | None = None
+        #: per-iteration extra time charged by fault-tolerance machinery
+        #: (logging spills, checkpoint stalls); callables appended by FT
+        #: components receive the ScheduleTiming and return seconds
+        self.overhead_hooks: list[Callable[[ScheduleTiming], tuple[str, float]]] = []
+
+    # -- schedule/timing ----------------------------------------------------
+    def per_stage_ops(self) -> list[list[StageOp]]:
+        maker = schedule_1f1b if self.schedule_name == "1f1b" else schedule_gpipe
+        return maker(self.num_stages, self.num_microbatches)
+
+    def timing(self) -> ScheduleTiming:
+        if self._timing_cache is None:
+            self._timing_cache = simulate_schedule(
+                self.per_stage_ops(), self.fwd_times, self.bwd_times, self.comm_time
+            )
+        return self._timing_cache
+
+    def stage_bubble_time(self, stage_id: int) -> float:
+        return self.timing().stage_bubble[stage_id]
+
+    # -- state access ----------------------------------------------------------
+    def stage(self, stage_id: int) -> PipelineStage:
+        return self.stages[stage_id]
+
+    def stages_on_machine(self, machine_id: int) -> list[PipelineStage]:
+        return [s for s in self.stages if s.machine_id == machine_id]
+
+    def machine_of_stage(self, stage_id: int) -> int:
+        return self.placement[stage_id][0]
+
+    def full_state(self) -> dict[int, dict[str, np.ndarray]]:
+        return {s.stage_id: s.full_state() for s in self.stages}
+
+    def build_stage_module(self, stage_id: int) -> Sequential:
+        """Rebuild a stage's architecture (recovery re-instantiates it)."""
+        return partition_by_sizes(self.model_factory(), self.partition_sizes)[
+            stage_id
+        ]
+
+    def state_nbytes(self, stage_id: int) -> int:
+        return sum(
+            int(np.asarray(v).nbytes)
+            for v in self.stages[stage_id].full_state().values()
+        )
+
+    # -- micro-batch data ---------------------------------------------------
+    def microbatches(self, iteration: int) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Deterministic micro-batch split of iteration's global batch."""
+        x, y = self.task.batch(iteration)
+        xs = np.array_split(x, self.num_microbatches)
+        ys = np.array_split(y, self.num_microbatches)
+        return xs, ys
+
+    # -- execution ----------------------------------------------------------------
+    def run_iteration(self, failure: FailureEvent | None = None) -> IterationResult:
+        """One full pipeline iteration with optional failure injection.
+
+        Ops execute in simulated global-time order, so a crash interrupts
+        the iteration exactly where the schedule places it.
+        """
+        live = [s for s in self.stages if s.alive]
+        if len(live) != self.num_stages:
+            raise MachineFailure(-1, "cannot run with failed stages; recover first")
+        if failure is not None and failure.phase == FailurePhase.ITERATION_START:
+            return self._fail(failure)
+
+        timing = self.timing()
+        ops = sorted(
+            (op for stage_ops in self.per_stage_ops() for op in stage_ops),
+            key=lambda op: (timing.op_times[(op.stage, op.kind, op.microbatch)][0],
+                            op.stage),
+        )
+        xs, ys = self.microbatches(self.iteration)
+        for s in self.stages:
+            s.module.zero_grad()
+            s.reset_transient()
+
+        losses: list[float] = []
+        fail_on_phase = (
+            failure.phase.value if failure is not None else None
+        )
+        for op in ops:
+            stage = self.stages[op.stage]
+            if (
+                failure is not None
+                and fail_on_phase in ("forward", "backward")
+                and op.kind == ("F" if fail_on_phase == "forward" else "B")
+                and stage.machine_id == failure.machine_id
+                and op.microbatch >= failure.after_updates
+            ):
+                return self._fail(failure)
+            if op.kind == "F":
+                self._exec_forward(op, xs)
+            else:
+                losses.extend(self._exec_backward(op, ys))
+
+        # wait-free per-stage updates in completion-time order (last stage
+        # finishes its backwards first — Figure 1a)
+        update_order = sorted(
+            range(self.num_stages), key=lambda i: timing.stage_finish[i]
+        )
+        updates_done = 0
+        for sid in update_order:
+            if (
+                failure is not None
+                and failure.phase == FailurePhase.MID_UPDATE
+                and updates_done >= failure.after_updates
+            ):
+                return self._fail(failure)
+            self.stages[sid].step()
+            updates_done += 1
+
+        self.iteration += 1
+        overheads: dict[str, float] = {}
+        for hook in self.overhead_hooks:
+            label, seconds = hook(timing)
+            overheads[label] = overheads.get(label, 0.0) + seconds
+        sim_time = timing.iteration_time + sum(overheads.values())
+        self.clock.advance(sim_time, "iteration", iteration=self.iteration - 1)
+        return IterationResult(
+            iteration=self.iteration - 1,
+            loss=float(np.mean(losses)),
+            sim_time=sim_time,
+            overheads=overheads,
+        )
+
+    def _exec_forward(self, op: StageOp, xs: list[np.ndarray]) -> None:
+        stage = self.stages[op.stage]
+        if op.stage == 0:
+            x = xs[op.microbatch]
+        else:
+            msg = self.transport.recv(op.stage, op.stage - 1)
+            x = msg.tensor
+        out = stage.forward_mb(op.microbatch, x)
+        if op.stage == self.num_stages - 1:
+            stage.output_cache[op.microbatch] = out
+        else:
+            self.transport.send(
+                op.stage, op.stage + 1, out, self.iteration, op.microbatch, "fwd"
+            )
+
+    def _exec_backward(self, op: StageOp, ys: list[np.ndarray]) -> list[float]:
+        stage = self.stages[op.stage]
+        losses: list[float] = []
+        if op.stage == self.num_stages - 1:
+            loss_fn = self.loss_factory()
+            out = stage.output_cache.pop(op.microbatch)
+            losses.append(loss_fn(out, ys[op.microbatch]))
+            grad = loss_fn.backward() / self.num_microbatches
+        else:
+            msg = self.transport.recv(op.stage, op.stage + 1)
+            grad = msg.tensor
+        grad_in = stage.backward_mb(op.microbatch, grad)
+        if op.stage > 0:
+            self.transport.send(
+                op.stage, op.stage - 1, grad_in, self.iteration, op.microbatch, "bwd"
+            )
+        return losses
+
+    def _fail(self, failure: FailureEvent) -> IterationResult:
+        self.cluster.fail_machine(failure.machine_id)
+        self.cluster.kvstore.raise_failure(failure.machine_id, self.iteration)
+        # the interrupted iteration is abandoned wholesale: no in-flight
+        # message may survive into the post-recovery re-run
+        self.transport.drop_all()
+        # clear in-flight activation caches but KEEP the updated-this-
+        # iteration marks: update-undo consumes them during recovery
+        for s in self.stages:
+            if s.alive:
+                s.clear_caches()
+        return IterationResult(
+            iteration=self.iteration,
+            failed=True,
+            failed_machine=failure.machine_id,
+        )

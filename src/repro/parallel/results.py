@@ -1,0 +1,26 @@
+"""Common result records returned by the execution engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IterationResult"]
+
+
+@dataclass
+class IterationResult:
+    """Outcome of one training iteration on an engine.
+
+    ``failed`` marks iterations interrupted by an injected machine crash;
+    the trainer then runs the recovery procedure and re-executes the
+    iteration.
+    """
+
+    iteration: int
+    loss: float | None = None
+    failed: bool = False
+    failed_machine: int | None = None
+    #: simulated seconds this iteration occupied (compute + comm + overheads)
+    sim_time: float = 0.0
+    #: breakdown of overheads (snapshot stall, logging spill, checkpoint, ...)
+    overheads: dict[str, float] = field(default_factory=dict)

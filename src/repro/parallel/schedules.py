@@ -1,0 +1,169 @@
+"""Pipeline schedules: 1F1B and GPipe, with a static timing simulator.
+
+The paper adopts the One-Forward-One-Backward (1F1B) schedule (Figure 1a):
+both 1F1B and GPipe have bubble ratio ``(p-1)/(m+p-1)``, but 1F1B holds at
+most ``p - stage`` in-flight micro-batches, so peak memory is lower
+(Section 2.1).  Bubble *time* matters doubly for Swift: it is the window in
+which asynchronous logging hides its PCIe copies (Section 5.1), and its
+absence during replay is why recovery runs faster than the original
+execution (Figure 1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "StageOp",
+    "bubble_ratio",
+    "schedule_1f1b",
+    "schedule_gpipe",
+    "ScheduleTiming",
+    "simulate_schedule",
+]
+
+
+@dataclass(frozen=True)
+class StageOp:
+    """One unit of pipeline work: a forward or backward of one micro-batch."""
+
+    stage: int
+    kind: str  # "F" or "B"
+    microbatch: int
+
+
+def bubble_ratio(num_stages: int, num_microbatches: int) -> float:
+    """Idle fraction of 1F1B/GPipe pipelines: (p-1)/(m+p-1) (Section 2.1)."""
+    p, m = num_stages, num_microbatches
+    if p < 1 or m < 1:
+        raise ConfigurationError("need at least one stage and one micro-batch")
+    return (p - 1) / (m + p - 1)
+
+
+def schedule_1f1b(num_stages: int, num_microbatches: int) -> list[list[StageOp]]:
+    """Per-stage operation sequences for the 1F1B schedule.
+
+    Stage ``i`` warms up with ``min(p - i - 1, m)`` forwards, then
+    alternates one-forward-one-backward, then drains remaining backwards.
+    """
+    p, m = num_stages, num_microbatches
+    if p < 1 or m < 1:
+        raise ConfigurationError("need at least one stage and one micro-batch")
+    per_stage: list[list[StageOp]] = []
+    for i in range(p):
+        warmup = min(p - i - 1, m)
+        ops: list[StageOp] = [StageOp(i, "F", k) for k in range(warmup)]
+        for k in range(warmup, m):
+            ops.append(StageOp(i, "F", k))
+            ops.append(StageOp(i, "B", k - warmup))
+        for k in range(m - warmup, m):
+            ops.append(StageOp(i, "B", k))
+        per_stage.append(ops)
+    return per_stage
+
+
+def schedule_gpipe(num_stages: int, num_microbatches: int) -> list[list[StageOp]]:
+    """Per-stage sequences for GPipe: all forwards, then all backwards."""
+    p, m = num_stages, num_microbatches
+    if p < 1 or m < 1:
+        raise ConfigurationError("need at least one stage and one micro-batch")
+    return [
+        [StageOp(i, "F", k) for k in range(m)] + [StageOp(i, "B", k) for k in range(m)]
+        for i in range(p)
+    ]
+
+
+@dataclass
+class ScheduleTiming:
+    """Static timing of one pipeline iteration."""
+
+    #: (stage, kind, microbatch) -> (start, end) in seconds from iteration start
+    op_times: dict[tuple[int, str, int], tuple[float, float]]
+    #: per-stage completion time of the last op
+    stage_finish: list[float]
+    #: per-stage idle (bubble) seconds within [first op start, last op end]
+    stage_bubble: list[float]
+
+    @property
+    def iteration_time(self) -> float:
+        return max(self.stage_finish)
+
+    @property
+    def max_in_flight(self) -> list[int]:
+        """Peak number of outstanding forwards per stage (memory proxy)."""
+        peaks = []
+        by_stage: dict[int, list[tuple[float, int]]] = {}
+        for (stage, kind, _), (start, _end) in self.op_times.items():
+            delta = 1 if kind == "F" else -1
+            by_stage.setdefault(stage, []).append((start, delta))
+        for stage in sorted(by_stage):
+            level = peak = 0
+            for _, delta in sorted(by_stage[stage]):
+                level += delta
+                peak = max(peak, level)
+            peaks.append(peak)
+        return peaks
+
+
+def simulate_schedule(
+    per_stage_ops: list[list[StageOp]],
+    fwd_time: list[float],
+    bwd_time: list[float],
+    comm_time: float = 0.0,
+) -> ScheduleTiming:
+    """Compute start/end times of every op under dependency constraints.
+
+    Dependencies: F(i, k) needs F(i-1, k) plus transfer; B(i, k) needs
+    B(i+1, k) plus transfer; ops on one stage serialize in schedule order.
+    The solver sweeps until fixpoint (the DAG is acyclic, so each pass
+    resolves at least one op — O(total_ops²) worst case, fine at this
+    scale).
+    """
+    p = len(per_stage_ops)
+    done: dict[tuple[int, str, int], tuple[float, float]] = {}
+    pointer = [0] * p
+    stage_free = [0.0] * p
+
+    def dep_ready(op: StageOp) -> float | None:
+        """End time of the op's cross-stage dependency, or None if unmet."""
+        if op.kind == "F":
+            if op.stage == 0:
+                return 0.0
+            prev = done.get((op.stage - 1, "F", op.microbatch))
+        else:
+            if op.stage == p - 1:
+                prev = done.get((op.stage, "F", op.microbatch))
+                return prev[1] if prev else None
+            prev = done.get((op.stage + 1, "B", op.microbatch))
+        return prev[1] + comm_time if prev else None
+
+    total = sum(len(ops) for ops in per_stage_ops)
+    while len(done) < total:
+        progressed = False
+        for stage in range(p):
+            while pointer[stage] < len(per_stage_ops[stage]):
+                op = per_stage_ops[stage][pointer[stage]]
+                ready = dep_ready(op)
+                if ready is None:
+                    break
+                start = max(stage_free[stage], ready)
+                duration = fwd_time[stage] if op.kind == "F" else bwd_time[stage]
+                end = start + duration
+                done[(op.stage, op.kind, op.microbatch)] = (start, end)
+                stage_free[stage] = end
+                pointer[stage] += 1
+                progressed = True
+        if not progressed:
+            raise ConfigurationError("schedule deadlock: invalid op ordering")
+
+    stage_finish, stage_bubble = [], []
+    for stage in range(p):
+        ops = [done[(o.stage, o.kind, o.microbatch)] for o in per_stage_ops[stage]]
+        busy = sum(end - start for start, end in ops)
+        first = min(start for start, _ in ops)
+        last = max(end for _, end in ops)
+        stage_finish.append(last)
+        stage_bubble.append((last - first) - busy)
+    return ScheduleTiming(done, stage_finish, stage_bubble)

@@ -1,0 +1,171 @@
+"""Monte-Carlo end-to-end training-time simulation (Section 7.3).
+
+Reproduces Table 5 and Figures 12-13: given a workload's total iteration
+count, per-iteration time, checkpoint (or snapshot) interval, and a
+median-time-between-failure, inject failures uniformly at random and
+accumulate the end-to-end completion time under each fault-tolerance
+method.  Each configuration is repeated and averaged (the paper repeats
+ten times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.checkpoint import checkfreq_interval
+from repro.sim.costmodel import CostModel
+from repro.sim.workloads import Workload
+
+__all__ = ["EndToEndResult", "EndToEndSimulator"]
+
+
+@dataclass(frozen=True)
+class EndToEndResult:
+    method: str
+    mean_hours: float
+    std_hours: float
+    mean_failures: float
+    failure_free_hours: float
+
+    @property
+    def overhead_hours(self) -> float:
+        return self.mean_hours - self.failure_free_hours
+
+
+class EndToEndSimulator:
+    """Simulates full training runs with stochastic failures."""
+
+    def __init__(self, workload: Workload, cost: CostModel | None = None,
+                 median_tbf_hours: float = 17.0, repeats: int = 10,
+                 seed: int = 0):
+        self.w = workload
+        # the simulation study runs on Table 4's production iteration times
+        self.cost = cost or CostModel(workload, use_experiment_time=False)
+        self.median_tbf_hours = median_tbf_hours
+        self.repeats = repeats
+        self.seed = seed
+
+    # -- per-method per-iteration overheads and recovery -----------------------
+    def _per_iteration_overhead(self, method: str, interval: int) -> float:
+        """Amortized failure-free overhead added to every iteration."""
+        if method == "global_checkpoint":
+            return self.cost.global_checkpoint_stall() / interval
+        if method in ("checkfreq", "elastic_horovod"):
+            stall = self.cost.snapshot_stall()
+            per = stall / interval
+            if method == "checkfreq":
+                per += self.cost.checkfreq_persist_interference() / interval
+            return per
+        if method == "swift_replication":
+            # zero failure-free overhead; only the safety-net checkpoints
+            return self.cost.global_checkpoint_stall() / max(
+                self.w.checkpoint_interval_iters, interval
+            )
+        if method in ("swift_logging", "swift_logging_pr"):
+            return (
+                self.cost.logging_overhead("bubble")
+                + self.cost.global_checkpoint_stall() / interval
+            )
+        raise ValueError(f"unknown method {method!r}")
+
+    def _recovery_seconds(self, method: str, lost_iterations: int,
+                          parallel_degree: int = 16) -> float:
+        hw = self.cost.hw
+        base = hw.detection_time + hw.replacement_join_time
+        if method == "global_checkpoint":
+            return base + self.cost.recovery_global_checkpoint(
+                lost_iterations).recovery_time
+        if method in ("checkfreq", "elastic_horovod"):
+            return base + self.cost.recovery_snapshot(
+                lost_iterations, method).recovery_time
+        if method == "swift_replication":
+            return base + self.cost.recovery_replication().recovery_time
+        if method in ("swift_logging", "swift_logging_pr"):
+            degree = parallel_degree if method.endswith("_pr") else 1
+            return base + self.cost.recovery_logging(
+                lost_iterations, machines_per_group=1,
+                parallel_degree=degree).recovery_time
+        raise ValueError(f"unknown method {method!r}")
+
+    # -- the simulation ------------------------------------------------------------
+    def simulate(
+        self,
+        method: str,
+        interval: int | None = None,
+        median_tbf_hours: float | None = None,
+    ) -> EndToEndResult:
+        """Average end-to-end hours for one method over ``repeats`` runs.
+
+        ``interval`` is the checkpoint interval (global checkpointing,
+        Swift) or snapshot interval (CheckFreq/Elastic Horovod) in
+        iterations; it defaults to the workload's Table 4 setting, except
+        CheckFreq-style methods default to their tuned snapshot frequency.
+        """
+        mtbf = median_tbf_hours or self.median_tbf_hours
+        if interval is None:
+            if method in ("checkfreq", "elastic_horovod"):
+                interval = checkfreq_interval(
+                    self.cost.iteration_time, self.cost.snapshot_stall()
+                )
+            else:
+                interval = self.w.checkpoint_interval_iters
+        iter_time = self.cost.iteration_time \
+            + self._per_iteration_overhead(method, interval)
+        total_iters = self.w.total_iterations
+        failure_free_hours = total_iters * iter_time / 3600.0
+        rate = np.log(2.0) / mtbf  # exponential rate from the median
+
+        rng = np.random.default_rng(self.seed)
+        hours: list[float] = []
+        failures: list[int] = []
+        for _ in range(self.repeats):
+            elapsed = 0.0  # seconds
+            completed = 0  # iterations finished and safe
+            num_failures = 0
+            next_failure = rng.exponential(1.0 / rate) * 3600.0
+            while completed < total_iters:
+                remaining = (total_iters - completed) * iter_time
+                if elapsed + remaining <= next_failure:
+                    elapsed += remaining
+                    completed = total_iters
+                    break
+                # run until the failure strikes
+                ran = int((next_failure - elapsed) // iter_time)
+                completed += ran
+                elapsed = next_failure
+                num_failures += 1
+                # Work lost since the last durable point.  The recovery
+                # cost below already prices re-computing it (`recompute_time`
+                # in the RecoveryTimes models), so `completed` is NOT rolled
+                # back — that would double-count the lost work.
+                if method == "swift_replication":
+                    lost = 0  # undo resolves the partial update; nothing lost
+                else:
+                    lost = completed % interval
+                elapsed += self._recovery_seconds(method, lost)
+                next_failure = elapsed + rng.exponential(1.0 / rate) * 3600.0
+            hours.append(elapsed / 3600.0)
+            failures.append(num_failures)
+
+        return EndToEndResult(
+            method=method,
+            mean_hours=float(np.mean(hours)),
+            std_hours=float(np.std(hours)),
+            mean_failures=float(np.mean(failures)),
+            failure_free_hours=failure_free_hours,
+        )
+
+    def sweep_interval(self, method: str, intervals: list[int]
+                       ) -> list[EndToEndResult]:
+        """Figure 12: end-to-end time vs checkpoint/snapshot frequency."""
+        return [self.simulate(method, interval=i) for i in intervals]
+
+    def sweep_mtbf(self, method: str, mtbfs: list[float],
+                   interval: int | None = None) -> list[EndToEndResult]:
+        """Figure 13: end-to-end time vs failure frequency."""
+        return [
+            self.simulate(method, interval=interval, median_tbf_hours=m)
+            for m in mtbfs
+        ]

@@ -1,0 +1,37 @@
+"""Shared utilities: deterministic RNG streams, state (de)serialization."""
+
+from repro.utils.metrics import (
+    TraceSummary,
+    goodput,
+    loss_curve_distance,
+    summarize_trace,
+    trace_to_csv,
+)
+from repro.utils.seeding import RngStream, derive_seed, stream
+from repro.utils.serialization import (
+    clone_state,
+    state_allclose,
+    state_equal,
+    state_nbytes,
+    load_state_bytes,
+    save_state_bytes,
+    tree_map,
+)
+
+__all__ = [
+    "RngStream",
+    "derive_seed",
+    "stream",
+    "clone_state",
+    "state_allclose",
+    "state_equal",
+    "state_nbytes",
+    "save_state_bytes",
+    "load_state_bytes",
+    "tree_map",
+    "TraceSummary",
+    "summarize_trace",
+    "goodput",
+    "loss_curve_distance",
+    "trace_to_csv",
+]

@@ -1,0 +1,95 @@
+"""Training-trace analysis and export.
+
+Turns :class:`~repro.core.trainer.TrainingTrace` objects into the summary
+statistics the paper reports (steady throughput, recovery breakdowns,
+goodput) and exports them as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TraceSummary", "summarize_trace", "trace_to_csv",
+           "goodput", "loss_curve_distance"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of one training run."""
+
+    iterations: int
+    total_sim_time: float
+    median_iteration_time: float
+    steady_throughput: float  # samples / second at the median iteration
+    num_checkpoints: int
+    checkpoint_time: float
+    num_recoveries: int
+    recovery_time: float
+    final_loss: float | None
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of wall time not spent on useful iterations."""
+        if self.total_sim_time <= 0:
+            return 0.0
+        useful = self.iterations * self.median_iteration_time
+        return max(0.0, 1.0 - useful / self.total_sim_time)
+
+
+def summarize_trace(trace, samples_per_iteration: int) -> TraceSummary:
+    """Reduce a TrainingTrace to headline numbers."""
+    times = np.asarray(trace.iteration_times, dtype=float)
+    median_time = float(np.median(times)) if times.size else 0.0
+    recovery_time = sum(r.total_time for r in trace.recoveries)
+    checkpoint_time = sum(t for _, t in trace.checkpoints)
+    return TraceSummary(
+        iterations=len(trace.iteration_times),
+        total_sim_time=trace.total_time,
+        median_iteration_time=median_time,
+        steady_throughput=(
+            samples_per_iteration / median_time if median_time else 0.0
+        ),
+        num_checkpoints=len(trace.checkpoints),
+        checkpoint_time=checkpoint_time,
+        num_recoveries=len(trace.recoveries),
+        recovery_time=recovery_time,
+        final_loss=trace.losses[-1] if trace.losses else None,
+    )
+
+
+def goodput(trace, samples_per_iteration: int) -> float:
+    """Samples per simulated second over the whole run, stalls included."""
+    if trace.total_time <= 0:
+        return 0.0
+    return len(trace.iteration_times) * samples_per_iteration / trace.total_time
+
+
+def loss_curve_distance(a: list[float], b: list[float]) -> float:
+    """Max absolute pointwise difference between two loss curves.
+
+    The Figure 11 metric: zero (or fp-epsilon) when recovery preserved the
+    training trajectory.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"curve lengths differ: {len(a)} vs {len(b)}")
+    if not a:
+        return 0.0
+    return float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
+
+
+def trace_to_csv(trace, samples_per_iteration: int) -> str:
+    """Serialize per-iteration rows (iteration, loss, time, throughput)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["iteration", "loss", "sim_time_s", "throughput"])
+    for it, loss, t in zip(trace.iteration_numbers, trace.losses,
+                           trace.iteration_times):
+        writer.writerow([
+            it, f"{loss:.8f}", f"{t:.6f}",
+            f"{samples_per_iteration / t:.3f}" if t else "0",
+        ])
+    return buf.getvalue()

@@ -1,0 +1,88 @@
+"""State-dict utilities: cloning, comparison, and byte-level serialization.
+
+A *state dict* throughout this library is a flat ``dict[str, np.ndarray]``
+(model parameters, optimizer moments, counters).  Checkpoints, snapshots,
+replicas, and logging payloads all move state dicts around, so the helpers
+here are the common currency of every recovery mechanism.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "clone_state",
+    "state_equal",
+    "state_allclose",
+    "state_nbytes",
+    "save_state_bytes",
+    "load_state_bytes",
+    "tree_map",
+]
+
+StateDict = dict[str, np.ndarray]
+
+
+def clone_state(state: Mapping[str, np.ndarray]) -> StateDict:
+    """Deep-copy a state dict (the snapshot primitive of CheckFreq et al.)."""
+    return {k: np.array(v, copy=True) for k, v in state.items()}
+
+
+def state_equal(a: Mapping[str, np.ndarray], b: Mapping[str, np.ndarray]) -> bool:
+    """True iff both states have identical keys and bitwise-equal arrays."""
+    if a.keys() != b.keys():
+        return False
+    return all(
+        np.asarray(a[k]).shape == np.asarray(b[k]).shape
+        and np.array_equal(np.asarray(a[k]), np.asarray(b[k]))
+        for k in a
+    )
+
+
+def state_allclose(
+    a: Mapping[str, np.ndarray],
+    b: Mapping[str, np.ndarray],
+    rtol: float = 1e-5,
+    atol: float = 1e-7,
+) -> bool:
+    """True iff both states match within floating-point tolerance.
+
+    Update-undo recovers a state that may differ from the original by
+    floating-point rounding (paper Section 4), so undo tests compare with
+    this rather than :func:`state_equal`.
+    """
+    if a.keys() != b.keys():
+        return False
+    return all(
+        np.allclose(np.asarray(a[k]), np.asarray(b[k]), rtol=rtol, atol=atol)
+        for k in a
+    )
+
+
+def state_nbytes(state: Mapping[str, np.ndarray]) -> int:
+    """Total payload size in bytes (used by the checkpoint cost model)."""
+    return int(sum(np.asarray(v).nbytes for v in state.values()))
+
+
+def save_state_bytes(state: Mapping[str, np.ndarray]) -> bytes:
+    """Serialize a state dict to a compressed byte string."""
+    buf = io.BytesIO()
+    np.savez(buf, **{k: np.asarray(v) for k, v in state.items()})
+    return buf.getvalue()
+
+
+def load_state_bytes(payload: bytes) -> StateDict:
+    """Inverse of :func:`save_state_bytes`."""
+    buf = io.BytesIO(payload)
+    with np.load(buf) as npz:
+        return {k: np.array(npz[k]) for k in npz.files}
+
+
+def tree_map(
+    fn: Callable[[np.ndarray], np.ndarray], state: Mapping[str, np.ndarray]
+) -> StateDict:
+    """Apply ``fn`` to every leaf array, returning a new state dict."""
+    return {k: fn(np.asarray(v)) for k, v in state.items()}

@@ -1,0 +1,6 @@
+"""Pytest configuration: make tests/ importable as a helpers package."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,148 @@
+"""Shared test utilities: numerical gradient checks and engine builders."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.data import ClassificationTask
+from repro.models import make_mlp
+from repro.nn import CrossEntropyLoss, Module
+from repro.optim import Adam, SGDMomentum
+from repro.parallel import DataParallelEngine, PipelineEngine
+
+
+def numerical_grad_check(
+    module: Module,
+    x: np.ndarray,
+    *,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    num_entries: int = 5,
+    seed: int = 0,
+) -> None:
+    """Assert analytic parameter and input gradients match finite differences.
+
+    Uses a random linear functional of the output as the scalar loss, which
+    exercises the full Jacobian without needing a labelled task.
+    """
+    rng = np.random.default_rng(seed)
+    module.train()
+    out = module(x)
+    w = rng.normal(size=out.shape)
+    module.zero_grad()
+    grad_in = module.backward(w)
+
+    def loss_at() -> float:
+        return float((module(x) * w).sum())
+
+    # parameter gradients
+    for name, param in module.named_parameters():
+        if param.grad is None:
+            continue
+        flat = param.data.reshape(-1)
+        grad_flat = param.grad.reshape(-1)
+        for idx in rng.choice(flat.size, size=min(num_entries, flat.size),
+                              replace=False):
+            orig = flat[idx]
+            flat[idx] = orig + eps
+            up = loss_at()
+            flat[idx] = orig - eps
+            down = loss_at()
+            flat[idx] = orig
+            num = (up - down) / (2 * eps)
+            assert np.isclose(num, grad_flat[idx], atol=atol, rtol=rtol), (
+                f"param {name}[{idx}]: numeric {num} vs analytic {grad_flat[idx]}"
+            )
+
+    # input gradient (skip integer inputs, e.g. token ids)
+    if np.issubdtype(x.dtype, np.floating):
+        flat_x = x.reshape(-1)
+        grad_x = grad_in.reshape(-1)
+        for idx in rng.choice(flat_x.size, size=min(num_entries, flat_x.size),
+                              replace=False):
+            orig = flat_x[idx]
+            flat_x[idx] = orig + eps
+            up = loss_at()
+            flat_x[idx] = orig - eps
+            down = loss_at()
+            flat_x[idx] = orig
+            num = (up - down) / (2 * eps)
+            assert np.isclose(num, grad_x[idx], atol=atol, rtol=rtol), (
+                f"input[{idx}]: numeric {num} vs analytic {grad_x[idx]}"
+            )
+
+
+def make_dp_engine(
+    cluster: Cluster | None = None,
+    *,
+    num_workers: int = 4,
+    machines: int = 2,
+    seed: int = 7,
+    lr: float = 0.05,
+) -> DataParallelEngine:
+    """Small 2-machine data-parallel MLP setup used across tests."""
+    cluster = cluster or Cluster(machines, devices_per_machine=num_workers // machines)
+    per = num_workers // machines
+    placement = [(m, d) for m in range(machines) for d in range(per)]
+    task = ClassificationTask(dim=8, num_classes=4, batch_size=16, seed=3)
+    return DataParallelEngine(
+        cluster,
+        model_factory=lambda: make_mlp(8, 16, 4, seed=seed),
+        opt_factory=lambda m: SGDMomentum(m, lr=lr, momentum=0.9,
+                                          weight_decay=1e-4),
+        loss_factory=CrossEntropyLoss,
+        task=task,
+        placement=placement,
+    )
+
+
+def make_pp_engine(
+    cluster: Cluster | None = None,
+    *,
+    num_stages: int = 4,
+    num_microbatches: int = 4,
+    seed: int = 7,
+    opt: str = "adam",
+    stages_per_machine: int = 1,
+) -> PipelineEngine:
+    """Small pipeline MLP setup: depth-3 MLP split into 4 stages."""
+    machines = num_stages // stages_per_machine
+    cluster = cluster or Cluster(machines, devices_per_machine=stages_per_machine)
+    placement = [
+        (s // stages_per_machine, s % stages_per_machine)
+        for s in range(num_stages)
+    ]
+    task = ClassificationTask(dim=8, num_classes=4, batch_size=16, seed=3)
+    opt_factory: Callable
+    if opt == "adam":
+        opt_factory = lambda m: Adam(m, lr=0.01, weight_decay=1e-4)  # noqa: E731
+    else:
+        opt_factory = lambda m: SGDMomentum(m, lr=0.05, momentum=0.9)  # noqa: E731
+    return PipelineEngine(
+        cluster,
+        model_factory=lambda: make_mlp(8, 16, 4, depth=3, seed=seed),
+        partition_sizes=[2, 2, 2, 1],
+        placement=placement,
+        num_microbatches=num_microbatches,
+        opt_factory=opt_factory,
+        loss_factory=CrossEntropyLoss,
+        task=task,
+    )
+
+
+def pipeline_states(engine: PipelineEngine) -> dict[int, dict[str, np.ndarray]]:
+    return {sid: s.module.state_dict() for sid, s in enumerate(engine.stages)}
+
+
+def states_allclose(a, b, atol=1e-7) -> bool:
+    return all(
+        np.allclose(a[sid][k], b[sid][k], atol=atol) for sid in a for k in a[sid]
+    )
+
+
+def states_equal(a, b) -> bool:
+    return all(np.array_equal(a[sid][k], b[sid][k]) for sid in a for k in a[sid])

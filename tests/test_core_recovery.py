@@ -1,0 +1,249 @@
+"""Recovery mechanisms: replication, logging replay, parallel recovery."""
+
+import numpy as np
+import pytest
+
+from helpers import (
+    make_dp_engine,
+    make_pp_engine,
+    pipeline_states,
+    states_allclose,
+    states_equal,
+)
+from repro.cluster import FailureEvent, FailurePhase, FailureSchedule
+from repro.core import (
+    CheckpointManager,
+    FailureDetector,
+    GroupingPlan,
+    LoggingRecovery,
+    ReplicationRecovery,
+    SwiftTrainer,
+    TensorLog,
+    TrainerConfig,
+    resolve_dp_consistency,
+)
+from repro.errors import RecoveryError
+
+
+def train_reference(build, iterations=20, ckpt=8):
+    eng = build()
+    trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=ckpt))
+    trainer.train(iterations)
+    return eng
+
+
+class TestReplicationRecovery:
+    def run_with_failure(self, event, iterations=20):
+        eng = make_dp_engine()
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=8))
+        trace = trainer.train(
+            iterations, failures=FailureSchedule([event])
+        )
+        return eng, trace
+
+    def test_recovers_to_failure_free_state(self):
+        ref = train_reference(make_dp_engine)
+        event = FailureEvent(1, 13, FailurePhase.MID_UPDATE, after_updates=2)
+        eng, trace = self.run_with_failure(event)
+        a = ref.workers[0].model.state_dict()
+        b = eng.workers[0].model.state_dict()
+        assert all(np.allclose(a[k], b[k], atol=1e-8) for k in a)
+
+    def test_zero_lost_iterations(self):
+        event = FailureEvent(0, 10, FailurePhase.MID_UPDATE, after_updates=1)
+        _, trace = self.run_with_failure(event)
+        report = trace.recoveries[0]
+        assert report.strategy == "replication"
+        assert report.lost_iterations == 0
+
+    def test_replicas_consistent_after_recovery(self):
+        event = FailureEvent(1, 7, FailurePhase.BACKWARD)
+        eng, _ = self.run_with_failure(event)
+        assert eng.replicas_consistent()
+
+    def test_optimizer_state_restored(self):
+        """The broadcast carries momentum, not just parameters."""
+        ref = train_reference(make_dp_engine)
+        event = FailureEvent(1, 12, FailurePhase.FORWARD)
+        eng, _ = self.run_with_failure(event)
+        a = ref.workers[0].optimizer.state_dict()
+        b = eng.workers[2].optimizer.state_dict()  # a replacement worker
+        assert all(np.allclose(a[k], b[k], atol=1e-8) for k in a)
+
+    def test_recovery_report_components(self):
+        event = FailureEvent(1, 10, FailurePhase.MID_UPDATE, after_updates=1)
+        _, trace = self.run_with_failure(event)
+        r = trace.recoveries[0]
+        assert r.detection_time > 0
+        assert r.init_time > 0
+        assert r.restore_time > 0
+        assert r.total_time == pytest.approx(
+            r.detection_time + r.init_time + r.undo_time + r.restore_time
+        )
+
+    def test_recovery_much_faster_than_lost_work(self):
+        """Recovery ≪ re-computing from a checkpoint (the 98.9% claim)."""
+        event = FailureEvent(1, 15, FailurePhase.MID_UPDATE, after_updates=2)
+        eng, trace = self.run_with_failure(event)
+        r = trace.recoveries[0]
+        # no recompute at all: restore is just a broadcast
+        assert r.lost_iterations == 0
+        assert r.recovery_time < 1.0  # broadcast of a tiny model
+
+    def test_all_replicas_lost_raises(self):
+        eng = make_dp_engine()
+        eng.run_iteration()
+        eng.cluster.fail_machine(0)
+        eng.cluster.fail_machine(1)
+        eng.cluster.kvstore.raise_failure(0, 1)
+        detector = FailureDetector(eng.cluster.kvstore, eng.clock)
+        rec = ReplicationRecovery(eng, detector, eng.clock)
+        with pytest.raises(RecoveryError):
+            rec.recover()
+
+    def test_multiple_simultaneous_failures_need_one_survivor(self):
+        """Appendix B: two machines die, the third replica restores both."""
+        eng = make_dp_engine(num_workers=6, machines=3)
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=8))
+        sched = FailureSchedule([
+            FailureEvent(1, 9, FailurePhase.MID_UPDATE, after_updates=1),
+            FailureEvent(2, 9, FailurePhase.ITERATION_START),
+        ])
+        trainer.train(15, failures=sched)
+        assert eng.replicas_consistent()
+        assert sorted(trainer.recovery.engine.cluster.kvstore._data) is not None
+        ref = train_reference(
+            lambda: make_dp_engine(num_workers=6, machines=3), 15
+        )
+        a = ref.workers[0].model.state_dict()
+        b = eng.workers[0].model.state_dict()
+        assert all(np.allclose(a[k], b[k], atol=1e-8) for k in a)
+
+
+class TestLoggingRecovery:
+    def reference(self, iterations=20):
+        return train_reference(make_pp_engine, iterations)
+
+    def run_with_failure(self, event, iterations=20, degree=1, ckpt=8):
+        eng = make_pp_engine()
+        trainer = SwiftTrainer(
+            eng,
+            TrainerConfig(checkpoint_interval=ckpt,
+                          parallel_recovery_degree=degree),
+        )
+        trace = trainer.train(iterations, failures=FailureSchedule([event]))
+        return eng, trace
+
+    def test_pure_replay_is_bitwise_exact(self):
+        ref = pipeline_states(self.reference())
+        event = FailureEvent(2, 13, FailurePhase.FORWARD)
+        eng, _ = self.run_with_failure(event)
+        assert states_equal(ref, pipeline_states(eng))
+
+    def test_mid_update_failure_with_undo(self):
+        ref = pipeline_states(self.reference())
+        event = FailureEvent(1, 14, FailurePhase.MID_UPDATE, after_updates=3)
+        eng, trace = self.run_with_failure(event)
+        assert trace.recoveries[0].details["undone_params"] > 0
+        assert states_allclose(ref, pipeline_states(eng), atol=1e-8)
+
+    @pytest.mark.parametrize("degree", [2, 4])
+    def test_parallel_recovery_logically_equivalent(self, degree):
+        ref = pipeline_states(self.reference())
+        event = FailureEvent(2, 13, FailurePhase.FORWARD)
+        eng, trace = self.run_with_failure(event, degree=degree)
+        assert trace.recoveries[0].strategy == "logging+pr"
+        assert states_allclose(ref, pipeline_states(eng), atol=1e-7)
+
+    def test_parallel_recovery_faster(self):
+        event = FailureEvent(2, 13, FailurePhase.FORWARD)
+        _, t1 = self.run_with_failure(event)
+        event = FailureEvent(2, 13, FailurePhase.FORWARD)
+        _, t4 = self.run_with_failure(event, degree=4)
+        assert (
+            t4.recoveries[0].restore_time < t1.recoveries[0].restore_time
+        )
+
+    def test_only_failed_stages_replayed(self):
+        event = FailureEvent(2, 13, FailurePhase.FORWARD)
+        _, trace = self.run_with_failure(event)
+        assert trace.recoveries[0].details["stage_ids"] == [2]
+
+    def test_lost_iterations_counted_from_checkpoint(self):
+        event = FailureEvent(2, 13, FailurePhase.FORWARD)
+        _, trace = self.run_with_failure(event)
+        assert trace.recoveries[0].lost_iterations == 13 - 8
+
+    def test_failure_immediately_after_checkpoint(self):
+        ref = pipeline_states(self.reference())
+        event = FailureEvent(1, 8, FailurePhase.FORWARD)
+        eng, trace = self.run_with_failure(event)
+        assert trace.recoveries[0].lost_iterations == 0
+        assert states_equal(ref, pipeline_states(eng))
+
+    def test_failure_of_first_stage(self):
+        """Stage 0 has no upstream log; inputs regenerate from the task."""
+        ref = pipeline_states(self.reference())
+        event = FailureEvent(0, 12, FailurePhase.BACKWARD)
+        eng, _ = self.run_with_failure(event)
+        assert states_allclose(ref, pipeline_states(eng), atol=1e-8)
+
+    def test_failure_of_last_stage(self):
+        """Last stage has no downstream log; loss grads recompute."""
+        ref = pipeline_states(self.reference())
+        event = FailureEvent(3, 12, FailurePhase.FORWARD)
+        eng, _ = self.run_with_failure(event)
+        assert states_allclose(ref, pipeline_states(eng), atol=1e-8)
+
+    def test_grouped_machines_recover_jointly(self):
+        """Selective logging: a failure inside a group rolls back the group."""
+        eng = make_pp_engine()
+        grouping = GroupingPlan.of([[0, 1], [2, 3]])
+        trainer = SwiftTrainer(
+            eng, TrainerConfig(checkpoint_interval=8), grouping=grouping
+        )
+        sched = FailureSchedule([FailureEvent(1, 12, FailurePhase.FORWARD)])
+        trace = trainer.train(20, failures=sched)
+        # machine 1 is grouped with machine 0: stages 0 and 1 both replay
+        assert trace.recoveries[0].details["stage_ids"] == [0, 1]
+        ref = pipeline_states(self.reference())
+        assert states_allclose(ref, pipeline_states(eng), atol=1e-8)
+
+    def test_disjoint_failures_recover_independently(self):
+        """Appendix B: machines 0 and 2 fail; two disjoint spans replay."""
+        eng = make_pp_engine()
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=8))
+        sched = FailureSchedule([
+            FailureEvent(0, 12, FailurePhase.FORWARD),
+            FailureEvent(2, 12, FailurePhase.ITERATION_START),
+        ])
+        trace = trainer.train(20, failures=sched)
+        report = trace.recoveries[0]
+        assert sorted(report.failed_machines) == [0, 2]
+        assert report.details["stage_ids"] == [0, 2]
+        ref = pipeline_states(self.reference())
+        assert states_allclose(ref, pipeline_states(eng), atol=1e-8)
+
+    def test_cascading_failure_sequential_recoveries(self):
+        """Appendix B: a second, unrelated failure after the first recovery."""
+        eng = make_pp_engine()
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=8))
+        sched = FailureSchedule([
+            FailureEvent(1, 10, FailurePhase.FORWARD),
+            FailureEvent(3, 14, FailurePhase.FORWARD),
+        ])
+        trace = trainer.train(20, failures=sched)
+        assert len(trace.recoveries) == 2
+        ref = pipeline_states(self.reference())
+        assert states_allclose(ref, pipeline_states(eng), atol=1e-8)
+
+    def test_no_checkpoint_raises(self):
+        eng = make_pp_engine()
+        eng.run_iteration()
+        eng.run_iteration(failure=FailureEvent(1, 1, FailurePhase.FORWARD))
+        tlog = TensorLog(eng.cluster)
+        ckpt = CheckpointManager(eng.cluster, eng.clock)
+        detector = FailureDetector(eng.cluster.kvstore, eng.clock)
+        rec = LoggingRecovery(eng, tlog, ckpt, detector, eng.clock)
+        with pytest.raises(RecoveryError):
+            rec.recover()

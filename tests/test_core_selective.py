@@ -1,0 +1,136 @@
+"""Selective-logging planner: the ΔR/ΔM greedy merge (Section 5.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PipelineProfile, SelectiveLoggingPlanner
+from repro.errors import ConfigurationError
+
+settings.register_profile("sel", deadline=None, max_examples=40)
+settings.load_profile("sel")
+
+GB = 1e9
+
+
+def uniform_profile(n=8, compute=1.0, boundary=1 * GB):
+    return PipelineProfile(
+        compute_times=tuple([compute] * n),
+        boundary_bytes=tuple([boundary] * (n - 1)),
+    )
+
+
+def planner(profile, T=100, B=5 * GB, pr=False):
+    return SelectiveLoggingPlanner(profile, checkpoint_interval=T,
+                                   network_bandwidth=B, parallel_recovery=pr)
+
+
+class TestProfileValidation:
+    def test_boundary_count_must_match(self):
+        with pytest.raises(ConfigurationError):
+            PipelineProfile((1.0, 1.0), (1.0, 1.0))
+
+    def test_planner_validation(self):
+        with pytest.raises(ConfigurationError):
+            planner(uniform_profile(), T=0)
+        with pytest.raises(ConfigurationError):
+            SelectiveLoggingPlanner(uniform_profile(), 10, 0.0)
+
+
+class TestPlanning:
+    def test_unlimited_budget_keeps_singletons(self):
+        result = planner(uniform_profile(8)).plan(float("inf"))
+        assert result.plan.num_groups == 8
+        assert all(len(g) == 1 for g in result.plan.groups)
+
+    def test_zero_budget_merges_everything(self):
+        result = planner(uniform_profile(8)).plan(0.0)
+        assert result.plan.num_groups == 1
+        assert result.storage_bytes == 0.0
+
+    def test_storage_respects_budget(self):
+        p = planner(uniform_profile(8))
+        for budget in [0, 100 * GB, 300 * GB, 500 * GB, 1e15]:
+            result = p.plan(budget)
+            assert result.storage_bytes <= budget + 1e-9
+
+    def test_storage_formula(self):
+        # 8 singleton groups, T=100, boundary 1GB: M = 100 * 7GB
+        result = planner(uniform_profile(8), T=100).plan(float("inf"))
+        assert result.storage_bytes == pytest.approx(100 * 7 * GB)
+
+    def test_groups_stay_contiguous_and_ordered(self):
+        result = planner(uniform_profile(10)).plan(200 * GB)
+        flat = [m for g in result.plan.groups for m in g]
+        assert flat == list(range(10))
+
+    def test_recovery_time_monotone_in_budget(self):
+        """Smaller budget => coarser groups => longer recovery (Figure 10)."""
+        p = planner(uniform_profile(8))
+        budgets = [1e15, 500 * GB, 300 * GB, 100 * GB, 0.0]
+        times = [p.plan(b).expected_recovery_time for b in budgets]
+        assert times == sorted(times)
+
+    def test_cheap_boundary_merged_first(self):
+        """The greedy picks the merge with the least ΔR per byte saved."""
+        profile = PipelineProfile(
+            compute_times=(1.0, 1.0, 1.0),
+            boundary_bytes=(10 * GB, 1 * GB),
+        )
+        # force exactly one merge: budget just below full storage
+        full = planner(profile).plan(float("inf")).storage_bytes
+        result = planner(profile).plan(full - 1.0)
+        # merging across the small boundary saves little storage but adds
+        # (almost) the same recovery time -> ratio favours the BIG boundary
+        assert result.plan.groups == ((0, 1), (2,))
+
+    def test_parallel_recovery_reduces_expected_time(self):
+        prof = uniform_profile(8)
+        base = planner(prof, pr=False).plan(300 * GB)
+        pr = planner(prof, pr=True).plan(300 * GB)
+        assert pr.expected_recovery_time < base.expected_recovery_time
+
+    def test_unbalanced_compute_times_shape_grouping(self):
+        """Section 5.3: unbalanced partitions make count-balanced grouping
+        suboptimal; the planner must prefer merging cheap machines."""
+        profile = PipelineProfile(
+            compute_times=(10.0, 0.1, 0.1, 0.1),
+            boundary_bytes=(1 * GB, 1 * GB, 1 * GB),
+        )
+        result = planner(profile).plan(150 * GB)  # forces two merges (T=100)
+        # machine 0 is expensive to replay: keep it alone as long as possible
+        assert (0,) in result.plan.groups
+
+    @given(
+        n=st.integers(2, 10),
+        budget_frac=st.floats(0.0, 1.2),
+        seed=st.integers(0, 100),
+    )
+    def test_property_valid_plans(self, n, budget_frac, seed):
+        rng = np.random.default_rng(seed)
+        profile = PipelineProfile(
+            compute_times=tuple(rng.uniform(0.5, 5.0, n)),
+            boundary_bytes=tuple(rng.uniform(0.1, 2.0, n - 1) * GB),
+        )
+        p = planner(profile)
+        full = p.plan(float("inf")).storage_bytes
+        result = p.plan(full * budget_frac)
+        # contiguity + coverage
+        flat = [m for g in result.plan.groups for m in g]
+        assert flat == list(range(n))
+        # budget respected
+        assert result.storage_bytes <= full * budget_frac + 1e-6
+        # expected time no better than the all-singleton plan
+        assert (
+            result.expected_recovery_time
+            >= p.plan(float("inf")).expected_recovery_time - 1e-9
+        )
+
+    def test_sweep_matches_individual_plans(self):
+        p = planner(uniform_profile(6))
+        limits = [1e15, 200 * GB, 0.0]
+        swept = p.sweep(limits)
+        assert [r.plan.num_groups for r in swept] == [
+            p.plan(b).plan.num_groups for b in limits
+        ]

@@ -1,0 +1,128 @@
+"""Strategy selection (Section 3) and the logging-worth-it calculus (§5.4)."""
+
+import pytest
+
+from repro.core import (
+    FTStrategy,
+    choose_strategy,
+    logging_worth_it,
+    transformer_message_bytes,
+)
+from repro.parallel import ParallelLayout, StagePlacement, megatron_figure2_layout
+from repro.sim import BERT_128, VIT_128_32, CostModel
+
+GB = 1e9
+
+
+def dp_layout():
+    """Pure data parallelism: one stage, replicas on both machines."""
+    return ParallelLayout(
+        stages=[StagePlacement(0, ((0,), (1,)))]
+    ).validate()
+
+
+def pp_layout():
+    """Pure pipeline parallelism across machines, no replicas."""
+    return ParallelLayout(
+        stages=[StagePlacement(0, ((0,),)), StagePlacement(1, ((1,),))]
+    ).validate()
+
+
+def single_machine_pp():
+    return ParallelLayout(
+        stages=[StagePlacement(0, ((0,),)), StagePlacement(1, ((0,),))]
+    ).validate()
+
+
+class TestMessageBytes:
+    def test_bert_boundary(self):
+        """BERT-128: mb=128, seq=128, hidden=1024, fp32 = 67.1 MB."""
+        assert transformer_message_bytes(128, 128, 1024) == 128 * 128 * 1024 * 4
+
+    def test_matches_workload(self):
+        assert BERT_128.boundary_bytes == transformer_message_bytes(
+            128, 128, 1024
+        )
+
+
+class TestWorthIt:
+    def test_transformer_logging_fits_bubble(self):
+        """Both paper PP workloads pass the Section 5.4 test."""
+        for w in (VIT_128_32, BERT_128):
+            cost = CostModel(w)
+            f = logging_worth_it(
+                cost.logging_bytes_per_machine(),
+                cost.iteration_time,
+                w.num_stages,
+                w.num_microbatches,
+                cost.hw.pcie_bw,
+                model_state_bytes=w.state_bytes,
+            )
+            assert f.worth_it, f.reason
+
+    def test_huge_activations_rejected(self):
+        """CNN-scale activations: log volume ≫ state size (Section 5.4)."""
+        f = logging_worth_it(
+            log_bytes_per_iteration=500 * GB,
+            iteration_time=1.0,
+            num_stages=4,
+            num_microbatches=8,
+            pcie_bandwidth=12 * GB,
+            model_state_bytes=1 * GB,
+        )
+        assert not f.worth_it
+        assert "model state" in f.reason
+
+    def test_copy_exceeding_bubble_rejected(self):
+        f = logging_worth_it(
+            log_bytes_per_iteration=100 * GB,
+            iteration_time=1.0,
+            num_stages=4,
+            num_microbatches=64,  # tiny bubble
+            pcie_bandwidth=12 * GB,
+        )
+        assert not f.worth_it
+        assert "bubble" in f.reason
+
+    def test_feasibility_numbers_reported(self):
+        f = logging_worth_it(12 * GB, 2.0, 4, 4, 12 * GB)
+        assert f.copy_time == pytest.approx(1.0)
+        assert f.bubble_time == pytest.approx(3 / 7 * 2.0)
+
+
+class TestChooseStrategy:
+    def test_dp_with_cross_machine_replicas(self):
+        assert choose_strategy(dp_layout()) is FTStrategy.REPLICATION
+
+    def test_figure2_layout_uses_logging(self):
+        """Replicas co-located on one machine: replication cannot cover."""
+        assert choose_strategy(megatron_figure2_layout()) is FTStrategy.LOGGING
+
+    def test_pipeline_without_replicas_uses_logging(self):
+        assert choose_strategy(pp_layout()) is FTStrategy.LOGGING
+
+    def test_single_machine_pipeline_falls_back(self):
+        assert (
+            choose_strategy(single_machine_pp())
+            is FTStrategy.CHECKPOINT_ONLY
+        )
+
+    def test_infeasible_logging_falls_back(self):
+        from repro.core import LoggingFeasibility
+
+        bad = LoggingFeasibility(False, 0, 0, 0, "no")
+        assert (
+            choose_strategy(pp_layout(), feasibility=bad)
+            is FTStrategy.CHECKPOINT_ONLY
+        )
+
+    def test_non_invertible_optimizer_disables_replication(self):
+        """AMSGrad (Table 1) cannot undo => replication path unavailable."""
+        assert (
+            choose_strategy(dp_layout(), optimizer_name="AMSGrad")
+            is FTStrategy.CHECKPOINT_ONLY
+        )
+        assert (
+            choose_strategy(dp_layout(), optimizer_name="Adam")
+            is FTStrategy.REPLICATION
+        )

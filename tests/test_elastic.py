@@ -1,0 +1,130 @@
+"""Elastic training via update-undo (paper Section 8)."""
+
+import numpy as np
+import pytest
+
+from helpers import make_dp_engine
+from repro.cluster import Cluster
+from repro.core import ElasticCoordinator, ResizeEvent
+from repro.core.elastic import ElasticTrace
+from repro.errors import ConfigurationError
+
+
+def make_coordinator(machines=2, per_machine=4, workers=4):
+    cluster = Cluster(machines, devices_per_machine=per_machine)
+    engine = make_dp_engine(cluster, num_workers=workers, machines=machines)
+    return ElasticCoordinator(engine), cluster
+
+
+class TestScaleOut:
+    def test_new_worker_gets_replica_state(self):
+        coord, cluster = make_coordinator()
+        for _ in range(3):
+            coord.engine.run_iteration()
+        coord.scale_out([(0, 2)])
+        assert len(coord.engine.workers) == 5
+        assert coord.engine.replicas_consistent()
+
+    def test_new_worker_participates(self):
+        coord, _ = make_coordinator()
+        coord.engine.run_iteration()
+        coord.scale_out([(1, 2), (1, 3)])
+        result = coord.engine.run_iteration()
+        assert result.loss is not None
+        assert coord.engine.replicas_consistent()
+
+    def test_scale_out_on_dead_machine_rejected(self):
+        coord, cluster = make_coordinator()
+        cluster.fail_machine(1)
+        # survivors on machine 0 can still host new workers; machine 1 not
+        with pytest.raises(ConfigurationError):
+            coord.scale_out([(1, 2)])
+
+    def test_clock_charged_for_broadcast(self):
+        coord, _ = make_coordinator()
+        coord.engine.run_iteration()
+        before = coord.clock.now
+        coord.scale_out([(0, 2)])
+        assert coord.clock.now > before
+
+
+class TestScaleIn:
+    def test_graceful_departure(self):
+        coord, _ = make_coordinator()
+        for _ in range(2):
+            coord.engine.run_iteration()
+        coord.scale_in([3])
+        assert len(coord.engine.workers) == 3
+        assert coord.engine.replicas_consistent()
+        coord.engine.run_iteration()  # training continues
+
+    def test_ranks_recontiguated(self):
+        coord, _ = make_coordinator()
+        coord.scale_in([1, 2])
+        assert [w.rank for w in coord.engine.workers] == [0, 1]
+
+    def test_abrupt_departure_triggers_undo(self):
+        """A preemption mid-update leaves survivors inconsistent; the
+        coordinator undoes partial updates before shrinking."""
+        from repro.cluster import FailureEvent, FailurePhase
+
+        coord, _ = make_coordinator()
+        coord.engine.run_iteration()
+        pre = coord.engine.workers[0].model.state_dict()
+        # simulate partial update then an abrupt scale-in
+        event = FailureEvent(1, 1, FailurePhase.MID_UPDATE, after_updates=2)
+        coord.engine.run_iteration(failure=event)
+        coord.engine.cluster.replace_machine(1)  # machine comes back empty
+        coord.scale_in(
+            [w.rank for w in coord.engine.workers if w.machine_id == 1],
+            abrupt=True,
+        )
+        post = coord.engine.workers[0].model.state_dict()
+        for k in pre:
+            assert np.allclose(pre[k], post[k], atol=1e-9), k
+
+    def test_cannot_remove_everyone(self):
+        coord, _ = make_coordinator()
+        with pytest.raises(ConfigurationError):
+            coord.scale_in([0, 1, 2, 3])
+
+
+class TestScheduledElasticTraining:
+    def test_membership_trace(self):
+        coord, _ = make_coordinator()
+        schedule = [
+            ResizeEvent(iteration=3, join=(((0, 2))),) if False else
+            ResizeEvent(iteration=3, join=((0, 2),)),
+            ResizeEvent(iteration=6, leave=(4,)),
+        ]
+        trace = coord.train(10, schedule=schedule)
+        assert trace.memberships[:3] == [4, 4, 4]
+        assert trace.memberships[3:6] == [5, 5, 5]
+        assert trace.memberships[6:] == [4, 4, 4, 4]
+
+    def test_loss_improves_across_resizes(self):
+        coord, _ = make_coordinator()
+        schedule = [
+            ResizeEvent(iteration=5, join=((0, 2), (0, 3))),
+            ResizeEvent(iteration=12, leave=(5,)),
+        ]
+        trace = coord.train(25, schedule=schedule)
+        assert trace.losses[-1] < trace.losses[0]
+        assert len(trace.resize_times) == 2
+
+    def test_elastic_run_matches_static_when_no_events(self):
+        coord, _ = make_coordinator()
+        trace = coord.train(8)
+        static = make_dp_engine()
+        static_losses = [static.run_iteration().loss for _ in range(8)]
+        assert np.allclose(trace.losses, static_losses)
+
+    def test_resize_preserves_training_signal(self):
+        """Loss history stays finite and replicas consistent throughout."""
+        coord, _ = make_coordinator()
+        schedule = [ResizeEvent(iteration=i, join=((0, 2),))
+                    if i == 4 else ResizeEvent(iteration=i, leave=(4,))
+                    for i in (4, 8)]
+        trace = coord.train(12, schedule=schedule)
+        assert all(np.isfinite(v) for v in trace.losses)
+        assert coord.engine.replicas_consistent()

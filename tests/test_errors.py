@@ -1,0 +1,56 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CheckpointError,
+    CommunicationError,
+    ConfigurationError,
+    LogIntegrityError,
+    MachineFailure,
+    NotInvertibleError,
+    RecoveryError,
+    ReproError,
+    ShapeError,
+    StateInconsistencyError,
+)
+
+ALL = [
+    CheckpointError,
+    CommunicationError,
+    ConfigurationError,
+    LogIntegrityError,
+    MachineFailure,
+    NotInvertibleError,
+    RecoveryError,
+    ShapeError,
+    StateInconsistencyError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_machine_failure_carries_machine_id():
+    err = MachineFailure(3)
+    assert err.machine_id == 3
+    assert "machine 3" in str(err)
+
+
+def test_communication_error_carries_endpoints():
+    err = CommunicationError(1, 2)
+    assert (err.src, err.dst) == (1, 2)
+    assert "worker 1" in str(err)
+
+
+def test_custom_messages_respected():
+    assert str(MachineFailure(0, "boom")) == "boom"
+    assert str(CommunicationError(0, 1, "link down")) == "link down"
+
+
+def test_catching_the_family():
+    with pytest.raises(ReproError):
+        raise NotInvertibleError("no undo")

@@ -1,0 +1,118 @@
+"""Trace metrics, CSV export, and the CLI experiment runner."""
+
+import numpy as np
+import pytest
+
+from helpers import make_dp_engine
+from repro.cli import main as cli_main
+from repro.cluster import FailureEvent, FailurePhase, FailureSchedule
+from repro.core import SwiftTrainer, TrainerConfig
+from repro.utils.metrics import (
+    goodput,
+    loss_curve_distance,
+    summarize_trace,
+    trace_to_csv,
+)
+
+
+def run_trace(with_failure=False, iterations=12):
+    eng = make_dp_engine()
+    trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=5))
+    failures = None
+    if with_failure:
+        failures = FailureSchedule(
+            [FailureEvent(1, 7, FailurePhase.MID_UPDATE, after_updates=1)]
+        )
+    return trainer.train(iterations, failures=failures)
+
+
+class TestSummary:
+    def test_basic_fields(self):
+        trace = run_trace()
+        s = summarize_trace(trace, samples_per_iteration=16)
+        assert s.iterations == 12
+        assert s.steady_throughput > 0
+        assert s.num_checkpoints == 3  # iterations 0, 5, 10
+        assert s.num_recoveries == 0
+        assert s.final_loss == trace.losses[-1]
+
+    def test_recovery_counted(self):
+        trace = run_trace(with_failure=True)
+        s = summarize_trace(trace, 16)
+        assert s.num_recoveries == 1
+        assert s.recovery_time > 0
+
+    def test_overhead_fraction_bounded(self):
+        s = summarize_trace(run_trace(), 16)
+        assert 0.0 <= s.overhead_fraction < 1.0
+
+    def test_goodput_below_steady_throughput(self):
+        trace = run_trace(with_failure=True)
+        s = summarize_trace(trace, 16)
+        assert goodput(trace, 16) <= s.steady_throughput
+
+
+class TestLossCurveDistance:
+    def test_identical_curves(self):
+        assert loss_curve_distance([1.0, 0.5], [1.0, 0.5]) == 0.0
+
+    def test_max_abs(self):
+        assert loss_curve_distance([1.0, 0.5], [1.1, 0.2]) == pytest.approx(0.3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            loss_curve_distance([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        assert loss_curve_distance([], []) == 0.0
+
+    def test_recovered_run_has_zero_distance(self):
+        ref = run_trace()
+        rec = run_trace(with_failure=True)
+        assert loss_curve_distance(ref.losses, rec.losses) < 1e-6
+
+
+class TestCsvExport:
+    def test_header_and_rows(self):
+        trace = run_trace(iterations=5)
+        csv_text = trace_to_csv(trace, 16)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "iteration,loss,sim_time_s,throughput"
+        assert len(lines) == 6
+        first = lines[1].split(",")
+        assert first[0] == "0"
+        assert float(first[1]) == pytest.approx(trace.losses[0])
+
+
+class TestCLI:
+    def test_workloads(self, capsys):
+        assert cli_main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "Wide-ResNet-50" in out and "BERT-128" in out
+
+    def test_table3(self, capsys):
+        assert cli_main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "24.66" in out and "8.05" in out
+
+    def test_table5_fast(self, capsys):
+        assert cli_main(["table5", "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "Wide-ResNet-50" in out
+
+    @pytest.mark.parametrize("workload", ["wrn", "vit", "bert"])
+    def test_fig8(self, workload, capsys):
+        assert cli_main(["fig8", workload]) == 0
+        out = capsys.readouterr().out
+        assert "recovery" in out
+
+    def test_plan(self, capsys):
+        assert cli_main(["plan", "--workload", "bert",
+                         "--budget-gb", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "groups" in out and "expected recovery" in out
+
+    def test_plan_rejects_dp_workload(self, capsys):
+        # wrn is not a planner choice at parser level
+        with pytest.raises(SystemExit):
+            cli_main(["plan", "--workload", "wrn", "--budget-gb", "1"])

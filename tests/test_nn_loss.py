@@ -1,0 +1,76 @@
+"""Loss function correctness."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, MSELoss
+
+RNG = np.random.default_rng(0)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        loss = CrossEntropyLoss()
+        value = loss(np.zeros((4, 5)), np.array([0, 1, 2, 3]))
+        assert value == pytest.approx(np.log(5))
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        assert CrossEntropyLoss()(logits, np.array([1, 2])) < 1e-6
+
+    def test_gradient_matches_finite_difference(self):
+        logits = RNG.normal(size=(3, 4))
+        targets = np.array([1, 0, 3])
+        loss = CrossEntropyLoss()
+        loss(logits, targets)
+        grad = loss.backward()
+        eps = 1e-6
+        for i, j in [(0, 1), (2, 3), (1, 0)]:
+            pert = logits.copy()
+            pert[i, j] += eps
+            up = CrossEntropyLoss()(pert, targets)
+            pert[i, j] -= 2 * eps
+            down = CrossEntropyLoss()(pert, targets)
+            assert np.isclose((up - down) / (2 * eps), grad[i, j], atol=1e-6)
+
+    def test_token_level_inputs(self):
+        logits = RNG.normal(size=(2, 3, 5))
+        targets = RNG.integers(0, 5, size=(2, 3))
+        loss = CrossEntropyLoss()
+        value = loss(logits, targets)
+        assert np.isfinite(value)
+        assert loss.backward().shape == logits.shape
+
+    def test_gradient_sums_to_zero_per_row(self):
+        logits = RNG.normal(size=(4, 6))
+        loss = CrossEntropyLoss()
+        loss(logits, np.array([0, 1, 2, 3]))
+        assert np.allclose(loss.backward().sum(axis=-1), 0.0, atol=1e-12)
+
+    def test_accuracy(self):
+        logits = np.array([[10.0, 0.0], [0.0, 10.0]])
+        loss = CrossEntropyLoss()
+        loss(logits, np.array([0, 0]))
+        assert loss.accuracy() == 0.5
+
+    def test_backward_before_forward_fails(self):
+        with pytest.raises(AssertionError):
+            CrossEntropyLoss().backward()
+
+
+class TestMSE:
+    def test_zero_for_equal(self):
+        x = RNG.normal(size=(3, 3))
+        assert MSELoss()(x, x) == 0.0
+
+    def test_value(self):
+        assert MSELoss()(np.array([2.0]), np.array([0.0])) == pytest.approx(4.0)
+
+    def test_gradient(self):
+        pred = RNG.normal(size=(4, 2))
+        target = RNG.normal(size=(4, 2))
+        loss = MSELoss()
+        loss(pred, target)
+        assert np.allclose(loss.backward(), 2 * (pred - target) / pred.size)

@@ -1,0 +1,147 @@
+"""Operator (tensor) parallelism: exactness vs the unsharded reference."""
+
+import numpy as np
+import pytest
+
+from helpers import numerical_grad_check
+from repro.errors import ConfigurationError
+from repro.nn import GELU, Linear
+from repro.parallel.operator_parallel import (
+    ColumnParallelLinear,
+    RowParallelLinear,
+    TensorParallelMLP,
+    shard_linear_by_columns,
+    shard_linear_by_rows,
+)
+from repro.utils.seeding import RngStream
+
+RNG = np.random.default_rng(5)
+
+
+class TestSharding:
+    def test_column_shards_reassemble_exactly(self):
+        layer = Linear(6, 8, rng=RngStream(1))
+        shards = shard_linear_by_columns(layer, 4)
+        x = RNG.normal(size=(3, 6))
+        stitched = np.concatenate([s(x) for s in shards], axis=-1)
+        assert np.array_equal(stitched, layer(x))
+
+    def test_row_shards_sum_exactly(self):
+        layer = Linear(8, 5, rng=RngStream(2))
+        shards = shard_linear_by_rows(layer, 4)
+        x = RNG.normal(size=(3, 8))
+        total = sum(
+            s(x[..., i * 2 : (i + 1) * 2]) for i, s in enumerate(shards)
+        )
+        assert np.allclose(total, layer(x), atol=1e-12)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_linear_by_columns(Linear(4, 6), 4)
+        with pytest.raises(ConfigurationError):
+            shard_linear_by_rows(Linear(6, 4), 4)
+
+    def test_bias_kept_once_in_row_sharding(self):
+        layer = Linear(8, 5, rng=RngStream(3))
+        shards = shard_linear_by_rows(layer, 2)
+        assert shards[0].bias is not None
+        assert shards[1].bias is None
+
+
+class TestParallelLayers:
+    def test_column_parallel_matches_reference(self):
+        ref_rng = RngStream(4, "cp")
+        ref = Linear(6, 8, rng=ref_rng)
+        par = ColumnParallelLinear(6, 8, world_size=2, rng=RngStream(4, "cp"))
+        x = RNG.normal(size=(3, 6))
+        assert np.array_equal(ref(x), par(x))
+
+    def test_row_parallel_matches_reference(self):
+        ref = Linear(8, 6, rng=RngStream(5, "rp"))
+        par = RowParallelLinear(8, 6, world_size=4, rng=RngStream(5, "rp"))
+        x = RNG.normal(size=(3, 8))
+        assert np.allclose(ref(x), par(x), atol=1e-12)
+
+    def test_column_parallel_gradients(self):
+        numerical_grad_check(
+            ColumnParallelLinear(4, 6, 2, rng=RngStream(6)),
+            RNG.normal(size=(3, 4)),
+        )
+
+    def test_row_parallel_gradients(self):
+        numerical_grad_check(
+            RowParallelLinear(6, 4, 3, rng=RngStream(7)),
+            RNG.normal(size=(3, 6)),
+        )
+
+    def test_comm_volume_reported(self):
+        par = RowParallelLinear(8, 6, world_size=4)
+        par(RNG.normal(size=(2, 8)))
+        # all-reduce volume of a (2, 6) float64 output across 4 workers
+        assert par.comm_bytes_forward == 2 * 6 * 8 * 2 * 3 // 4
+
+    def test_world_size_one_is_plain_linear(self):
+        par = ColumnParallelLinear(4, 4, world_size=1, rng=RngStream(8))
+        ref = Linear(4, 4, rng=RngStream(8, "colparallel"))
+        x = RNG.normal(size=(2, 4))
+        assert par(x).shape == ref(x).shape
+
+
+class TestTensorParallelMLP:
+    def reference_mlp(self, dim, hidden, rng_key):
+        """Unsharded equivalent built from the same RNG streams."""
+        rng = RngStream(9, rng_key)
+        fc1 = Linear(dim, hidden, rng=rng.child("expand", "colparallel"))
+        fc2 = Linear(hidden, dim, rng=rng.child("contract", "rowparallel"))
+        act = GELU()
+        return fc1, act, fc2
+
+    def test_matches_unsharded_computation(self):
+        rng = RngStream(9, "mlp")
+        mlp = TensorParallelMLP(6, 12, world_size=2, rng=rng)
+        # rebuild references from the shards themselves
+        x = RNG.normal(size=(4, 6))
+        full_w1 = np.concatenate(
+            [s.weight.data for s in mlp.expand.shards], axis=0
+        )
+        full_b1 = np.concatenate(
+            [s.bias.data for s in mlp.expand.shards], axis=0
+        )
+        full_w2 = np.concatenate(
+            [s.weight.data for s in mlp.contract.shards], axis=1
+        )
+        h = x @ full_w1.T + full_b1
+        act = GELU()
+        h = act(h)
+        expected = h @ full_w2.T + mlp.contract.shards[0].bias.data
+        assert np.allclose(mlp(x), expected, atol=1e-12)
+
+    def test_gradients(self):
+        numerical_grad_check(
+            TensorParallelMLP(4, 8, world_size=2, rng=RngStream(10)),
+            RNG.normal(size=(3, 4)),
+            atol=1e-4,
+        )
+
+    def test_trains(self):
+        from repro.nn import MSELoss
+        from repro.optim import SGD
+
+        mlp = TensorParallelMLP(4, 8, world_size=2, rng=RngStream(11))
+        opt = SGD(mlp, lr=0.05)
+        x = RNG.normal(size=(8, 4))
+        y = RNG.normal(size=(8, 4))
+        losses = []
+        for _ in range(100):
+            mlp.zero_grad()
+            lf = MSELoss()
+            losses.append(lf(mlp(x), y))
+            mlp.backward(lf.backward())
+            opt.step()
+        assert losses[-1] < 0.6 * losses[0]
+
+    def test_comm_pattern_one_allreduce(self):
+        mlp = TensorParallelMLP(4, 8, world_size=2, rng=RngStream(12))
+        x = RNG.normal(size=(2, 4))
+        mlp(x)
+        assert mlp.comm_bytes_forward > 0

@@ -1,0 +1,104 @@
+"""Learning-rate schedulers and their interaction with update-undo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    ConstantLR,
+    CosineLR,
+    SGDMomentum,
+    StepDecayLR,
+    WarmupLR,
+)
+
+
+def make_opt(lr=0.1):
+    return SGD([("p", Parameter(np.ones(4)))], lr=lr)
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantLR(make_opt(0.1))
+        assert [sched.step() for _ in range(3)] == [0.1, 0.1, 0.1]
+
+    def test_step_decay(self):
+        sched = StepDecayLR(make_opt(1.0), step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs == pytest.approx([1.0, 1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_cosine_endpoints(self):
+        sched = CosineLR(make_opt(1.0), total_steps=10, min_lr=0.0)
+        assert sched.lr_at(0) == pytest.approx(1.0)
+        assert sched.lr_at(5) == pytest.approx(0.5)
+        assert sched.lr_at(10) == pytest.approx(0.0)
+        assert sched.lr_at(15) == pytest.approx(0.0)  # clamps
+
+    def test_cosine_monotone_decreasing(self):
+        sched = CosineLR(make_opt(1.0), total_steps=20)
+        lrs = [sched.lr_at(t) for t in range(21)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_warmup_ramps_linearly(self):
+        sched = WarmupLR(make_opt(1.0), warmup_steps=4)
+        lrs = [sched.lr_at(t) for t in range(4)]
+        assert lrs == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_warmup_then_cosine(self):
+        opt = make_opt(1.0)
+        sched = WarmupLR(opt, warmup_steps=2,
+                         after=CosineLR(opt, total_steps=10))
+        assert sched.lr_at(2) == pytest.approx(1.0)  # cosine start
+        assert sched.lr_at(12) == pytest.approx(0.0)  # cosine end
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StepDecayLR(make_opt(), step_size=0)
+        with pytest.raises(ConfigurationError):
+            CosineLR(make_opt(), total_steps=0)
+        with pytest.raises(ConfigurationError):
+            WarmupLR(make_opt(), warmup_steps=0)
+
+    def test_state_dict_roundtrip(self):
+        sched = CosineLR(make_opt(1.0), total_steps=10)
+        for _ in range(4):
+            sched.step()
+        state = sched.state_dict()
+        other = CosineLR(make_opt(1.0), total_steps=10)
+        other.load_state_dict(state)
+        assert other.step() == sched.step()
+
+
+class TestSchedulerUndoInteraction:
+    def test_undo_uses_stepwise_lr(self):
+        """Undo after a decayed step must invert with the decayed lr."""
+        p = Parameter(np.array([1.0]))
+        opt = SGDMomentum([("p", p)], lr=1.0, momentum=0.0)
+        sched = StepDecayLR(opt, step_size=1, gamma=0.5)
+        history = [np.array(p.data, copy=True)]
+        for _ in range(3):  # lrs 1.0, 0.5, 0.25
+            sched.step()
+            p.grad = np.array([1.0])
+            opt.step_param("p")
+            history.append(np.array(p.data, copy=True))
+        # undo the third step with the scheduler already advanced
+        sched.step()  # lr would now be 0.125
+        opt.lr = sched.lr_at(sched.t)
+        opt.undo_param("p")
+        assert np.allclose(p.data, history[2], atol=1e-12)
+
+    def test_rewind_for_replay(self):
+        """Recovery replays from a checkpoint step: lr sequence re-derives."""
+        opt = make_opt(1.0)
+        sched = CosineLR(opt, total_steps=100)
+        original = [sched.step() for _ in range(10)]
+        sched.rewind_to(4)
+        replayed = [sched.step() for _ in range(6)]
+        assert replayed == pytest.approx(original[4:])
+
+    def test_rewind_validation(self):
+        sched = ConstantLR(make_opt())
+        with pytest.raises(ConfigurationError):
+            sched.rewind_to(-1)

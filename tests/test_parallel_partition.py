@@ -1,0 +1,120 @@
+"""Model partitioning: optimality, validity, edge cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models import make_mlp
+from repro.nn import Identity, Sequential
+from repro.parallel import partition_balanced, partition_by_sizes, stage_boundaries
+
+settings.register_profile("part", deadline=None, max_examples=60)
+settings.load_profile("part")
+
+
+class TestStageBoundaries:
+    def test_uniform_weights_split_evenly(self):
+        assert stage_boundaries([1] * 8, 4) == [2, 2, 2, 2]
+
+    def test_covers_all_layers(self):
+        sizes = stage_boundaries([3, 1, 1, 1, 3, 1], 3)
+        assert sum(sizes) == 6
+
+    def test_single_stage(self):
+        assert stage_boundaries([5, 1, 2], 1) == [3]
+
+    def test_stage_per_layer(self):
+        assert stage_boundaries([1, 2, 3], 3) == [1, 1, 1]
+
+    def test_too_many_stages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stage_boundaries([1, 2], 3)
+
+    def test_minimizes_bottleneck(self):
+        # weights [5,1,1,1,5]: best 3-way split bottleneck is 5
+        sizes = stage_boundaries([5, 1, 1, 1, 5], 3)
+        cum, idx = [], 0
+        for s in sizes:
+            cum.append(sum([5, 1, 1, 1, 5][idx : idx + s]))
+            idx += s
+        assert max(cum) == 5
+
+    @given(
+        weights=st.lists(st.integers(1, 50), min_size=1, max_size=20),
+        data=st.data(),
+    )
+    def test_property_valid_and_nonempty(self, weights, data):
+        k = data.draw(st.integers(1, len(weights)))
+        sizes = stage_boundaries(weights, k)
+        assert len(sizes) == k
+        assert sum(sizes) == len(weights)
+        assert all(s >= 1 for s in sizes)
+
+    @given(
+        weights=st.lists(st.integers(1, 30), min_size=2, max_size=12),
+        data=st.data(),
+    )
+    def test_property_bottleneck_optimal(self, weights, data):
+        """Compare against brute-force optimal bottleneck."""
+        from itertools import combinations
+
+        k = data.draw(st.integers(1, len(weights)))
+        sizes = stage_boundaries(weights, k)
+        got, idx = [], 0
+        for s in sizes:
+            got.append(sum(weights[idx : idx + s]))
+            idx += s
+        best = None
+        n = len(weights)
+        for cuts in combinations(range(1, n), k - 1):
+            bounds = [0, *cuts, n]
+            bottleneck = max(
+                sum(weights[a:b]) for a, b in zip(bounds, bounds[1:])
+            )
+            best = bottleneck if best is None else min(best, bottleneck)
+        assert max(got) == best
+
+
+class TestPartition:
+    def test_by_sizes(self):
+        model = Sequential([Identity() for _ in range(5)])
+        stages = partition_by_sizes(model, [2, 3])
+        assert [len(s) for s in stages] == [2, 3]
+
+    def test_sizes_must_cover(self):
+        model = Sequential([Identity() for _ in range(5)])
+        with pytest.raises(ConfigurationError):
+            partition_by_sizes(model, [2, 2])
+
+    def test_empty_stage_rejected(self):
+        model = Sequential([Identity() for _ in range(3)])
+        with pytest.raises(ConfigurationError):
+            partition_by_sizes(model, [3, 0])
+
+    def test_balanced_by_params(self):
+        model = make_mlp(8, 16, 4, depth=3)
+        stages = partition_balanced(model, 3)
+        assert sum(len(s) for s in stages) == len(model)
+        counts = [s.num_parameters() for s in stages]
+        assert max(counts) < model.num_parameters()
+
+    def test_partition_preserves_semantics(self):
+        import numpy as np
+
+        model = make_mlp(6, 12, 3, depth=2, seed=4)
+        stages = partition_balanced(model, 3)
+        x = np.random.default_rng(0).normal(size=(2, 6))
+        full = model(x)
+        h = x
+        for s in stages:
+            h = s(h)
+        assert np.array_equal(full, h)
+
+    def test_stages_share_parameters_with_model(self):
+        """Partition slices reference the original layers (no copies)."""
+        model = make_mlp(6, 12, 3, depth=2)
+        stages = partition_balanced(model, 2)
+        stage_param_ids = {id(p) for s in stages for p in s.parameters()}
+        model_param_ids = {id(p) for p in model.parameters()}
+        assert stage_param_ids == model_param_ids

@@ -1,0 +1,271 @@
+"""Evaluation layer: workload constants, cost model, simulators.
+
+These tests pin the reproduction to the paper's published numbers
+(Tables 2-4) and to the qualitative shapes of Figures 3, 8-13 and Table 5.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import checkfreq_interval
+from repro.sim import (
+    BERT_128,
+    VIT_128_32,
+    WIDE_RESNET_50,
+    WORKLOADS,
+    CostModel,
+    EndToEndSimulator,
+    ThroughputSimulator,
+)
+
+GB = 1e9
+
+
+class TestWorkloadConstants:
+    def test_table2_parameters(self):
+        assert WIDE_RESNET_50.num_params == pytest.approx(1.23e9)
+        assert VIT_128_32.num_params == pytest.approx(1.64e9)
+        assert BERT_128.num_params == pytest.approx(1.11e9)
+
+    def test_wrn_state_is_9_8_gb(self):
+        """Section 2.2: 'a model state size of 9.8GB'."""
+        assert WIDE_RESNET_50.state_bytes == pytest.approx(9.84e9, rel=0.01)
+
+    def test_pipeline_shapes(self):
+        for w in (VIT_128_32, BERT_128):
+            assert w.num_stages == 128
+            assert w.num_workers == 128
+            assert w.parallelism == "PP"
+
+    def test_micro_batch_sizes(self):
+        assert VIT_128_32.micro_batch_size == 256
+        assert BERT_128.micro_batch_size == 128
+
+    def test_table4_iteration_times(self):
+        assert WIDE_RESNET_50.iteration_time == pytest.approx(3.832, abs=0.01)
+        assert VIT_128_32.iteration_time == pytest.approx(3.292, abs=0.01)
+        assert BERT_128.iteration_time == pytest.approx(3.320, abs=0.01)
+
+    def test_table3_logging_volumes(self):
+        """The headline Table 3 numbers, within 1%."""
+        assert VIT_128_32.logging_bytes_per_iteration(16) == pytest.approx(
+            24.66 * GB, rel=0.01
+        )
+        assert VIT_128_32.logging_bytes_per_iteration(8) == pytest.approx(
+            11.51 * GB, rel=0.01
+        )
+        assert BERT_128.logging_bytes_per_iteration(16) == pytest.approx(
+            8.05 * GB, rel=0.01
+        )
+        assert BERT_128.logging_bytes_per_iteration(8) == pytest.approx(
+            3.76 * GB, rel=0.01
+        )
+
+    def test_dp_workload_logs_nothing(self):
+        assert WIDE_RESNET_50.logging_bytes_per_iteration() == 0.0
+
+    def test_registry(self):
+        assert set(WORKLOADS) == {"Wide-ResNet-50", "ViT-128/32", "BERT-128"}
+
+
+class TestCostModel:
+    def test_table3_bandwidth_column(self):
+        """Average consumed bandwidth: ViT 0.23/0.11, BERT 0.075/0.035 GB/s."""
+        vit, bert = CostModel(VIT_128_32), CostModel(BERT_128)
+        assert vit.logging_bandwidth_per_machine(16) == pytest.approx(
+            0.23 * GB, rel=0.02
+        )
+        assert vit.logging_bandwidth_per_machine(8) == pytest.approx(
+            0.107 * GB, rel=0.05
+        )
+        assert bert.logging_bandwidth_per_machine(16) == pytest.approx(
+            0.075 * GB, rel=0.02
+        )
+        assert bert.logging_bandwidth_per_machine(8) == pytest.approx(
+            0.035 * GB, rel=0.02
+        )
+
+    def test_snapshot_forced_to_cpu_for_wrn(self):
+        """Section 2.2: 30.4 of 32 GB used -> PCIe snapshot."""
+        cost = CostModel(WIDE_RESNET_50)
+        stall = cost.snapshot_stall()
+        assert stall == pytest.approx(9.84e9 / cost.hw.snapshot_bw, rel=0.01)
+        # the tuned CheckFreq interval lands on the paper's 30
+        assert checkfreq_interval(
+            cost.iteration_time, stall, 0.035
+        ) == 30
+
+    def test_small_model_snapshots_on_gpu(self):
+        cost = CostModel(WIDE_RESNET_50)
+        assert cost.snapshot_stall(gpu_used_bytes=1 * GB) < 0.05
+
+    def test_pipelined_checkpoint_is_cheap(self):
+        """Section 7.1: BERT-128 checkpoint overhead 0.93 s — sub-second."""
+        stall = CostModel(BERT_128).global_checkpoint_stall()
+        assert 0.05 < stall < 2.0
+
+    def test_logging_fits_bubble_for_paper_workloads(self):
+        for w in (VIT_128_32, BERT_128):
+            cost = CostModel(w)
+            assert cost.logging_overhead("bubble") == 0.0
+            assert cost.logging_overhead("sync") > 0.0
+
+    def test_sync_worse_than_async_worse_than_bubble(self):
+        cost = CostModel(VIT_128_32)
+        assert (
+            cost.logging_overhead("bubble")
+            < cost.logging_overhead("async")
+            < cost.logging_overhead("sync")
+        )
+
+    def test_recovery_ordering(self):
+        """The Figure 8 ordering: replication ≪ logging+PR < logging < ckpt."""
+        cost = CostModel(VIT_128_32)
+        lost = 50
+        ckpt = cost.recovery_global_checkpoint(lost).recovery_time
+        log = cost.recovery_logging(lost, 1, 1).recovery_time
+        log_pr = cost.recovery_logging(lost, 1, 16).recovery_time
+        assert log < ckpt
+        assert log_pr < log
+        repl = CostModel(WIDE_RESNET_50).recovery_replication().recovery_time
+        assert repl < 0.05 * ckpt
+
+    def test_bigger_groups_recover_slower(self):
+        cost = CostModel(VIT_128_32)
+        one = cost.recovery_logging(50, machines_per_group=1).recovery_time
+        two = cost.recovery_logging(50, machines_per_group=2).recovery_time
+        assert two > one
+
+    def test_logging_recovery_rejected_for_dp(self):
+        with pytest.raises(ValueError):
+            CostModel(WIDE_RESNET_50).recovery_logging(10)
+
+
+class TestThroughputSimulator:
+    def test_swift_matches_normal_throughput(self):
+        """Figure 8a top: Swift == normal training between checkpoints."""
+        sim = ThroughputSimulator(WIDE_RESNET_50)
+        swift = sim.swift_replication()
+        cf = sim.checkfreq()
+        eh = sim.elastic_horovod()
+        assert swift.steady_throughput >= cf.steady_throughput
+        assert swift.steady_throughput >= eh.steady_throughput
+
+    def test_snapshot_iterations_visibly_slower(self):
+        """Figure 3: iterations 30/60/90 spike under CheckFreq."""
+        sim = ThroughputSimulator(WIDE_RESNET_50)
+        cf = sim.checkfreq()
+        snap_iters = [p.iteration for p in cf.points if p.event == "snapshot"]
+        assert snap_iters  # periodic snapshots exist
+        base = cf.steady_throughput
+        for p in cf.points:
+            if p.event == "snapshot":
+                assert p.throughput < base
+
+    def test_recovery_time_reductions_match_paper_shape(self):
+        """Figure 8a bottom: ~98% reduction vs all three baselines."""
+        sim = ThroughputSimulator(WIDE_RESNET_50)
+        swift = sim.swift_replication().recovery_time
+        for baseline in (sim.global_checkpointing(), sim.checkfreq(),
+                         sim.elastic_horovod()):
+            reduction = 1 - swift / baseline.recovery_time
+            assert reduction > 0.95
+
+    def test_logging_recovery_reduction(self):
+        """Figure 8b/8c bottom: logging beats global ckpt; PR beats logging;
+        8 groups slower than 16 groups."""
+        for w in (VIT_128_32, BERT_128):
+            sim = ThroughputSimulator(w)
+            ckpt = sim.global_checkpointing().recovery_time
+            g16 = sim.swift_logging(num_groups=16).recovery_time
+            g8 = sim.swift_logging(num_groups=8).recovery_time
+            pr = sim.swift_logging(num_groups=16, parallel_degree=16)
+            assert g16 < ckpt
+            assert g8 > g16
+            assert pr.recovery_time < g16
+
+    def test_sync_logging_degrades_throughput(self):
+        """Figure 8b top: synchronous logging visibly slower."""
+        sim = ThroughputSimulator(VIT_128_32)
+        sync = sim.swift_logging(mode="sync")
+        bubble = sim.swift_logging(mode="bubble")
+        assert sync.steady_throughput < 0.9 * bubble.steady_throughput
+
+    def test_recovery_timeline_goes_dark_then_recovers(self):
+        """Figure 9 shape: zero throughput during recovery, then steady."""
+        sim = ThroughputSimulator(VIT_128_32)
+        series = sim.recovery_timeline("swift_logging", num_groups=16)
+        values = [v for _, v in series]
+        assert values[0] == 0.0 and values[-1] == 1.0
+        # monotone step: once recovered, stays recovered
+        switched = values.index(1.0)
+        assert all(v == 1.0 for v in values[switched:])
+
+
+class TestEndToEndSimulator:
+    def test_table5_speedups(self):
+        """Swift end-to-end speedups: ~1.16x (WRN), ~1.10x (BERT), ~1x (ViT)."""
+        wrn = EndToEndSimulator(WIDE_RESNET_50, repeats=5, seed=1)
+        ckpt = wrn.simulate("global_checkpoint").mean_hours
+        swift = wrn.simulate("swift_replication").mean_hours
+        speedup = ckpt / swift
+        assert 1.05 < speedup < 1.35
+
+        bert = EndToEndSimulator(BERT_128, repeats=5, seed=1)
+        speedup_bert = (
+            bert.simulate("global_checkpoint").mean_hours
+            / bert.simulate("swift_logging_pr").mean_hours
+        )
+        assert 1.02 < speedup_bert < 1.3
+
+        vit = EndToEndSimulator(VIT_128_32, repeats=5, seed=1)
+        speedup_vit = (
+            vit.simulate("global_checkpoint").mean_hours
+            / vit.simulate("swift_logging_pr").mean_hours
+        )
+        assert 0.98 < speedup_vit < 1.1  # short job: little benefit
+
+    def test_failure_counts_scale_with_duration(self):
+        """Table 5: ~28 failures for 480h jobs, ~5 for 86h jobs at 17h MTBF."""
+        wrn = EndToEndSimulator(WIDE_RESNET_50, repeats=10, seed=2)
+        r = wrn.simulate("global_checkpoint")
+        assert 12 < r.mean_failures < 40
+        vit = EndToEndSimulator(VIT_128_32, repeats=10, seed=2)
+        assert vit.simulate("global_checkpoint").mean_failures < 12
+
+    def test_no_failures_with_huge_mtbf(self):
+        sim = EndToEndSimulator(WIDE_RESNET_50, repeats=2, seed=3)
+        r = sim.simulate("swift_replication", median_tbf_hours=1e9)
+        assert r.mean_failures == 0
+        assert r.mean_hours == pytest.approx(r.failure_free_hours, rel=1e-6)
+
+    def test_interval_sweep_is_convex_ish(self):
+        """Figure 12: an interior optimal checkpoint interval exists."""
+        sim = EndToEndSimulator(WIDE_RESNET_50, repeats=5, seed=4)
+        intervals = [20, 300, 5000, 100000]
+        hours = [r.mean_hours for r in
+                 sim.sweep_interval("global_checkpoint", intervals)]
+        best = int(np.argmin(hours))
+        assert 0 < best < len(intervals) - 1
+
+    def test_mtbf_sweep_monotone(self):
+        """Figure 13: rarer failures => shorter total time."""
+        sim = EndToEndSimulator(WIDE_RESNET_50, repeats=5, seed=5)
+        results = sim.sweep_mtbf("global_checkpoint", [4, 17, 68])
+        hours = [r.mean_hours for r in results]
+        assert hours == sorted(hours, reverse=True)
+
+    def test_swift_wins_at_every_mtbf(self):
+        """Figure 13: Swift shortest at all failure frequencies."""
+        sim = EndToEndSimulator(WIDE_RESNET_50, repeats=5, seed=6)
+        for mtbf in (4.0, 17.0, 68.0):
+            ckpt = sim.simulate("global_checkpoint",
+                                median_tbf_hours=mtbf).mean_hours
+            swift = sim.simulate("swift_replication",
+                                 median_tbf_hours=mtbf).mean_hours
+            assert swift < ckpt
+
+    def test_unknown_method_rejected(self):
+        sim = EndToEndSimulator(WIDE_RESNET_50, repeats=1)
+        with pytest.raises(ValueError):
+            sim.simulate("bogus")

@@ -1,0 +1,90 @@
+"""Long-run storage invariants: GC keeps logs bounded (Section 5.1).
+
+"Even though the logging size increases as the number of iterations
+increases, the size is upper bounded due to periodic global
+checkpointing."
+"""
+
+import numpy as np
+
+from helpers import make_pp_engine
+from repro.core import GroupingPlan, SwiftTrainer, TrainerConfig
+
+
+class TestLogStorageBound:
+    def test_log_bytes_bounded_by_checkpoint_interval(self):
+        eng = make_pp_engine()
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=5))
+        peak = 0
+        per_iter = None
+        for _ in range(31):
+            eng_iter = eng.iteration
+            if eng_iter > 0 and eng_iter % 5 == 0:
+                stall = trainer.take_checkpoint()
+                assert stall > 0
+            eng.run_iteration()
+            total = trainer.tlog.total_bytes()
+            peak = max(peak, total)
+            if per_iter is None and eng.iteration == 1:
+                per_iter = total
+        # never more than (interval) iterations of logs alive
+        assert peak <= 5 * per_iter + 1e-9
+
+    def test_gc_frees_monotonically(self):
+        eng = make_pp_engine()
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=4))
+        trainer.train(13)
+        live_iterations = set(trainer.tlog.bytes_per_iteration)
+        assert all(it >= 12 for it in live_iterations)
+
+    def test_selective_logging_stores_less(self):
+        eng_all = make_pp_engine()
+        t_all = SwiftTrainer(eng_all, TrainerConfig(checkpoint_interval=50))
+        t_all.train(5)
+
+        eng_sel = make_pp_engine()
+        t_sel = SwiftTrainer(
+            eng_sel, TrainerConfig(checkpoint_interval=50),
+            grouping=GroupingPlan.of([[0, 1], [2, 3]]),
+        )
+        t_sel.train(5)
+        assert t_sel.tlog.total_bytes() < t_all.tlog.total_bytes()
+        # with 2 groups of 2, exactly one of three boundaries is logged
+        assert t_sel.tlog.total_bytes() * 3 == t_all.tlog.total_bytes()
+
+    def test_checkpoint_store_grows_per_checkpoint(self):
+        eng = make_pp_engine()
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=3))
+        trainer.train(10)
+        keys = eng.cluster.global_store.keys()
+        ckpt_iters = {int(k.split("/")[1]) for k in keys
+                      if k.startswith("ckpt/")}
+        assert ckpt_iters == {0, 3, 6, 9}
+
+
+class TestPublicAPI:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.cluster
+        import repro.comm
+        import repro.core
+        import repro.data
+        import repro.models
+        import repro.nn
+        import repro.optim
+        import repro.parallel
+        import repro.sim
+        import repro.utils
+
+        for module in (repro.cluster, repro.comm, repro.core, repro.data,
+                       repro.models, repro.nn, repro.optim, repro.parallel,
+                       repro.sim, repro.utils):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    module.__name__, name
+                )
