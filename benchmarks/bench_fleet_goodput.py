@@ -1,0 +1,101 @@
+"""Fleet-level goodput: Swift recovery vs checkpoint-restart, with failures.
+
+The paper evaluates recovery per job; this benchmark lifts the comparison
+to the fleet. The same 3-job mix (elastic DP + PP + DP) runs on the same
+shared cluster under the same two-failure schedule, once with Swift's
+mechanisms (replication / logging replay) and once with every job forced
+to the global-checkpoint-restart baseline. Fleet shapes expected:
+
+* every job completes in every scenario (the scheduler routes failures);
+* failures cost goodput relative to a failure-free run;
+* Swift's fleet recomputes strictly less work than checkpoint-restart —
+  DP jobs resume from the exact pre-failure iteration (zero lost
+  iterations) while the baseline rolls *every* job back to its last
+  global checkpoint.  (Wall-clock goodput is reported but not asserted
+  between the two recovery modes: with the test-scale model an iteration
+  costs milliseconds, so recomputation is nearly free here — the paper's
+  regime, where lost iterations dominate, is priced by ``repro.sim``'s
+  analytic simulators instead.)
+"""
+
+from _common import emit, fmt_table
+from repro.jobs import JobSpec
+from repro.sim import FleetFailure, FleetSimulator
+
+FAILURES = [
+    FleetFailure(round=3, machine_id=0),
+    FleetFailure(round=8, machine_id=1),
+]
+
+
+def make_specs(strategy: str) -> list[JobSpec]:
+    return [
+        JobSpec("dp-a", "dp", num_workers=4, iterations=20, priority=1,
+                elastic=True, min_workers=2, checkpoint_interval=10,
+                strategy=strategy, seed=21),
+        JobSpec("pp-b", "pp", num_workers=4, iterations=20, priority=2,
+                checkpoint_interval=10, strategy=strategy, seed=22),
+        JobSpec("dp-c", "dp", num_workers=4, iterations=20, priority=0,
+                checkpoint_interval=10, strategy=strategy, seed=23),
+    ]
+
+
+def run_fleet(strategy: str, with_failures: bool) -> dict:
+    sim = FleetSimulator(
+        make_specs(strategy),
+        num_machines=7,
+        devices_per_machine=2,
+        num_spares=1,
+        failures=list(FAILURES) if with_failures else [],
+    )
+    report = sim.run()
+    return {
+        "report": report,
+        "completed": all(j.state == "completed" for j in report.jobs),
+    }
+
+
+def run_scenarios() -> dict[str, dict]:
+    return {
+        "no_failures": run_fleet("auto", with_failures=False),
+        "swift": run_fleet("auto", with_failures=True),
+        "ckpt_restart": run_fleet("checkpoint_only", with_failures=True),
+    }
+
+
+def test_fleet_goodput(benchmark):
+    scenarios = benchmark.pedantic(run_scenarios, rounds=1, iterations=1)
+
+    rows = []
+    for name, result in scenarios.items():
+        rep = result["report"]
+        rows.append([
+            name,
+            f"{rep.cluster_goodput:.1f}",
+            f"{rep.makespan:.2f}s",
+            rep.total_recoveries,
+            rep.total_lost_iterations,
+            f"{rep.mean_queueing_delay:.2f}s",
+        ])
+    emit("fleet_goodput", fmt_table(
+        ["scenario", "goodput smp/s", "makespan", "recoveries",
+         "lost iters", "mean queue"],
+        rows,
+    ))
+
+    for name, result in scenarios.items():
+        assert result["completed"], f"{name}: not all jobs completed"
+
+    no_fail = scenarios["no_failures"]["report"]
+    swift = scenarios["swift"]["report"]
+    ckpt = scenarios["ckpt_restart"]["report"]
+    # failures always cost goodput
+    assert swift.cluster_goodput < no_fail.cluster_goodput
+    assert ckpt.cluster_goodput < no_fail.cluster_goodput
+    assert no_fail.total_lost_iterations == 0
+    # Swift's fleet recomputes strictly less work than the baseline
+    assert swift.total_lost_iterations < ckpt.total_lost_iterations
+    # ... and its DP jobs lose nothing at all (replication recovery)
+    for job in swift.jobs:
+        if job.parallelism == "dp":
+            assert job.lost_iterations == 0

@@ -11,10 +11,13 @@ is layered:
   logging-based recovery, parallel recovery, selective logging, strategy
   selection, and the :class:`~repro.core.SwiftTrainer` orchestration loop;
 * :mod:`repro.sim` -- the analytic cost model and simulators behind every
-  table and figure of the paper's evaluation.
+  table and figure of the paper's evaluation;
+* :mod:`repro.jobs` -- the fleet layer: a multi-job gang scheduler with
+  failure-aware placement, spare-pool management, and priority preemption
+  via elastic scale-in/out on one shared cluster.
 """
 
-from repro import cluster, comm, core, data, models, nn, optim, parallel, sim
+from repro import cluster, comm, core, data, jobs, models, nn, optim, parallel, sim
 from repro.core import (
     FTStrategy,
     GroupingPlan,
@@ -39,6 +42,7 @@ __all__ = [
     "parallel",
     "core",
     "sim",
+    "jobs",
     "SwiftTrainer",
     "TrainerConfig",
     "FTStrategy",

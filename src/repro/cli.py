@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli fig8 {wrn|vit|bert}
     python -m repro.cli plan --workload bert --budget-gb 200
     python -m repro.cli workloads
+    python -m repro.cli fleet [--machines 6] [--devices 4] [--spares 1]
 
 Each subcommand prints the same rows the corresponding paper artifact
 reports (the pytest benchmarks under ``benchmarks/`` are the asserted
@@ -19,6 +20,7 @@ import argparse
 import sys
 
 from repro.core import PipelineProfile, SelectiveLoggingPlanner
+from repro.errors import ConfigurationError
 from repro.sim import (
     BERT_128,
     VIT_128_32,
@@ -26,7 +28,9 @@ from repro.sim import (
     WORKLOADS,
     CostModel,
     EndToEndSimulator,
+    FleetSimulator,
     ThroughputSimulator,
+    demo_fleet,
 )
 
 GB = 1e9
@@ -133,6 +137,28 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Multi-tenant fleet demo: mixed DP/PP jobs, preemption, failures."""
+    try:
+        specs, failures = demo_fleet(args.iterations)
+        sim = FleetSimulator(
+            specs,
+            num_machines=args.machines,
+            devices_per_machine=args.devices,
+            num_spares=args.spares,
+            failures=failures,
+        )
+        report = sim.run()
+    except ConfigurationError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    print(f"fleet: {len(specs)} jobs on {args.machines}x{args.devices} "
+          f"shared cluster, {args.spares} spare(s), "
+          f"{len(failures)} injected failures")
+    print(report.format_table())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Swift reproduction experiment runner"
@@ -155,6 +181,15 @@ def build_parser() -> argparse.ArgumentParser:
     f8 = sub.add_parser("fig8", help="macro-benchmark for one workload")
     f8.add_argument("workload", choices=sorted(_WORKLOAD_ALIASES))
     f8.set_defaults(fn=cmd_fig8)
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-job scheduler demo on a shared cluster"
+    )
+    fleet.add_argument("--machines", type=int, default=6)
+    fleet.add_argument("--devices", type=int, default=4)
+    fleet.add_argument("--spares", type=int, default=1)
+    fleet.add_argument("--iterations", type=int, default=30)
+    fleet.set_defaults(fn=cmd_fleet)
 
     plan = sub.add_parser("plan", help="selective-logging group planner")
     plan.add_argument("--workload", choices=["vit", "bert"], default="bert")

@@ -37,6 +37,11 @@ class Device:
     def alive(self) -> bool:
         return self.machine.alive
 
+    @property
+    def local_index(self) -> int:
+        """Index of this device within its machine (the slot coordinate)."""
+        return self.machine.devices.index(self)
+
     def check_alive(self) -> None:
         if not self.alive:
             raise MachineFailure(self.machine.machine_id)

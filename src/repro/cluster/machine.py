@@ -30,6 +30,9 @@ class Machine:
     ):
         self.machine_id = machine_id
         self.alive = True
+        #: how many times this slot's hardware has failed (the signal
+        #: failure-aware placement in :mod:`repro.jobs` steers away from)
+        self.failure_count = 0
         self.devices = [
             Device(machine_id * 1000 + i, self, device_memory)
             for i in range(num_devices)
@@ -42,10 +45,9 @@ class Machine:
     # -- fail-stop -----------------------------------------------------------
     def fail(self) -> None:
         """Crash the machine: all volatile state is lost."""
-        self.alive = False
-        for dev in self.devices:
-            dev.wipe()
-        self._cpu_store.clear()
+        if self.alive:
+            self.failure_count += 1
+        self.take_offline()
 
     def replace(self) -> None:
         """Bring up a replacement with the same identity but empty state.
@@ -54,6 +56,19 @@ class Machine:
         training job" (Section 3); recovery then repopulates its state.
         """
         self.alive = True
+        for dev in self.devices:
+            dev.wipe()
+        self._cpu_store.clear()
+
+    def take_offline(self) -> None:
+        """Mark the machine down without recording a new hardware failure.
+
+        Used by the multi-job scheduler to undo an over-eager replacement:
+        a job's recovery replaces every failed machine it sees, including
+        broken machines it does not own — those must stay down until their
+        own repair/recovery actually happens.
+        """
+        self.alive = False
         for dev in self.devices:
             dev.wipe()
         self._cpu_store.clear()

@@ -59,6 +59,11 @@ class Cluster:
         self.global_store = GlobalStore(network_bw=self.bandwidth.network)
         #: monotonically increasing ids for replacement machines
         self._replacements: list[int] = []
+        #: slot accounting: (machine_id, device_idx) -> owner tag.  Engines
+        #: themselves do not consult the ledger (a single-job run owns the
+        #: whole cluster); the :mod:`repro.jobs` scheduler uses it to share
+        #: one cluster between jobs and the spare pool.
+        self._slot_owner: dict[tuple[int, int], str] = {}
 
     # -- lookup ------------------------------------------------------------
     @property
@@ -79,6 +84,63 @@ class Cluster:
 
     def failed_machines(self) -> list[Machine]:
         return [m for m in self.machines if not m.alive]
+
+    # -- slot accounting ------------------------------------------------------
+    def reserve_slots(
+        self, slots: list[tuple[int, int]], owner: str
+    ) -> None:
+        """Assign free ``(machine_id, device_idx)`` slots to ``owner``."""
+        for slot in slots:
+            holder = self._slot_owner.get(slot)
+            if holder is not None and holder != owner:
+                raise ValueError(
+                    f"slot {slot} already owned by {holder!r}"
+                )
+        for slot in slots:
+            self._slot_owner[slot] = owner
+
+    def release_slots(
+        self, slots: list[tuple[int, int]], owner: str | None = None
+    ) -> None:
+        """Return slots to the free pool (``owner`` asserts ownership)."""
+        for slot in slots:
+            holder = self._slot_owner.get(slot)
+            if owner is not None and holder != owner:
+                raise ValueError(
+                    f"slot {slot} owned by {holder!r}, not {owner!r}"
+                )
+            self._slot_owner.pop(slot, None)
+
+    def release_owner(self, owner: str) -> list[tuple[int, int]]:
+        """Release every slot held by ``owner``; returns the freed slots."""
+        freed = self.owned_slots(owner)
+        for slot in freed:
+            del self._slot_owner[slot]
+        return freed
+
+    def slot_owner(self, machine_id: int, device_idx: int) -> str | None:
+        return self._slot_owner.get((machine_id, device_idx))
+
+    def owned_slots(self, owner: str) -> list[tuple[int, int]]:
+        return sorted(
+            slot for slot, who in self._slot_owner.items() if who == owner
+        )
+
+    def owners_on_machine(self, machine_id: int) -> set[str]:
+        """Distinct owners holding at least one slot on a machine."""
+        return {
+            who for (m, _), who in self._slot_owner.items() if m == machine_id
+        }
+
+    def free_slots(self) -> list[tuple[int, int]]:
+        """Unowned slots on live machines, ordered by (machine, device)."""
+        return [
+            (m.machine_id, d)
+            for m in self.machines
+            if m.alive
+            for d in range(len(m.devices))
+            if (m.machine_id, d) not in self._slot_owner
+        ]
 
     # -- failure handling ---------------------------------------------------
     def fail_machine(self, machine_id: int) -> None:

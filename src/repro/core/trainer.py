@@ -13,7 +13,7 @@ training trace that the benchmark harness turns into the paper's figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -94,12 +94,17 @@ class SwiftTrainer:
         logging_mode: LoggingMode = LoggingMode.BUBBLE,
         snapshots: SnapshotManager | None = None,
         snapshot_interval: int | None = None,
+        checkpoint_prefix: str = "ckpt",
     ):
         self.engine = engine
         self.config = config
         self.clock = clock or engine.clock
         self.cluster = engine.cluster
-        self.checkpoints = CheckpointManager(self.cluster, self.clock)
+        #: distinct prefixes let several jobs share one global store
+        #: without clobbering each other's checkpoints (repro.jobs)
+        self.checkpoints = CheckpointManager(
+            self.cluster, self.clock, key_prefix=checkpoint_prefix
+        )
         self.detector = FailureDetector(self.cluster.kvstore, self.clock)
         #: optional CheckFreq/Elastic-Horovod style snapshotting baseline
         self.snapshots = snapshots
@@ -110,9 +115,6 @@ class SwiftTrainer:
             from repro.core.global_restart import GlobalCheckpointRecovery
 
             self.tlog = None
-            if self.is_pipeline:
-                # logging disabled: the baseline does not record tensors
-                pass
             self.recovery = GlobalCheckpointRecovery(
                 engine,
                 self.checkpoints,
@@ -142,6 +144,12 @@ class SwiftTrainer:
                 self.clock,
                 replacement_join_time=config.replacement_join_time,
             )
+
+        #: running trace; persists across step()/train() calls so a cluster
+        #: scheduler can interleave this trainer with other jobs
+        self.trace = TrainingTrace()
+        self.max_recoveries = 16
+        self._recoveries = 0
 
     # -- checkpoint plumbing --------------------------------------------------
     def _engine_states(self) -> dict[int, dict[str, np.ndarray]]:
@@ -173,60 +181,100 @@ class SwiftTrainer:
             )
 
     # -- the loop -----------------------------------------------------------------
+    def step(self, failures: FailureSchedule | None = None) -> IterationResult:
+        """Attempt one iteration: due checkpoints first, recovery on failure.
+
+        This is the cooperative unit a cluster scheduler interleaves: each
+        call runs at most one iteration of this job and returns.  A failed
+        result means the iteration was interrupted and recovered — the same
+        iteration re-runs on the next call (exactly the semantics of the
+        ``continue`` in the classic :meth:`train` loop).
+        """
+        failures = failures or FailureSchedule()
+        it = self.engine.iteration
+        if (
+            self.config.checkpoint_at_start
+            and self.checkpoints.latest_iteration is None
+        ):
+            stall = self.take_checkpoint()
+            self.trace.checkpoints.append((it, stall))
+        elif (
+            it > 0
+            and it % self.config.checkpoint_interval == 0
+            and self.checkpoints.latest_iteration != it
+        ):
+            stall = self.take_checkpoint()
+            self.trace.checkpoints.append((it, stall))
+        if (
+            self.snapshots is not None
+            and self.snapshot_interval
+            and it > 0
+            and it % self.snapshot_interval == 0
+        ):
+            self.take_snapshot()
+
+        failure = self._due_failure(failures, it)
+        result: IterationResult = self.engine.run_iteration(failure=failure)
+
+        if result.failed:
+            # multiple simultaneous failures: fail the co-scheduled
+            # machines before recovery so it handles them jointly
+            # (Appendix B)
+            for phase in FailurePhase:
+                for extra in failures.pop_due(it, phase):
+                    self.cluster.fail_machine(extra.machine_id)
+            self._recoveries += 1
+            if self._recoveries > self.max_recoveries:
+                raise RecoveryError("too many recoveries; giving up")
+            report = self.recovery.recover()
+            self.trace.recoveries.append(report)
+            return result  # the interrupted iteration re-runs next step
+
+        self.trace.losses.append(result.loss)
+        self.trace.iteration_times.append(result.sim_time)
+        self.trace.iteration_numbers.append(result.iteration)
+        self.trace.wall_times.append(self.clock.now)
+        return result
+
+    def recover_now(self) -> RecoveryReport:
+        """Recover from a failure raised outside :meth:`step`.
+
+        The cluster scheduler uses this to route a shared-cluster machine
+        failure into this job's recovery path between iterations (the
+        machine is already failed and the KV flag raised).
+        """
+        self._recoveries += 1
+        if self._recoveries > self.max_recoveries:
+            raise RecoveryError("too many recoveries; giving up")
+        report = self.recovery.recover()
+        self.trace.recoveries.append(report)
+        return report
+
     def train(
         self,
         num_iterations: int,
         failures: FailureSchedule | None = None,
         max_recoveries: int = 16,
     ) -> TrainingTrace:
-        """Train to ``num_iterations``, recovering from scheduled failures."""
+        """Train to ``num_iterations``, recovering from scheduled failures.
+
+        Returns a trace of *this call* only (the classic API); the
+        lifetime trace across all step()/train() calls stays available as
+        :attr:`trace`.
+        """
         failures = failures or FailureSchedule()
-        trace = TrainingTrace()
-        recoveries = 0
-        if self.config.checkpoint_at_start and self.checkpoints.latest_iteration is None:
-            stall = self.take_checkpoint()
-            trace.checkpoints.append((self.engine.iteration, stall))
-
+        self.max_recoveries = max_recoveries
+        self._recoveries = 0
+        start = {
+            f.name: len(getattr(self.trace, f.name))
+            for f in fields(TrainingTrace)
+        }
         while self.engine.iteration < num_iterations:
-            it = self.engine.iteration
-            if (
-                it > 0
-                and it % self.config.checkpoint_interval == 0
-                and self.checkpoints.latest_iteration != it
-            ):
-                stall = self.take_checkpoint()
-                trace.checkpoints.append((it, stall))
-            if (
-                self.snapshots is not None
-                and self.snapshot_interval
-                and it > 0
-                and it % self.snapshot_interval == 0
-            ):
-                self.take_snapshot()
-
-            failure = self._due_failure(failures, it)
-            result: IterationResult = self.engine.run_iteration(failure=failure)
-
-            if result.failed:
-                # multiple simultaneous failures: fail the co-scheduled
-                # machines before recovery so it handles them jointly
-                # (Appendix B)
-                for phase in FailurePhase:
-                    for extra in failures.pop_due(it, phase):
-                        self.cluster.fail_machine(extra.machine_id)
-                recoveries += 1
-                if recoveries > max_recoveries:
-                    raise RecoveryError("too many recoveries; giving up")
-                report = self.recovery.recover()
-                trace.recoveries.append(report)
-                continue  # re-run the interrupted iteration
-
-            trace.losses.append(result.loss)
-            trace.iteration_times.append(result.sim_time)
-            trace.iteration_numbers.append(result.iteration)
-            trace.wall_times.append(self.clock.now)
-
-        return trace
+            self.step(failures)
+        return TrainingTrace(**{
+            name: getattr(self.trace, name)[first:]
+            for name, first in start.items()
+        })
 
     @staticmethod
     def _due_failure(

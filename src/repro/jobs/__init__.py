@@ -1,0 +1,34 @@
+"""Multi-job cluster scheduling: the fleet layer above Swift's recovery.
+
+The seed reproduces Swift for a single job on a dedicated cluster.  This
+package adds the missing production layer — many jobs sharing one
+cluster — so every per-job recovery mechanism (replication, logging
+replay, update-undo, elasticity) composes into a fleet-level goodput
+story:
+
+* :class:`JobSpec` / :class:`Job` — a ``SwiftTrainer`` run as a
+  schedulable, steppable, (optionally) elastic unit;
+* :class:`JobQueue` — priority + FIFO gang queue;
+* :class:`SparePool` — hot spares leased to recoveries and reclaimed
+  after repair;
+* :class:`Scheduler` — failure-aware gang placement, priority preemption
+  via elastic scale-in/out, and machine-failure routing to owning jobs.
+
+The round-based :class:`repro.sim.FleetSimulator` drives a whole fleet
+through a failure schedule; ``python -m repro.cli fleet`` prints the
+resulting per-job and cluster-wide report.
+"""
+
+from repro.jobs.queue import JobQueue
+from repro.jobs.scheduler import Scheduler
+from repro.jobs.spare import SparePool
+from repro.jobs.spec import Job, JobSpec, JobState
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobState",
+    "JobQueue",
+    "SparePool",
+    "Scheduler",
+]

@@ -1,0 +1,51 @@
+"""Priority + FIFO job queue (gang scheduling order).
+
+Jobs are ordered by descending :attr:`JobSpec.priority`, then by
+submission order (FIFO within a priority class).  The scheduler always
+tries to place the *head*; if the head's gang does not fit (even after
+preemption) the queue blocks — intentional head-of-line blocking, so a
+large high-priority job is never starved by small late arrivals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.jobs.spec import Job
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """A stable max-priority queue of pending jobs."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+
+    def push(self, job: Job) -> None:
+        heapq.heappush(self._heap, (-job.spec.priority, next(self._seq), job))
+
+    def peek(self) -> Job:
+        if not self._heap:
+            raise IndexError("peek on empty JobQueue")
+        return self._heap[0][2]
+
+    def pop(self) -> Job:
+        if not self._heap:
+            raise IndexError("pop on empty JobQueue")
+        return heapq.heappop(self._heap)[2]
+
+    def pending(self) -> list[Job]:
+        """Queued jobs in dequeue order (does not consume the queue)."""
+        return [entry[2] for entry in sorted(self._heap)]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, job: Job) -> bool:
+        return any(entry[2] is job for entry in self._heap)

@@ -1,0 +1,363 @@
+"""Job abstraction: a fault-tolerant training run as a schedulable unit.
+
+The seed reproduction drives exactly one :class:`~repro.core.SwiftTrainer`
+on a dedicated cluster.  A *job* wraps that trainer (engine + recovery +
+trace) behind a small lifecycle interface so a cluster-level scheduler can
+run many of them on one shared :class:`~repro.cluster.Cluster`:
+
+* :class:`JobSpec` — the submission-time description (gang size, priority,
+  elasticity, model/workload knobs);
+* :class:`Job` — the runtime object: built onto concrete ``(machine,
+  device)`` slots when the scheduler places it, stepped one iteration at a
+  time (cooperative interleaving), shrunk/grown through
+  :class:`~repro.core.ElasticCoordinator` under preemption, and routed
+  shared-cluster machine failures via its own Swift recovery path.
+
+Every mechanism of the paper keeps working per job: replication recovery
+for DP jobs, logging recovery for PP jobs, update-undo for abrupt elastic
+departures (Section 8) — the scheduler only decides *when* each job runs
+and *which* hardware it holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.cluster.clock import SimClock
+from repro.cluster.topology import Cluster
+from repro.core.elastic import ElasticCoordinator
+from repro.core.replication import RecoveryReport
+from repro.core.trainer import SwiftTrainer, TrainerConfig
+from repro.data import ClassificationTask
+from repro.errors import ConfigurationError
+from repro.models import make_mlp
+from repro.nn import CrossEntropyLoss
+from repro.optim import Adam, SGDMomentum
+from repro.parallel.data_parallel import DataParallelEngine
+from repro.parallel.pipeline import PipelineEngine
+from repro.parallel.results import IterationResult
+
+__all__ = ["JobState", "JobSpec", "Job"]
+
+
+class JobState(str, Enum):
+    """Lifecycle of a job on the shared cluster."""
+
+    #: submitted, waiting in the queue for a gang of free slots
+    PENDING = "pending"
+    #: placed and training
+    RUNNING = "running"
+    #: hit a machine failure while the spare pool was empty; waits for a
+    #: repaired machine before its recovery can run
+    BLOCKED = "blocked"
+    COMPLETED = "completed"
+    #: recovery was impossible (e.g. no surviving replica)
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Submission-time description of one training job."""
+
+    name: str
+    #: "dp" (data parallel, replication recovery) or "pp" (pipeline
+    #: parallel, logging recovery)
+    parallelism: str
+    #: gang size: DP workers or PP stages — all placed at once
+    num_workers: int
+    #: training length in iterations
+    iterations: int
+    #: larger = more important; may preempt lower-priority elastic jobs
+    priority: int = 0
+    #: DP only: may be shrunk by preemption and re-grown later
+    elastic: bool = False
+    #: elastic floor: preemption never shrinks below this many workers
+    min_workers: int = 1
+    #: fleet round at which the job arrives (used by the FleetSimulator)
+    arrival: int = 0
+    batch_size: int = 16
+    checkpoint_interval: int = 20
+    #: fault-tolerance strategy, forwarded to :class:`TrainerConfig`
+    strategy: str = "auto"
+    # -- workload knobs (small deterministic MLP classification) ----------
+    dim: int = 8
+    hidden_dim: int = 16
+    num_classes: int = 4
+    depth: int = 2
+    num_microbatches: int = 4
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.parallelism not in ("dp", "pp"):
+            raise ConfigurationError(
+                f"parallelism must be 'dp' or 'pp', got {self.parallelism!r}"
+            )
+        if self.num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        if self.elastic and self.parallelism != "dp":
+            raise ConfigurationError("only DP jobs can be elastic")
+        if not 1 <= self.min_workers <= self.num_workers:
+            raise ConfigurationError(
+                "min_workers must be in [1, num_workers]"
+            )
+
+    @property
+    def samples(self) -> int:
+        """Total useful samples the job produces when it completes."""
+        return self.iterations * self.batch_size
+
+
+class Job:
+    """A scheduled training run: spec + (once placed) a live trainer."""
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self.state = JobState.PENDING
+        self.clock: SimClock | None = None
+        self.cluster: Cluster | None = None
+        self.trainer: SwiftTrainer | None = None
+        self.coordinator: ElasticCoordinator | None = None
+        #: PP placement is immutable; DP slots are derived from workers
+        self._pp_slots: list[tuple[int, int]] = []
+        # -- fleet bookkeeping (fleet-time seconds / counters) ------------
+        self.submit_time: float = 0.0
+        self.start_time: float | None = None
+        self.finish_time: float | None = None
+        self.preemptions = 0
+        self.machine_failures = 0
+        #: machine ids whose failure is still waiting for a spare
+        self.pending_machines: list[int] = []
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def owner_tag(self) -> str:
+        """Tag under which this job's slots are reserved in the ledger."""
+        return f"job:{self.spec.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Job({self.spec.name}, {self.state.value})"
+
+    # -- engine construction ----------------------------------------------
+    def _build_engine(
+        self, cluster: Cluster, slots: list[tuple[int, int]]
+    ) -> DataParallelEngine | PipelineEngine:
+        spec = self.spec
+        task = ClassificationTask(
+            dim=spec.dim,
+            num_classes=spec.num_classes,
+            batch_size=spec.batch_size,
+            seed=spec.seed,
+        )
+        if spec.parallelism == "dp":
+            return DataParallelEngine(
+                cluster,
+                model_factory=lambda: make_mlp(
+                    spec.dim, spec.hidden_dim, spec.num_classes,
+                    depth=spec.depth, seed=spec.seed,
+                ),
+                opt_factory=lambda m: SGDMomentum(m, lr=0.05, momentum=0.9),
+                loss_factory=CrossEntropyLoss,
+                task=task,
+                placement=list(slots),
+                clock=self.clock,
+            )
+        # pipeline: ensure the MLP has at least one layer per stage
+        depth = max(spec.depth, spec.num_workers)
+        num_layers = 2 * depth + 1
+        base, rem = divmod(num_layers, spec.num_workers)
+        sizes = [base + 1 if s < rem else base for s in range(spec.num_workers)]
+        return PipelineEngine(
+            cluster,
+            model_factory=lambda: make_mlp(
+                spec.dim, spec.hidden_dim, spec.num_classes,
+                depth=depth, seed=spec.seed,
+            ),
+            partition_sizes=sizes,
+            placement=list(slots),
+            num_microbatches=spec.num_microbatches,
+            opt_factory=lambda m: Adam(m, lr=0.01),
+            loss_factory=CrossEntropyLoss,
+            task=task,
+            clock=self.clock,
+        )
+
+    def start(
+        self,
+        cluster: Cluster,
+        slots: list[tuple[int, int]],
+        now: float = 0.0,
+    ) -> None:
+        """Build the engine/trainer gang onto the granted slots."""
+        if len(slots) != self.spec.num_workers:
+            raise ConfigurationError(
+                f"{self.name}: gang needs {self.spec.num_workers} slots, "
+                f"got {len(slots)}"
+            )
+        self.cluster = cluster
+        self.clock = SimClock()
+        engine = self._build_engine(cluster, slots)
+        if isinstance(engine, PipelineEngine):
+            self._pp_slots = list(slots)
+        self.trainer = SwiftTrainer(
+            engine,
+            TrainerConfig(
+                checkpoint_interval=self.spec.checkpoint_interval,
+                strategy=self.spec.strategy,
+            ),
+            clock=self.clock,
+            checkpoint_prefix=f"ckpt/{self.spec.name}",
+        )
+        if self.spec.elastic:
+            self.coordinator = ElasticCoordinator(engine, clock=self.clock)
+        self.state = JobState.RUNNING
+        self.start_time = now
+
+    # -- runtime queries ---------------------------------------------------
+    @property
+    def engine(self):
+        assert self.trainer is not None, f"{self.name} not started"
+        return self.trainer.engine
+
+    @property
+    def iteration(self) -> int:
+        return self.engine.iteration if self.trainer else 0
+
+    @property
+    def done(self) -> bool:
+        return (
+            self.trainer is not None
+            and self.engine.iteration >= self.spec.iterations
+        )
+
+    @property
+    def samples_done(self) -> int:
+        return self.iteration * self.spec.batch_size
+
+    @property
+    def num_workers_now(self) -> int:
+        """Current gang size (elastic jobs may run shrunk)."""
+        if self.trainer is None:
+            return 0
+        if self.spec.parallelism == "pp":
+            return len(self._pp_slots)
+        return len(self.engine.workers)
+
+    def current_slots(self) -> list[tuple[int, int]]:
+        """The ``(machine_id, device_idx)`` slots the job occupies now."""
+        if self.trainer is None:
+            return []
+        if self.spec.parallelism == "pp":
+            return list(self._pp_slots)
+        return [
+            (w.machine_id, w.device.local_index)
+            for w in self.engine.workers
+        ]
+
+    def machines_used(self) -> set[int]:
+        return {m for m, _ in self.current_slots()}
+
+    @property
+    def recoveries(self) -> list[RecoveryReport]:
+        return self.trainer.trace.recoveries if self.trainer else []
+
+    @property
+    def queueing_delay(self) -> float:
+        """Fleet seconds spent waiting between submission and placement."""
+        if self.start_time is None:
+            return 0.0
+        return self.start_time - self.submit_time
+
+    # -- stepping ----------------------------------------------------------
+    def step(self) -> IterationResult:
+        """Run (at most) one iteration of this job."""
+        assert self.trainer is not None, f"{self.name} not started"
+        assert self.state == JobState.RUNNING, (
+            f"cannot step {self.name} in state {self.state}"
+        )
+        return self.trainer.step()
+
+    # -- failure routing ---------------------------------------------------
+    def apply_failure(self, machine_id: int) -> None:
+        """A shared-cluster machine this job occupies crashed.
+
+        Fails the machine and raises the job's failure flag; the actual
+        recovery runs via :meth:`recover` once the scheduler has secured a
+        replacement from the spare pool (possibly after blocking).
+        """
+        assert self.cluster is not None
+        self.cluster.fail_machine(machine_id)
+        self.cluster.kvstore.raise_failure(machine_id, self.iteration)
+        self.machine_failures += 1
+        if machine_id not in self.pending_machines:
+            self.pending_machines.append(machine_id)
+
+    def recover(self) -> RecoveryReport:
+        """Run this job's Swift recovery for its pending machine failure."""
+        assert self.trainer is not None and self.cluster is not None
+        # a co-located job's recovery may have consumed the shared flag
+        # (its detector clears it); re-raise for our own detector
+        if not self.cluster.kvstore.failure_raised() and self.pending_machines:
+            self.cluster.kvstore.raise_failure(
+                self.pending_machines[-1], self.iteration
+            )
+        report = self.trainer.recover_now()
+        if self.trainer.tlog is not None:
+            # re-baseline the tensor log: records that lived only on the
+            # crashed machine are unrecoverable, so a *second* failure in
+            # the same checkpoint window must not need them.  A fresh
+            # global checkpoint (which GCs the log) closes that window.
+            stall = self.trainer.take_checkpoint()
+            self.trainer.trace.checkpoints.append((self.iteration, stall))
+        self.pending_machines.clear()
+        self.state = JobState.RUNNING
+        return report
+
+    # -- elastic resizing (preemption / restoration) -----------------------
+    def shrink(self, num: int) -> list[tuple[int, int]]:
+        """Preempt ``num`` workers (abrupt scale-in); returns freed slots.
+
+        Abrupt because preemption may land mid-update; update-undo makes
+        it crash-consistent (paper Section 8), so no checkpoint restart.
+        """
+        assert self.coordinator is not None, f"{self.name} is not elastic"
+        workers = self.engine.workers
+        if len(workers) - num < self.spec.min_workers:
+            raise ConfigurationError(
+                f"{self.name}: shrinking {num} would go below "
+                f"min_workers={self.spec.min_workers}"
+            )
+        victims = workers[-num:]
+        freed = [(w.machine_id, w.device.local_index) for w in victims]
+        self.coordinator.scale_in([w.rank for w in victims], abrupt=True)
+        self.preemptions += 1
+        return freed
+
+    def grow(self, slots: list[tuple[int, int]]) -> None:
+        """Restore preempted workers onto freshly granted slots."""
+        assert self.coordinator is not None, f"{self.name} is not elastic"
+        self.coordinator.scale_out(list(slots))
+
+    @property
+    def shrinkable(self) -> int:
+        """How many workers preemption could still take from this job."""
+        if (
+            not self.spec.elastic
+            or self.trainer is None
+            or self.state != JobState.RUNNING
+        ):
+            return 0
+        return max(0, len(self.engine.workers) - self.spec.min_workers)
+
+    @property
+    def missing_workers(self) -> int:
+        """Workers lost to preemption that restoration should give back."""
+        if not self.spec.elastic or self.trainer is None:
+            return 0
+        return max(0, self.spec.num_workers - len(self.engine.workers))

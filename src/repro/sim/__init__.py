@@ -2,6 +2,13 @@
 
 from repro.sim.costmodel import CostModel, HardwareConfig, RecoveryTimes
 from repro.sim.endtoend import EndToEndResult, EndToEndSimulator
+from repro.sim.fleet import (
+    FleetFailure,
+    FleetReport,
+    FleetSimulator,
+    JobStats,
+    demo_fleet,
+)
 from repro.sim.throughput import Timeline, TimelinePoint, ThroughputSimulator
 from repro.sim.workloads import (
     BERT_128,
@@ -17,6 +24,11 @@ __all__ = [
     "RecoveryTimes",
     "EndToEndSimulator",
     "EndToEndResult",
+    "FleetFailure",
+    "FleetReport",
+    "FleetSimulator",
+    "JobStats",
+    "demo_fleet",
     "ThroughputSimulator",
     "Timeline",
     "TimelinePoint",

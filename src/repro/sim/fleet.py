@@ -1,0 +1,336 @@
+"""Fleet simulation: many jobs, one shared cluster, a failure schedule.
+
+Extends the paper's single-job evaluation to the regime its premise comes
+from — large shared busy clusters.  The simulator drives the
+:class:`~repro.jobs.Scheduler` in *rounds*: each round every running job
+executes one training iteration (cooperative interleaving via
+``SwiftTrainer.step``), arrivals are submitted, due machine failures are
+routed to the owning jobs' recovery paths, and fleet wall-clock advances
+by the slowest job's iteration time (jobs run concurrently on disjoint
+hardware, so the round is a BSP-style synchronization of the *simulation*,
+not of the jobs themselves).
+
+The resulting :class:`FleetReport` gives per-job and cluster-wide
+throughput, goodput, queueing delay, preemption and failure counts — the
+fleet-level version of the paper's Figure-8 story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import Cluster
+from repro.errors import ConfigurationError
+from repro.jobs import Job, JobSpec, JobState, Scheduler, SparePool
+
+__all__ = [
+    "FleetFailure",
+    "JobStats",
+    "FleetReport",
+    "FleetSimulator",
+    "demo_fleet",
+]
+
+
+@dataclass(frozen=True)
+class FleetFailure:
+    """One machine crash injected at the start of a fleet round."""
+
+    round: int
+    machine_id: int
+
+
+@dataclass
+class JobStats:
+    """Per-job outcome row of the fleet report."""
+
+    name: str
+    parallelism: str
+    priority: int
+    state: str
+    workers: int
+    iterations: int
+    samples: int
+    submit_time: float
+    start_time: float | None
+    finish_time: float | None
+    queueing_delay: float
+    preemptions: int
+    machine_failures: int
+    recoveries: int
+    #: simulated seconds the job spent inside recovery paths
+    recovery_time: float
+    #: iterations of work recovery had to recompute (0 for replication)
+    lost_iterations: int
+    #: useful samples per fleet-second between submission and finish
+    goodput: float
+    #: useful samples per fleet-second between placement and finish
+    throughput: float
+
+
+@dataclass
+class FleetReport:
+    """Everything ``repro.cli fleet`` prints."""
+
+    jobs: list[JobStats] = field(default_factory=list)
+    rounds: int = 0
+    makespan: float = 0.0
+    total_samples: int = 0
+    #: cluster-wide useful samples per fleet-second
+    cluster_goodput: float = 0.0
+    total_preemptions: int = 0
+    preempted_workers: int = 0
+    total_failures: int = 0
+    total_recoveries: int = 0
+    #: fleet-wide recomputed work — the paper's recovery-cost currency
+    total_lost_iterations: int = 0
+    spare_leases: int = 0
+    mean_queueing_delay: float = 0.0
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'job':<10} {'par':>3} {'prio':>4} {'state':>9} {'iters':>6} "
+            f"{'queue_s':>8} {'preempt':>7} {'fails':>5} {'recov':>5} "
+            f"{'goodput':>8} {'thruput':>8}"
+        ]
+        for j in self.jobs:
+            lines.append(
+                f"{j.name:<10} {j.parallelism:>3} {j.priority:>4} "
+                f"{j.state:>9} {j.iterations:>6} {j.queueing_delay:>8.2f} "
+                f"{j.preemptions:>7} {j.machine_failures:>5} "
+                f"{j.recoveries:>5} {j.goodput:>8.1f} {j.throughput:>8.1f}"
+            )
+        lines += [
+            "",
+            f"rounds:              {self.rounds}",
+            f"makespan:            {self.makespan:.2f} s",
+            f"total samples:       {self.total_samples}",
+            f"cluster goodput:     {self.cluster_goodput:.1f} samples/s",
+            f"mean queueing delay: {self.mean_queueing_delay:.2f} s",
+            f"preemption events:   {self.total_preemptions} "
+            f"({self.preempted_workers} workers)",
+            f"machine failures:    {self.total_failures} routed "
+            f"({self.total_recoveries} recoveries, "
+            f"{self.spare_leases} spare leases)",
+            f"lost iterations:     {self.total_lost_iterations} recomputed",
+        ]
+        return "\n".join(lines)
+
+
+class FleetSimulator:
+    """Round-based driver for a job fleet on one shared cluster."""
+
+    def __init__(
+        self,
+        specs: list[JobSpec],
+        num_machines: int = 8,
+        devices_per_machine: int = 4,
+        num_spares: int = 1,
+        repair_ticks: int = 5,
+        failures: list[FleetFailure] | None = None,
+        max_rounds: int = 10_000,
+        idle_time: float = 0.05,
+    ):
+        if not specs:
+            raise ConfigurationError("fleet needs at least one job spec")
+        if num_spares >= num_machines:
+            raise ConfigurationError("spares must leave schedulable machines")
+        capacity = (num_machines - num_spares) * devices_per_machine
+        names = set()
+        for spec in specs:
+            if spec.name in names:
+                raise ConfigurationError(f"duplicate job name {spec.name!r}")
+            names.add(spec.name)
+            if spec.num_workers > capacity:
+                raise ConfigurationError(
+                    f"job {spec.name!r} needs a gang of {spec.num_workers} "
+                    f"but schedulable capacity is only {capacity} slots"
+                )
+        self.specs = sorted(specs, key=lambda s: s.arrival)
+        self.cluster = Cluster(num_machines, devices_per_machine=devices_per_machine)
+        # the highest-numbered machines become hot spares
+        self.spares = (
+            SparePool(
+                self.cluster,
+                machine_ids=list(
+                    range(num_machines - num_spares, num_machines)
+                ),
+                repair_ticks=repair_ticks,
+            )
+            if num_spares > 0
+            else None  # no pool: replacements appear by fiat (seed model)
+        )
+        self.scheduler = Scheduler(self.cluster, spares=self.spares)
+        for f in failures or []:
+            if not 0 <= f.machine_id < num_machines:
+                raise ConfigurationError(
+                    f"failure targets machine {f.machine_id}, but the "
+                    f"cluster has machines 0..{num_machines - 1}"
+                )
+        self.failures = sorted(
+            failures or [], key=lambda f: (f.round, f.machine_id)
+        )
+        self.max_rounds = max_rounds
+        self.idle_time = idle_time
+        self.fleet_time = 0.0
+        self.rounds = 0
+
+    # -- the round loop -----------------------------------------------------
+    def _all_terminal(self) -> bool:
+        jobs = self.scheduler.jobs
+        if len(jobs) < len(self.specs):
+            return False
+        return all(
+            j.state in (JobState.COMPLETED, JobState.FAILED)
+            for j in jobs.values()
+        )
+
+    def run(self) -> FleetReport:
+        pending_specs = list(self.specs)
+        pending_failures = list(self.failures)
+
+        while self.rounds < self.max_rounds and not self._all_terminal():
+            r = self.rounds
+            # fleet time advances by the slowest job's clock progress over
+            # the WHOLE round — recovery, preemption resizes, and the
+            # training step all advance a job's own clock
+            marks = {
+                name: job.clock.now
+                for name, job in self.scheduler.jobs.items()
+                if job.clock is not None
+            }
+            # 1. arrivals
+            while pending_specs and pending_specs[0].arrival <= r:
+                spec = pending_specs.pop(0)
+                self.scheduler.submit(Job(spec), now=self.fleet_time)
+            # 2. repairs complete -> blocked jobs may resume
+            if self.spares is not None and self.spares.tick():
+                self.scheduler.unblock()
+            # 3. due machine failures, routed one event at a time
+            while pending_failures and pending_failures[0].round <= r:
+                event = pending_failures.pop(0)
+                self.scheduler.handle_machine_failure(event.machine_id)
+            # 4. placement (may preempt), then restoration of preemptees
+            self.scheduler.schedule(now=self.fleet_time)
+            self.scheduler.restore()
+            # 5. every running job advances one iteration
+            for job in list(self.scheduler.running):
+                if job.state == JobState.RUNNING:
+                    job.step()
+            round_dt = max(
+                (
+                    job.clock.now - marks.get(name, 0.0)
+                    for name, job in self.scheduler.jobs.items()
+                    if job.clock is not None
+                ),
+                default=0.0,
+            )
+            self.fleet_time += round_dt if round_dt > 0 else self.idle_time
+            # 6. completions release their gangs
+            for job in list(self.scheduler.running):
+                if job.done:
+                    self.scheduler.finish(job, now=self.fleet_time)
+            self.rounds += 1
+
+        return self._report()
+
+    # -- reporting ----------------------------------------------------------
+    def _report(self) -> FleetReport:
+        report = FleetReport(rounds=self.rounds, makespan=self.fleet_time)
+        for job in self.scheduler.jobs.values():
+            end = (
+                job.finish_time if job.finish_time is not None
+                else self.fleet_time
+            )
+            span = max(end - job.submit_time, 1e-12)
+            run_span = (
+                max(end - job.start_time, 1e-12)
+                if job.start_time is not None
+                else None
+            )
+            recovery_time = sum(rep.total_time for rep in job.recoveries)
+            lost = sum(rep.lost_iterations for rep in job.recoveries)
+            stats = JobStats(
+                name=job.name,
+                parallelism=job.spec.parallelism,
+                priority=job.spec.priority,
+                state=job.state.value,
+                workers=job.num_workers_now,
+                iterations=job.iteration,
+                samples=job.samples_done,
+                submit_time=job.submit_time,
+                start_time=job.start_time,
+                finish_time=job.finish_time,
+                queueing_delay=job.queueing_delay,
+                preemptions=job.preemptions,
+                machine_failures=job.machine_failures,
+                recoveries=len(job.recoveries),
+                recovery_time=recovery_time,
+                lost_iterations=lost,
+                goodput=job.samples_done / span,
+                throughput=(
+                    job.samples_done / run_span if run_span else 0.0
+                ),
+            )
+            report.jobs.append(stats)
+        report.jobs.sort(key=lambda s: (-s.priority, s.submit_time, s.name))
+        report.total_samples = sum(s.samples for s in report.jobs)
+        report.cluster_goodput = (
+            report.total_samples / report.makespan
+            if report.makespan > 0
+            else 0.0
+        )
+        report.total_preemptions = sum(s.preemptions for s in report.jobs)
+        report.preempted_workers = self.scheduler.preempted_workers
+        report.total_failures = sum(s.machine_failures for s in report.jobs)
+        report.total_recoveries = sum(s.recoveries for s in report.jobs)
+        report.total_lost_iterations = sum(
+            s.lost_iterations for s in report.jobs
+        )
+        report.spare_leases = (
+            self.spares.total_leases if self.spares is not None else 0
+        )
+        delays = [
+            s.queueing_delay for s in report.jobs if s.start_time is not None
+        ]
+        report.mean_queueing_delay = (
+            sum(delays) / len(delays) if delays else 0.0
+        )
+        return report
+
+
+def demo_fleet(
+    iterations: int = 30,
+) -> tuple[list[JobSpec], list[FleetFailure]]:
+    """The canonical demo scenario (used by ``repro.cli fleet`` and
+    ``examples/fleet_scheduler.py``): five mixed DP/PP jobs of different
+    priorities — two elastic, one preempting high-priority arrival, one
+    queued non-elastic gang — plus two machine crashes."""
+    specs = [
+        # the workhorse: elastic, so preemption shrinks it instead of
+        # killing it
+        JobSpec("dp-main", "dp", num_workers=8, iterations=iterations,
+                priority=1, elastic=True, min_workers=4,
+                checkpoint_interval=10, seed=11),
+        # pipeline-parallel job: recovers via tensor-log replay
+        JobSpec("pp-chain", "pp", num_workers=4, iterations=iterations,
+                priority=2, checkpoint_interval=10, seed=12),
+        # background batch job, lowest priority, elastic
+        JobSpec("dp-batch", "dp", num_workers=4,
+                iterations=max(2, iterations // 2), priority=0,
+                elastic=True, min_workers=2, checkpoint_interval=10,
+                seed=13),
+        # high-priority gang arriving later: triggers preemption
+        JobSpec("dp-rush", "dp", num_workers=8,
+                iterations=max(2, iterations // 2), priority=5,
+                arrival=6, checkpoint_interval=10, seed=14),
+        # low-priority non-elastic gang: cannot preempt, must queue
+        JobSpec("dp-late", "dp", num_workers=8,
+                iterations=max(2, iterations // 3), priority=0,
+                arrival=8, checkpoint_interval=10, seed=15),
+    ]
+    failures = [
+        FleetFailure(round=4, machine_id=0),
+        FleetFailure(round=10, machine_id=2),
+    ]
+    return specs, failures

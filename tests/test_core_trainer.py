@@ -151,3 +151,46 @@ class TestTrainerLoop:
         trace = trainer.train(15, failures=sched)
         assert eng.iteration == 15
         assert len(trace.losses) == 15
+
+
+class TestStepwiseTraining:
+    """The cooperative step() API the cluster scheduler interleaves."""
+
+    def test_step_runs_one_iteration(self):
+        eng = make_dp_engine()
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=5))
+        result = trainer.step()
+        assert eng.iteration == 1
+        assert result.iteration == 0
+        assert len(trainer.trace.losses) == 1
+
+    def test_repeated_train_calls_return_per_call_traces(self):
+        eng = make_dp_engine()
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=5))
+        first = trainer.train(10)
+        second = trainer.train(20)
+        assert len(first.losses) == 10
+        assert len(second.losses) == 10
+        assert second.iteration_numbers[0] == 10
+        # the lifetime trace accumulates both calls
+        assert len(trainer.trace.losses) == 20
+
+    def test_steps_then_train_resumes_seamlessly(self):
+        eng = make_dp_engine()
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=5))
+        for _ in range(3):
+            trainer.step()
+        trace = trainer.train(8)
+        assert eng.iteration == 8
+        assert len(trace.losses) == 5  # iterations 3..7 of this call
+        assert len(trainer.trace.losses) == 8
+
+    def test_step_matches_train_losses(self):
+        stepped = make_dp_engine()
+        t1 = SwiftTrainer(stepped, TrainerConfig(checkpoint_interval=5))
+        for _ in range(6):
+            t1.step()
+        trained = make_dp_engine()
+        t2 = SwiftTrainer(trained, TrainerConfig(checkpoint_interval=5))
+        trace = t2.train(6)
+        assert np.allclose(t1.trace.losses, trace.losses)

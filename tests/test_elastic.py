@@ -89,6 +89,42 @@ class TestScaleIn:
             coord.scale_in([0, 1, 2, 3])
 
 
+class TestElasticEdgeCases:
+    """Edge cases the repro.jobs scheduler relies on."""
+
+    def test_leave_abrupt_and_join_same_iteration(self):
+        """An abrupt departure and a join in one ResizeEvent: the undo
+        path runs before the newcomer receives the broadcast state."""
+        coord, _ = make_coordinator()
+        schedule = [
+            ResizeEvent(iteration=3, leave=(3,), join=((0, 2),), abrupt=True)
+        ]
+        trace = coord.train(8, schedule=schedule)
+        # one left, one joined: membership stays at 4 throughout
+        assert trace.memberships == [4] * 8
+        assert len(trace.resize_times) == 1
+        assert coord.engine.replicas_consistent()
+        assert all(np.isfinite(v) for v in trace.losses)
+        # the run still trains: same losses as the static engine would
+        static = make_dp_engine()
+        static_losses = [static.run_iteration().loss for _ in range(8)]
+        assert np.allclose(trace.losses, static_losses)
+
+    def test_scale_out_after_scale_in_reranking(self):
+        """scale_out after a prior scale_in must hand out fresh contiguous
+        ranks on top of the re-ranked survivors."""
+        coord, _ = make_coordinator()
+        coord.engine.run_iteration()
+        coord.scale_in([0, 2])  # survivors re-ranked to [0, 1]
+        assert [w.rank for w in coord.engine.workers] == [0, 1]
+        coord.scale_out([(0, 2), (1, 2)])
+        assert [w.rank for w in coord.engine.workers] == [0, 1, 2, 3]
+        assert coord.engine.replicas_consistent()
+        result = coord.engine.run_iteration()
+        assert np.isfinite(result.loss)
+        assert coord.engine.replicas_consistent()
+
+
 class TestScheduledElasticTraining:
     def test_membership_trace(self):
         coord, _ = make_coordinator()

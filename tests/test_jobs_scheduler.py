@@ -1,0 +1,528 @@
+"""Multi-job cluster scheduler: placement, preemption, failure routing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import ConfigurationError
+from repro.jobs import Job, JobQueue, JobSpec, JobState, Scheduler, SparePool
+from repro.sim import FleetFailure, FleetSimulator
+
+
+def dp_spec(name="a", workers=2, iterations=4, **kw):
+    kw.setdefault("checkpoint_interval", 10)
+    return JobSpec(name, "dp", num_workers=workers, iterations=iterations, **kw)
+
+
+def pp_spec(name="p", stages=4, iterations=4, **kw):
+    kw.setdefault("checkpoint_interval", 10)
+    return JobSpec(name, "pp", num_workers=stages, iterations=iterations, **kw)
+
+
+def run_to_completion(scheduler, max_rounds=200):
+    """Drive the scheduler's running set until every job finishes."""
+    for _ in range(max_rounds):
+        live = [j for j in scheduler.running if j.state == JobState.RUNNING]
+        if not live:
+            break
+        for job in live:
+            job.step()
+            if job.done:
+                scheduler.finish(job)
+    return scheduler
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec("x", "mesh", num_workers=2, iterations=1)
+        with pytest.raises(ConfigurationError):
+            JobSpec("x", "pp", num_workers=2, iterations=1, elastic=True)
+        with pytest.raises(ConfigurationError):
+            JobSpec("x", "dp", num_workers=2, iterations=1, min_workers=3)
+        with pytest.raises(ConfigurationError):
+            JobSpec("x", "dp", num_workers=0, iterations=1)
+
+    def test_samples(self):
+        assert dp_spec(iterations=5, batch_size=8).samples == 40
+
+
+class TestJobQueue:
+    def test_priority_then_fifo(self):
+        q = JobQueue()
+        low1 = Job(dp_spec("low1", priority=0))
+        high = Job(dp_spec("high", priority=9))
+        low2 = Job(dp_spec("low2", priority=0))
+        for j in (low1, high, low2):
+            q.push(j)
+        assert [j.name for j in q.pending()] == ["high", "low1", "low2"]
+        assert q.pop() is high
+        assert q.pop() is low1
+        assert q.pop() is low2
+        assert len(q) == 0
+
+
+class TestPlacement:
+    def test_gang_spreads_across_machines(self):
+        cluster = Cluster(4, devices_per_machine=2)
+        sched = Scheduler(cluster)
+        job = Job(dp_spec(workers=4))
+        sched.submit(job)
+        assert sched.schedule() == [job]
+        # one worker per machine: smallest possible failure blast radius
+        assert job.machines_used() == {0, 1, 2, 3}
+        assert cluster.owned_slots(job.owner_tag) == job.current_slots()
+
+    def test_failure_aware_placement_avoids_flaky_machines(self):
+        cluster = Cluster(3, devices_per_machine=2)
+        cluster.fail_machine(0)
+        cluster.replace_machine(0)  # repaired, but has failure history
+        sched = Scheduler(cluster)
+        job = Job(dp_spec(workers=2))
+        sched.submit(job)
+        sched.schedule()
+        assert job.machines_used() == {1, 2}
+
+    def test_gang_queues_when_cluster_full(self):
+        cluster = Cluster(2, devices_per_machine=1)
+        sched = Scheduler(cluster)
+        big = Job(dp_spec("big", workers=2))
+        late = Job(dp_spec("late", workers=2))
+        sched.submit(big)
+        sched.submit(late)
+        assert sched.schedule() == [big]
+        assert late.state == JobState.PENDING
+        assert late in sched.queue
+        # capacity frees when the first gang completes
+        run_to_completion(sched)
+        assert big.state == JobState.COMPLETED
+        assert sched.schedule() == [late]
+
+    def test_slots_released_on_finish(self):
+        cluster = Cluster(2, devices_per_machine=2)
+        sched = Scheduler(cluster)
+        job = Job(dp_spec(workers=4, iterations=2))
+        sched.submit(job)
+        sched.schedule()
+        assert len(cluster.free_slots()) == 0
+        run_to_completion(sched)
+        assert len(cluster.free_slots()) == 4
+
+
+class TestPreemption:
+    def make_preemption_pair(self):
+        cluster = Cluster(2, devices_per_machine=4)  # 8 slots
+        sched = Scheduler(cluster)
+        victim = Job(dp_spec("victim", workers=6, iterations=30,
+                             priority=0, elastic=True, min_workers=2))
+        sched.submit(victim)
+        sched.schedule()
+        for _ in range(3):
+            victim.step()
+        return cluster, sched, victim
+
+    def test_high_priority_job_shrinks_elastic_victim(self):
+        cluster, sched, victim = self.make_preemption_pair()
+        rush = Job(dp_spec("rush", workers=4, iterations=2, priority=5))
+        sched.submit(rush)
+        started = sched.schedule()
+        assert rush in started
+        assert victim.preemptions == 1
+        assert len(victim.engine.workers) == 4  # 6 - 2 taken
+        # crash-consistent shrink: replicas still bitwise identical
+        assert victim.engine.replicas_consistent()
+        # ledger agrees with reality
+        assert len(cluster.owned_slots(victim.owner_tag)) == 4
+        assert len(cluster.owned_slots(rush.owner_tag)) == 4
+
+    def test_victim_keeps_training_while_shrunk(self):
+        _, sched, victim = self.make_preemption_pair()
+        sched.submit(Job(dp_spec("rush", workers=4, iterations=2, priority=5)))
+        sched.schedule()
+        before = victim.iteration
+        victim.step()
+        assert victim.iteration == before + 1
+        assert np.isfinite(victim.trainer.trace.losses[-1])
+
+    def test_restore_regrows_victim_after_completion(self):
+        _, sched, victim = self.make_preemption_pair()
+        rush = Job(dp_spec("rush", workers=4, iterations=2, priority=5))
+        sched.submit(rush)
+        sched.schedule()
+        run_to_completion(sched, max_rounds=5)  # rush finishes fast
+        assert rush.state == JobState.COMPLETED
+        restored = sched.restore()
+        assert restored == 2
+        assert len(victim.engine.workers) == 6
+        assert victim.engine.replicas_consistent()
+        victim.step()
+        assert np.isfinite(victim.trainer.trace.losses[-1])
+
+    def test_equal_priority_does_not_preempt(self):
+        _, sched, victim = self.make_preemption_pair()
+        peer = Job(dp_spec("peer", workers=4, iterations=2, priority=0))
+        sched.submit(peer)
+        assert sched.schedule() == []
+        assert victim.preemptions == 0
+        assert peer.state == JobState.PENDING
+
+    def test_never_shrinks_below_min_workers(self):
+        cluster = Cluster(2, devices_per_machine=4)
+        sched = Scheduler(cluster)
+        victim = Job(dp_spec("victim", workers=8, iterations=30,
+                             priority=0, elastic=True, min_workers=4))
+        sched.submit(victim)
+        sched.schedule()
+        # needs 6 freed but only 4 are shrinkable: cannot start
+        rush = Job(dp_spec("rush", workers=6, iterations=2, priority=5))
+        sched.submit(rush)
+        assert sched.schedule() == []
+        assert victim.preemptions == 0
+        assert len(victim.engine.workers) == 8
+
+
+class TestFailureRouting:
+    def make_disjoint_jobs(self):
+        cluster = Cluster(4, devices_per_machine=1)
+        sched = Scheduler(cluster)
+        a = Job(dp_spec("a", workers=2, iterations=6))
+        b = Job(dp_spec("b", workers=2, iterations=6, seed=9))
+        sched.submit(a)
+        sched.submit(b)
+        sched.schedule()
+        assert a.machines_used().isdisjoint(b.machines_used())
+        return cluster, sched, a, b
+
+    def test_failure_routed_to_owner_only(self):
+        cluster, sched, a, b = self.make_disjoint_jobs()
+        for _ in range(2):
+            a.step()
+            b.step()
+        failed = next(iter(a.machines_used()))
+        touched = sched.handle_machine_failure(failed)
+        assert touched == [a]
+        assert a.machine_failures == 1 and b.machine_failures == 0
+        assert len(a.recoveries) == 1 and len(b.recoveries) == 0
+
+    def test_colocated_job_unaffected_numerically(self):
+        cluster, sched, a, b = self.make_disjoint_jobs()
+        for _ in range(2):
+            a.step()
+            b.step()
+        sched.handle_machine_failure(next(iter(a.machines_used())))
+        run_to_completion(sched)
+        # b's run is bit-identical to a solo run of the same spec
+        solo = Job(dp_spec("solo", workers=2, iterations=6, seed=9))
+        solo_sched = Scheduler(Cluster(4, devices_per_machine=1))
+        solo_sched.submit(solo)
+        solo_sched.schedule()
+        run_to_completion(solo_sched)
+        assert np.allclose(b.trainer.trace.losses, solo.trainer.trace.losses)
+
+    def test_recovered_job_matches_failure_free_losses(self):
+        cluster, sched, a, b = self.make_disjoint_jobs()
+        for _ in range(2):
+            a.step()
+            b.step()
+        sched.handle_machine_failure(next(iter(a.machines_used())))
+        run_to_completion(sched)
+        solo = Job(dp_spec("solo", workers=2, iterations=6))
+        solo_sched = Scheduler(Cluster(4, devices_per_machine=1))
+        solo_sched.submit(solo)
+        solo_sched.schedule()
+        run_to_completion(solo_sched)
+        assert np.allclose(a.trainer.trace.losses, solo.trainer.trace.losses)
+
+    def test_pp_job_failure_routes_to_logging_recovery(self):
+        cluster = Cluster(5, devices_per_machine=1)
+        sched = Scheduler(cluster)
+        job = Job(pp_spec("pipe", stages=4, iterations=8))
+        sched.submit(job)
+        sched.schedule()
+        for _ in range(3):
+            job.step()
+        sched.handle_machine_failure(next(iter(job.machines_used())))
+        assert len(job.recoveries) == 1
+        assert job.recoveries[0].strategy.startswith("logging")
+        run_to_completion(sched)
+        assert job.state == JobState.COMPLETED
+
+    def test_shared_machine_crash_counts_once_and_recovers_both(self):
+        """One hardware event on a machine shared by two jobs: a single
+        failure_count tick, both owners recover, both finish."""
+        cluster = Cluster(2, devices_per_machine=2)
+        sched = Scheduler(cluster)
+        a = Job(dp_spec("a", workers=2, iterations=6))
+        b = Job(dp_spec("b", workers=2, iterations=6, seed=9))
+        sched.submit(a)
+        sched.submit(b)
+        sched.schedule()
+        # spread placement means both jobs hold a slot on machine 0
+        assert 0 in a.machines_used() and 0 in b.machines_used()
+        for _ in range(2):
+            a.step()
+            b.step()
+        touched = sched.handle_machine_failure(0)
+        assert set(touched) == {a, b}
+        assert cluster.machine(0).failure_count == 1
+        assert len(a.recoveries) == 1 and len(b.recoveries) == 1
+        run_to_completion(sched)
+        assert a.state == JobState.COMPLETED
+        assert b.state == JobState.COMPLETED
+
+    def test_idle_machine_failure_touches_no_job(self):
+        cluster, sched, a, b = self.make_disjoint_jobs()
+        # all 4 machines are used by a and b here; build a bigger cluster
+        cluster2 = Cluster(3, devices_per_machine=1)
+        sched2 = Scheduler(cluster2)
+        j = Job(dp_spec(workers=2))
+        sched2.submit(j)
+        sched2.schedule()
+        idle = ({0, 1, 2} - j.machines_used()).pop()
+        assert sched2.handle_machine_failure(idle) == []
+        assert j.machine_failures == 0
+        j.step()  # unaffected
+
+
+class TestSparePool:
+    def test_spares_are_not_schedulable(self):
+        cluster = Cluster(3, devices_per_machine=2)
+        SparePool(cluster, machine_ids=[2])
+        assert all(m != 2 for m, _ in cluster.free_slots())
+
+    def test_lease_and_reclaim_cycle(self):
+        cluster = Cluster(3, devices_per_machine=1)
+        pool = SparePool(cluster, machine_ids=[2], repair_ticks=2)
+        assert pool.available == 1
+        assert pool.lease(0) == 2
+        assert pool.available == 0 and pool.repairing == 1
+        assert pool.lease(1) is None  # pool exhausted
+        assert pool.tick() == []  # 1 tick remaining
+        assert pool.tick() == [2]  # repaired hardware returns
+        assert pool.available == 1 and pool.repairing == 0
+
+    def test_recovery_consumes_one_spare_and_reclaims(self):
+        cluster = Cluster(4, devices_per_machine=1)
+        pool = SparePool(cluster, machine_ids=[3], repair_ticks=1)
+        sched = Scheduler(cluster, spares=pool)
+        job = Job(dp_spec(workers=2, iterations=8))
+        sched.submit(job)
+        sched.schedule()
+        job.step()
+        sched.handle_machine_failure(next(iter(job.machines_used())))
+        assert pool.available == 0
+        assert job.state == JobState.RUNNING  # recovered immediately
+        assert pool.tick() == [3]
+        assert pool.available == 1
+
+    def test_empty_pool_blocks_until_reclaim(self):
+        cluster = Cluster(4, devices_per_machine=1)
+        pool = SparePool(cluster, machine_ids=[3], repair_ticks=3)
+        sched = Scheduler(cluster, spares=pool)
+        job = Job(dp_spec(workers=2, iterations=8))
+        sched.submit(job)
+        sched.schedule()
+        job.step()
+        machines = sorted(job.machines_used())
+        sched.handle_machine_failure(machines[0])  # consumes the spare
+        sched.handle_machine_failure(machines[1])  # pool is empty
+        assert job.state == JobState.BLOCKED
+        assert job in sched.blocked
+        assert sched.unblock() == []  # still no capacity
+        pool.reclaim_now(3)
+        resumed = sched.unblock()
+        assert resumed == [job]
+        assert job.state == JobState.RUNNING
+        assert len(job.recoveries) == 2
+        run_to_completion(sched)
+        assert job.state == JobState.COMPLETED
+
+    def test_failed_spare_goes_to_repair(self):
+        cluster = Cluster(3, devices_per_machine=1)
+        pool = SparePool(cluster, machine_ids=[2], repair_ticks=1)
+        sched = Scheduler(cluster, spares=pool)
+        assert sched.handle_machine_failure(2) == []
+        assert pool.available == 0 and pool.repairing == 1
+        assert pool.tick() == [2]
+        assert cluster.machine(2).alive
+
+    def test_recovery_does_not_resurrect_unrelated_dead_machines(self):
+        """A job's recovery replaces every failed machine it sees; broken
+        machines the job does not own must stay down afterwards."""
+        cluster = Cluster(6, devices_per_machine=1)
+        pool = SparePool(cluster, machine_ids=[5], repair_ticks=10)
+        sched = Scheduler(cluster, spares=pool)
+        job = Job(dp_spec(workers=2, iterations=8))
+        sched.submit(job)
+        sched.schedule()
+        job.step()
+        # an idle free machine dies: capacity is gone until repaired
+        idle = ({0, 1, 2, 3, 4} - job.machines_used()).pop()
+        sched.handle_machine_failure(idle)
+        assert not cluster.machine(idle).alive
+        # the job's own recovery must not revive it for free
+        sched.handle_machine_failure(next(iter(job.machines_used())))
+        assert job.state == JobState.RUNNING
+        assert not cluster.machine(idle).alive
+        assert all(m != idle for m, _ in cluster.free_slots())
+
+    def test_blocked_on_two_machines_needs_two_leases(self):
+        """A job blocked by failures on two machines resumes only after a
+        replacement is leased for each (one spare per crash event)."""
+        cluster = Cluster(5, devices_per_machine=1)
+        pool = SparePool(cluster, machine_ids=[4], repair_ticks=100)
+        sched = Scheduler(cluster, spares=pool)
+        # 3 workers on 3 machines: losing two still leaves a replica
+        job = Job(dp_spec(workers=3, iterations=8))
+        sched.submit(job)
+        sched.schedule()
+        job.step()
+        pool.lease(99)  # drain the pool before any failure
+        machines = sorted(job.machines_used())
+        sched.handle_machine_failure(machines[0])
+        sched.handle_machine_failure(machines[1])
+        assert job.state == JobState.BLOCKED
+        assert sorted(set(job.pending_machines)) == machines[:2]
+        # one repaired spare is not enough for two broken machines
+        pool.reclaim_now(4)
+        assert sched.unblock() == []
+        assert job.state == JobState.BLOCKED
+        # the second lease completes the set and the job resumes
+        pool.reclaim_now(4)
+        assert sched.unblock() == [job]
+        assert job.state == JobState.RUNNING
+        assert pool.total_leases == 3  # drain + one per broken machine
+        run_to_completion(sched)
+        assert job.state == JobState.COMPLETED
+
+    def test_banked_lease_is_not_bought_twice(self):
+        """A repeat failure event on a machine whose replacement is
+        already banked must not consume another spare."""
+        cluster = Cluster(5, devices_per_machine=1)
+        pool = SparePool(cluster, machine_ids=[4], repair_ticks=100)
+        sched = Scheduler(cluster, spares=pool)
+        job = Job(dp_spec(workers=3, iterations=8))
+        sched.submit(job)
+        sched.schedule()
+        job.step()
+        pool.lease(99)  # drain
+        m0, m1, _ = sorted(job.machines_used())
+        sched.handle_machine_failure(m0)  # pool empty: blocked
+        pool.reclaim_now(4)
+        sched.handle_machine_failure(m1)  # lease banked, still blocked on m0
+        assert pool.total_leases == 2
+        pool.reclaim_now(4)
+        sched.handle_machine_failure(m1)  # repeat event: no new lease
+        assert pool.total_leases == 2
+        assert job.pending_machines == [m0, m1]  # no duplicates
+        # the banked m1 lease plus one m0 lease completes the set
+        assert sched.unblock() == [job]
+        assert pool.total_leases == 3
+        assert sched._leased_pending == set()
+        run_to_completion(sched)
+        assert job.state == JobState.COMPLETED
+
+    def test_failure_on_in_repair_spare_restarts_repair(self):
+        cluster = Cluster(4, devices_per_machine=1)
+        pool = SparePool(cluster, machine_ids=[3], repair_ticks=2)
+        sched = Scheduler(cluster, spares=pool)
+        job = Job(dp_spec(workers=2, iterations=8))
+        sched.submit(job)
+        sched.schedule()
+        job.step()
+        # first crash leases the spare; its broken hardware is in repair
+        sched.handle_machine_failure(next(iter(job.machines_used())))
+        assert pool.repairing == 1
+        pool.tick()  # 1 tick of repair done
+        # a second failure event targets the in-repair spare id: the
+        # repair simply restarts instead of crashing the scheduler
+        assert sched.handle_machine_failure(3) == []
+        assert pool.repairing == 1
+        assert pool.tick() == []  # timer was reset: not done yet
+        assert pool.tick() == [3]
+
+    def test_second_failure_on_blocked_job_with_fresh_spare(self):
+        """A failure routed to a BLOCKED job (spare newly available) must
+        recover it and move it back to the running set."""
+        cluster = Cluster(4, devices_per_machine=1)
+        pool = SparePool(cluster, machine_ids=[3], repair_ticks=2)
+        sched = Scheduler(cluster, spares=pool)
+        job = Job(dp_spec(workers=2, iterations=8))
+        sched.submit(job)
+        sched.schedule()
+        job.step()
+        machines = sorted(job.machines_used())
+        sched.handle_machine_failure(machines[0])  # consumes the spare
+        sched.handle_machine_failure(machines[1])  # blocks the job
+        assert job.state == JobState.BLOCKED
+        pool.reclaim_now(3)  # capacity is back ...
+        # ... and the next failure event routes straight to the blocked job
+        sched.handle_machine_failure(machines[1])
+        assert job.state == JobState.RUNNING
+        assert job in sched.running and job not in sched.blocked
+        assert sched.unblock() == []  # no stale entries, no crash
+        run_to_completion(sched)
+        assert job.state == JobState.COMPLETED
+
+
+class TestFleetSimulator:
+    def test_three_concurrent_jobs_with_failures(self):
+        specs = [
+            dp_spec("dp-a", workers=4, iterations=6, elastic=True,
+                    min_workers=2, priority=1),
+            pp_spec("pp-b", stages=4, iterations=6, priority=2),
+            dp_spec("dp-c", workers=2, iterations=6, priority=0, seed=3),
+        ]
+        sim = FleetSimulator(
+            specs,
+            num_machines=6,
+            devices_per_machine=2,
+            num_spares=1,
+            failures=[FleetFailure(round=2, machine_id=0)],
+        )
+        report = sim.run()
+        assert all(j.state == "completed" for j in report.jobs)
+        assert report.total_samples == sum(s.samples for s in specs)
+        assert report.cluster_goodput > 0
+        assert report.total_failures >= 1
+        assert report.total_recoveries == report.total_failures
+        assert report.spare_leases == 1
+        assert report.makespan > 0
+
+    def test_priority_arrival_preempts_in_fleet(self):
+        specs = [
+            dp_spec("victim", workers=6, iterations=25, elastic=True,
+                    min_workers=2, priority=0),
+            dp_spec("rush", workers=4, iterations=4, priority=5, arrival=3),
+        ]
+        sim = FleetSimulator(specs, num_machines=2, devices_per_machine=4,
+                             num_spares=0)
+        report = sim.run()
+        by_name = {j.name: j for j in report.jobs}
+        assert by_name["victim"].preemptions == 1
+        assert by_name["rush"].state == "completed"
+        assert by_name["victim"].state == "completed"
+        # victim was restored to full size before finishing
+        assert by_name["victim"].workers == 6
+
+    def test_oversized_gang_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            FleetSimulator(
+                [dp_spec(workers=9)],
+                num_machines=3,
+                devices_per_machine=2,
+                num_spares=1,
+            )
+
+    def test_queueing_delay_measured(self):
+        specs = [
+            dp_spec("first", workers=4, iterations=10),
+            dp_spec("second", workers=4, iterations=4, arrival=1),
+        ]
+        sim = FleetSimulator(specs, num_machines=2, devices_per_machine=2,
+                             num_spares=0)
+        report = sim.run()
+        by_name = {j.name: j for j in report.jobs}
+        assert by_name["first"].queueing_delay == 0.0
+        assert by_name["second"].queueing_delay > 0.0
+        assert report.mean_queueing_delay > 0.0

@@ -116,3 +116,34 @@ class TestCLI:
         # wrn is not a planner choice at parser level
         with pytest.raises(SystemExit):
             cli_main(["plan", "--workload", "wrn", "--budget-gb", "1"])
+
+    def test_fleet(self, capsys):
+        assert cli_main(["fleet", "--iterations", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster goodput" in out
+        assert "mean queueing delay" in out
+        assert "preemption events" in out
+        assert "dp-rush" in out and "pp-chain" in out
+
+
+class TestCLISmoke:
+    """Every subcommand must run to exit code 0 through repro.cli.main."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["workloads"],
+            ["table3"],
+            ["table5", "--repeats", "1"],
+            ["fig8", "wrn"],
+            ["fig8", "vit"],
+            ["fig8", "bert"],
+            ["plan", "--workload", "bert", "--budget-gb", "200"],
+            ["plan", "--workload", "vit", "--budget-gb", "100"],
+            ["fleet", "--iterations", "4", "--machines", "5"],
+        ],
+        ids=lambda argv: "-".join(a.lstrip("-") for a in argv),
+    )
+    def test_subcommand_exits_zero(self, argv, capsys):
+        assert cli_main(argv) == 0
+        assert capsys.readouterr().out  # every command prints something
