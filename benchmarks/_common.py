@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+import platform
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def emit(name: str, text: str) -> None:
@@ -13,6 +16,25 @@ def emit(name: str, text: str) -> None:
     banner = f"\n===== {name} =====\n"
     print(banner + text)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def write_bench_json(name: str, results: dict) -> Path:
+    """Persist machine-readable benchmark results as ``BENCH_<name>.json``.
+
+    The canonical result-writer for the repo's perf trajectory: every
+    benchmark that produces numbers worth tracking across PRs funnels them
+    here.  The file lands at the repository root so successive runs diff
+    cleanly in version control and CI can upload it as an artifact.
+    """
+    payload = {
+        "bench": name,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {path}")
+    return path
 
 
 def fmt_table(headers: list[str], rows: list[list[object]]) -> str:

@@ -18,7 +18,7 @@ to the global-checkpoint-restart baseline. Fleet shapes expected:
   analytic simulators instead.)
 """
 
-from _common import emit, fmt_table
+from _common import emit, fmt_table, write_bench_json
 from repro.jobs import JobSpec
 from repro.sim import FleetFailure, FleetSimulator
 
@@ -82,6 +82,16 @@ def test_fleet_goodput(benchmark):
          "lost iters", "mean queue"],
         rows,
     ))
+    write_bench_json("fleet_goodput", {
+        name: {
+            "cluster_goodput": result["report"].cluster_goodput,
+            "makespan": result["report"].makespan,
+            "total_recoveries": result["report"].total_recoveries,
+            "total_lost_iterations": result["report"].total_lost_iterations,
+            "mean_queueing_delay": result["report"].mean_queueing_delay,
+        }
+        for name, result in scenarios.items()
+    })
 
     for name, result in scenarios.items():
         assert result["completed"], f"{name}: not all jobs completed"

@@ -19,6 +19,7 @@ import numpy as np
 from repro.cluster.device import Device
 from repro.cluster.topology import Cluster
 from repro.errors import CommunicationError
+from repro.utils.pool import BufferPool, PooledBuffer
 
 __all__ = ["Message", "Transport"]
 
@@ -39,6 +40,11 @@ class Message:
     phase: str  # "fwd" (activation) or "bwd" (gradient)
     seq: int = 0
     meta: dict = field(default_factory=dict, compare=False)
+    #: arena buffer backing :attr:`tensor` when the transport pools sends;
+    #: the tensor log shares (retains) it instead of copying again
+    buffer: PooledBuffer | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def nbytes(self) -> int:
@@ -54,9 +60,13 @@ class Transport:
     :class:`CommunicationError`, which is how failures are *detected*.
     """
 
-    def __init__(self, cluster: Cluster, devices: dict[int, Device]):
+    def __init__(self, cluster: Cluster, devices: dict[int, Device],
+                 pool: BufferPool | None = None):
         self.cluster = cluster
         self.devices = dict(devices)
+        #: optional buffer arena: sends copy once into pooled read-only
+        #: storage shared with the tensor log, instead of two fresh clones
+        self.pool = pool
         self._channels: dict[tuple[int, int], deque[Message]] = {}
         self._taps: list[Callable[[Message, Device, Device], None]] = []
         self._seq = 0
@@ -98,19 +108,28 @@ class Transport:
         """Enqueue a message; returns the simulated transfer time.
 
         The tensor is copied so the sender may keep mutating its buffers —
-        the same reason Swift's logger snapshots outgoing tensors.
+        the same reason Swift's logger snapshots outgoing tensors.  With a
+        pool attached, that is the *only* copy on the send+log path: the
+        message carries a read-only pooled view that the log tap shares.
         """
         src_dev, dst_dev = self._check(src, dst)
         self._seq += 1
+        if self.pool is not None:
+            buf = self.pool.capture(tensor)
+            payload = buf.array
+        else:
+            buf = None
+            payload = np.array(tensor, copy=True)
         msg = Message(
             src_rank=src,
             dst_rank=dst,
-            tensor=np.array(tensor, copy=True),
+            tensor=payload,
             iteration=iteration,
             microbatch=microbatch,
             phase=phase,
             seq=self._seq,
             meta=dict(meta),
+            buffer=buf,
         )
         for tap in self._taps:
             tap(msg, src_dev, dst_dev)
@@ -125,7 +144,13 @@ class Transport:
             raise CommunicationError(
                 src, dst, f"recv on empty channel {src} -> {dst}"
             )
-        return channel.popleft()
+        msg = channel.popleft()
+        if msg.buffer is not None:
+            # the receiver may keep aliasing the view, so the storage goes
+            # through the pool's quarantine generation before reuse
+            msg.buffer.seen_by_consumer = True
+            msg.buffer.release()
+        return msg
 
     def pending(self, src: int, dst: int) -> int:
         return len(self._channels.get((src, dst), ()))
@@ -133,7 +158,12 @@ class Transport:
     def drop_all(self) -> int:
         """Discard every in-flight message (a failed iteration is aborted
         wholesale — its partial traffic must not leak into the re-run)."""
-        dropped = sum(len(ch) for ch in self._channels.values())
+        dropped = 0
+        for channel in self._channels.values():
+            for msg in channel:
+                if msg.buffer is not None:
+                    msg.buffer.release()  # undelivered: safe to recycle
+            dropped += len(channel)
         self._channels.clear()
         return dropped
 
@@ -146,6 +176,9 @@ class Transport:
         dropped = 0
         for key in list(self._channels):
             if key[0] in ranks or key[1] in ranks:
+                for msg in self._channels[key]:
+                    if msg.buffer is not None:
+                        msg.buffer.release()
                 dropped += len(self._channels[key])
                 del self._channels[key]
         return dropped

@@ -2,6 +2,7 @@
 selective logging, strategy selection, and the orchestration trainer."""
 
 from repro.core.checkpoint import (
+    CheckpointDelta,
     CheckpointManager,
     SnapshotCost,
     SnapshotManager,
@@ -39,6 +40,7 @@ __all__ = [
     "resolve_pipeline_consistency",
     "FailureDetector",
     "DetectionReport",
+    "CheckpointDelta",
     "CheckpointManager",
     "SnapshotManager",
     "SnapshotCost",

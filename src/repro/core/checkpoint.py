@@ -29,10 +29,12 @@ import numpy as np
 from repro.cluster.clock import SimClock
 from repro.cluster.topology import Cluster
 from repro.errors import CheckpointError
+from repro.utils.cow import StateView
 from repro.utils.serialization import clone_state, state_nbytes
 
 __all__ = [
     "CheckpointManager",
+    "CheckpointDelta",
     "SnapshotManager",
     "SnapshotCost",
     "checkfreq_interval",
@@ -42,17 +44,57 @@ __all__ = [
 GPU_COPY_BW = 700e9
 
 
+@dataclass(frozen=True)
+class CheckpointDelta:
+    """An incremental checkpoint blob: changed leaves + its base pointer.
+
+    The base is named twice: by iteration (the storage key to walk to) and
+    by :class:`StateView` version (validated during the walk, so a base
+    blob that was overwritten by a different save fails loudly instead of
+    reconstructing a corrupt state).
+    """
+
+    #: iteration of the checkpoint this delta applies on top of
+    base_iteration: int
+    #: version of the full StateView the base blob must hold
+    base_version: int
+    #: version of the full state this delta brings the base up to
+    version: int
+    #: only the leaves that changed since the base (a zero-copy sub-view)
+    delta: StateView
+
+
 class CheckpointManager:
-    """Writes/reads global checkpoints to the cluster's global store."""
+    """Writes/reads global checkpoints to the cluster's global store.
+
+    Shard states are stored as :class:`~repro.utils.cow.StateView` blobs —
+    capturing a checkpoint costs O(#keys), not O(state bytes), because
+    ``full_state()`` already hands over private arrays.
+
+    With ``incremental=True`` (and per-shard dirty-key reports passed to
+    :meth:`save_global`), periodic persists write only the leaves that
+    changed since the previous checkpoint; every ``full_every``-th
+    checkpoint per shard writes a full base so delta chains stay short.
+    """
 
     def __init__(self, cluster: Cluster, clock: SimClock,
-                 key_prefix: str = "ckpt"):
+                 key_prefix: str = "ckpt", incremental: bool = False,
+                 full_every: int = 8):
+        if full_every < 1:
+            raise CheckpointError("full_every must be >= 1")
         self.cluster = cluster
         self.clock = clock
         self.key_prefix = key_prefix
+        self.incremental = incremental
+        self.full_every = full_every
         self.latest_iteration: int | None = None
         #: callbacks fired after a successful checkpoint (log GC hooks in)
         self.post_checkpoint_hooks: list = []
+        #: per-shard (iteration, view) of the most recent save — the base
+        #: the next delta is expressed against
+        self._last_saved: dict[int, tuple[int, StateView]] = {}
+        #: per-shard count of deltas since the last full base
+        self._chain_len: dict[int, int] = {}
 
     def _key(self, iteration: int, shard: int) -> str:
         return f"{self.key_prefix}/{iteration}/{shard}"
@@ -62,19 +104,38 @@ class CheckpointManager:
         states: dict[int, dict[str, np.ndarray]],
         iteration: int,
         pipelined: bool = False,
+        dirty: dict[int, set[str]] | None = None,
     ) -> float:
         """Synchronously checkpoint all shards; returns the stall seconds.
 
         ``pipelined=True`` overlaps shard writes (pipeline-parallel mode):
         the stall is the slowest shard instead of the sum of all shards.
+
+        ``dirty`` maps each shard to the state keys changed since the
+        previous checkpoint (the optimizers' dirty-key reports).  When the
+        manager is incremental and a shard has a usable base, only those
+        leaves are uploaded.
         """
         store = self.cluster.global_store
         times = []
         for shard, state in states.items():
-            nbytes = state_nbytes(state)
+            view = StateView.of(state)
+            payload: object = view
+            nbytes = view.nbytes
+            changed = None if dirty is None else dirty.get(shard)
+            if self._delta_applicable(shard, iteration, view, changed):
+                prev_iteration, prev_view = self._last_saved[shard]
+                delta = view.select(changed)
+                payload = CheckpointDelta(
+                    prev_iteration, prev_view.version, view.version, delta
+                )
+                nbytes = delta.nbytes
+                self._chain_len[shard] = self._chain_len.get(shard, 0) + 1
+            else:
+                self._chain_len[shard] = 0
             t = self.cluster.pcie_time(nbytes)  # GPU -> CPU
-            t += store.upload(self._key(iteration, shard), nbytes,
-                              clone_state(state))
+            t += store.upload(self._key(iteration, shard), nbytes, payload)
+            self._last_saved[shard] = (iteration, view)
             times.append(t)
         stall = max(times) if pipelined else sum(times)
         self.latest_iteration = iteration
@@ -83,9 +144,35 @@ class CheckpointManager:
             hook(iteration)
         return stall
 
+    def _delta_applicable(
+        self, shard: int, iteration: int, view: StateView,
+        changed: set[str] | None,
+    ) -> bool:
+        """A delta needs: incremental mode, a dirty report, a previous save
+        at a strictly earlier iteration with the same key set, and a chain
+        shorter than ``full_every``."""
+        if not self.incremental or changed is None:
+            return False
+        if shard not in self._last_saved:
+            return False
+        if self._chain_len.get(shard, 0) + 1 >= self.full_every:
+            return False
+        prev_iteration, prev = self._last_saved[shard]
+        if prev_iteration >= iteration:
+            # re-saving the same iteration would make a delta its own base
+            return False
+        if prev.keys() != view.keys() or not changed <= view.keys():
+            return False
+        return True
+
     def load(self, shard: int, iteration: int | None = None
              ) -> tuple[dict[str, np.ndarray], float]:
-        """Load one shard; returns (state, simulated read seconds)."""
+        """Load one shard; returns (state, simulated read seconds).
+
+        Incremental blobs are resolved by walking the delta chain back to
+        the nearest full base and overlaying newer leaves; the returned
+        state is always a private writable copy.
+        """
         iteration = self.latest_iteration if iteration is None else iteration
         if iteration is None:
             raise CheckpointError("no checkpoint has been written yet")
@@ -93,8 +180,49 @@ class CheckpointManager:
         if key not in self.cluster.global_store:
             raise CheckpointError(f"missing checkpoint shard {key!r}")
         blob, t = self.cluster.global_store.download(key)
-        t += self.cluster.pcie_time(blob.nbytes)  # CPU -> GPU
-        return clone_state(blob.payload), t
+        payload = blob.payload
+        deltas: list[StateView] = []  # newest first
+        walk_iteration = iteration
+        expected_version: int | None = None
+        while isinstance(payload, CheckpointDelta):
+            if expected_version is not None and payload.version != expected_version:
+                raise CheckpointError(
+                    f"delta chain version mismatch at iteration "
+                    f"{walk_iteration} for shard {shard}: base blob was "
+                    "overwritten by a different save"
+                )
+            if payload.base_iteration >= walk_iteration:
+                raise CheckpointError(
+                    f"corrupt delta chain for shard {shard}: delta at "
+                    f"iteration {walk_iteration} points at base "
+                    f"{payload.base_iteration}"
+                )
+            deltas.append(payload.delta)
+            expected_version = payload.base_version
+            walk_iteration = payload.base_iteration
+            base_key = self._key(walk_iteration, shard)
+            if base_key not in self.cluster.global_store:
+                raise CheckpointError(
+                    f"broken delta chain: missing base {base_key!r}"
+                )
+            blob, t_base = self.cluster.global_store.download(base_key)
+            t += t_base
+            payload = blob.payload
+        if (
+            expected_version is not None
+            and isinstance(payload, StateView)
+            and payload.version != expected_version
+        ):
+            raise CheckpointError(
+                f"delta chain version mismatch for shard {shard}: full "
+                f"base at iteration {walk_iteration} was overwritten by a "
+                "different save"
+            )
+        merged: dict[str, np.ndarray] = dict(payload)
+        for delta in reversed(deltas):  # oldest delta first, newest wins
+            merged.update(delta)
+        t += self.cluster.pcie_time(state_nbytes(merged))  # CPU -> GPU
+        return clone_state(merged), t
 
 
 @dataclass(frozen=True)
@@ -132,7 +260,7 @@ class SnapshotManager:
         #: fraction of the persist time that leaks into iteration time
         #: (Figure 3: CheckFreq iterations stay slower *after* the snapshot)
         self.disk_interference = disk_interference
-        self._snapshots: dict[int, tuple[int, dict[str, np.ndarray]]] = {}
+        self._snapshots: dict[int, tuple[int, StateView]] = {}
         self._snapshot_machine: dict[int, int] = {}
 
     def snapshot_cost(self, nbytes: int, gpu_free_bytes: int) -> SnapshotCost:
@@ -157,10 +285,16 @@ class SnapshotManager:
         iteration: int,
         gpu_free_bytes: int,
     ) -> SnapshotCost:
-        """Snapshot one shard's state; records cost on the clock."""
-        nbytes = state_nbytes(state)
+        """Snapshot one shard's state; records cost on the clock.
+
+        The snapshot is captured as a zero-copy :class:`StateView` — the
+        *simulated* stall still prices the hardware copy, but the Python
+        hot path is O(#keys) instead of O(state bytes).
+        """
+        view = StateView.of(state)
+        nbytes = view.nbytes
         cost = self.snapshot_cost(nbytes, gpu_free_bytes)
-        self._snapshots[shard] = (iteration, clone_state(state))
+        self._snapshots[shard] = (iteration, view)
         self._snapshot_machine[shard] = machine_id
         self.clock.advance(cost.stall, "snapshot_stall", shard=shard)
         if cost.persist:
@@ -172,10 +306,15 @@ class SnapshotManager:
         return cost
 
     def latest(self, shard: int) -> tuple[int, dict[str, np.ndarray]]:
+        """Latest snapshot as a private writable copy (the restore path)."""
+        iteration, view = self.latest_view(shard)
+        return iteration, view.materialize()
+
+    def latest_view(self, shard: int) -> tuple[int, StateView]:
+        """Latest snapshot as a zero-copy read-only view."""
         if shard not in self._snapshots:
             raise CheckpointError(f"no snapshot for shard {shard}")
-        iteration, state = self._snapshots[shard]
-        return iteration, clone_state(state)
+        return self._snapshots[shard]
 
     def drop_machine(self, machine_id: int) -> None:
         """A machine crash loses the snapshots staged in its memory."""

@@ -25,7 +25,7 @@ from repro.core.detector import FailureDetector
 from repro.core.undo import UndoReport, resolve_dp_consistency
 from repro.errors import RecoveryError
 from repro.parallel.data_parallel import DataParallelEngine
-from repro.utils.serialization import state_nbytes
+from repro.utils.cow import StateView
 
 __all__ = ["RecoveryReport", "ReplicationRecovery"]
 
@@ -112,10 +112,13 @@ class ReplicationRecovery:
             if w.machine_id in failed_machines
         ]
 
-        # 4. broadcast the surviving state to the replacements
+        # 4. broadcast the surviving state to the replacements — captured
+        # as a read-only COW view, so the broadcast payload is immune to
+        # concurrent mutation and costs no extra copy (each replacement's
+        # load_full_state copies on ingest)
         source = survivors[0]
-        state = source.full_state()
-        nbytes = state_nbytes(state)
+        state = StateView.of(source.full_state())
+        nbytes = state.nbytes
         group = CollectiveGroup(
             self.engine.cluster,
             {w.rank: w.device for w in self.engine.workers},

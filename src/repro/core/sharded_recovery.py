@@ -27,6 +27,7 @@ from repro.core.detector import FailureDetector
 from repro.core.replication import RecoveryReport
 from repro.errors import RecoveryError
 from repro.parallel.fsdp import FSDPEngine
+from repro.utils.cow import StateView
 
 __all__ = ["ShardedReplicationRecovery"]
 
@@ -85,16 +86,17 @@ class ShardedReplicationRecovery:
         restored_bytes = 0
         for name, (kind, src_rank) in sources.items():
             src = self.engine.workers[src_rank]
-            state = (
+            # zero-copy restore source: shard_state already exports private
+            # arrays, and mirror dicts are rebound (never mutated in place)
+            # by _sync_mirrors, so a read-only view suffices —
+            # load_shard_state copies on ingest
+            state = StateView.of(
                 src.shard_state(name) if kind == "owner"
-                else {k: np.array(v, copy=True)
-                      for k, v in src.mirrors[name].items()}
+                else dict(src.mirrors[name])
             )
             owner = self.engine.workers[self.engine.plan.owner[name]]
             owner.load_shard_state(name, state)
-            restored_bytes += sum(
-                int(np.asarray(v).nbytes) for v in state.values()
-            )
+            restored_bytes += state.nbytes
         self.engine._sync_mirrors(list(self.engine.plan.owner))
 
         # 5. re-gather full parameters onto every worker

@@ -32,6 +32,7 @@ from repro.cluster.topology import Cluster
 from repro.comm.p2p import Message, Transport
 from repro.errors import LogIntegrityError
 from repro.parallel.schedules import ScheduleTiming
+from repro.utils.pool import PooledBuffer
 
 __all__ = ["LoggingMode", "LogRecord", "GroupingPlan", "TensorLog"]
 
@@ -55,6 +56,11 @@ class LogRecord:
     phase: str  # "fwd" or "bwd"
     seq: int
     tensor: np.ndarray = field(compare=False, repr=False)
+    #: arena buffer shared with the transport message (zero-copy logging);
+    #: released back to the pool when the record is garbage-collected
+    buffer: PooledBuffer | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def nbytes(self) -> int:
@@ -119,6 +125,9 @@ class TensorLog:
         self.precision = precision
         #: PCIe-contention leak factor for plain ASYNC mode
         self.async_interference = async_interference
+        #: the transport's buffer arena, when pooled messaging is wired
+        #: (set by SwiftTrainer); gc() advances its quarantine epoch
+        self.pool = None
         #: (receiver_stage, iteration, microbatch, phase) -> record
         self._index: dict[tuple[int, int, int, str], LogRecord] = {}
         #: per-sender-machine record keys (for failure drops and accounting)
@@ -147,9 +156,17 @@ class TensorLog:
         dst_m = dst_dev.machine.machine_id
         if not self.should_log(src_m, dst_m):
             return
-        tensor = msg.tensor
+        buffer = None
         if self.precision == "fp16":
-            tensor = tensor.astype(np.float16)
+            # down-cast allocates a fresh (private) half-precision array
+            tensor = np.asarray(msg.tensor).astype(np.float16)
+        elif msg.buffer is not None:
+            # zero-copy logging: share the message's pooled read-only
+            # tensor instead of cloning it a second time
+            tensor = msg.tensor
+            buffer = msg.buffer.retain()
+        else:
+            tensor = np.array(msg.tensor, copy=True)
         record = LogRecord(
             sender_stage=msg.src_rank,
             receiver_stage=msg.dst_rank,
@@ -159,9 +176,13 @@ class TensorLog:
             microbatch=msg.microbatch,
             phase=msg.phase,
             seq=msg.seq,
-            tensor=np.array(tensor, copy=True),
+            tensor=tensor,
+            buffer=buffer,
         )
         key = (msg.dst_rank, msg.iteration, msg.microbatch, msg.phase)
+        stale = self._index.get(key)
+        if stale is not None and stale.buffer is not None:
+            stale.buffer.release()  # a re-run overwrote this record
         self._index[key] = record
         self._by_machine.setdefault(src_m, []).append(key)
         self._iter_bytes_by_stage[msg.src_rank] = (
@@ -238,7 +259,10 @@ class TensorLog:
         keys = self._by_machine.pop(machine_id, [])
         dropped = 0
         for key in keys:
-            if self._index.pop(key, None) is not None:
+            record = self._index.pop(key, None)
+            if record is not None:
+                if record.buffer is not None:
+                    record.buffer.release()
                 dropped += 1
         return dropped
 
@@ -246,14 +270,23 @@ class TensorLog:
         """Drop records older than a completed global checkpoint.
 
         Returns bytes freed.  This is what bounds log storage by the
-        checkpoint interval (§5.1 "Garbage collection").
+        checkpoint interval (§5.1 "Garbage collection") — and what returns
+        pooled tensor buffers to the arena for reuse.
         """
+        if self.pool is not None:
+            # age the quarantine generations BEFORE this round's releases:
+            # buffers freed now stay unallocatable for two more
+            # checkpoints, protecting receiver-retained views
+            self.pool.advance_epoch()
         freed = 0
         doomed = [
             k for k, r in self._index.items() if r.iteration < checkpoint_iteration
         ]
         for key in doomed:
-            freed += self._index[key].nbytes
+            record = self._index[key]
+            freed += record.nbytes
+            if record.buffer is not None:
+                record.buffer.release()
             del self._index[key]
         for machine, keys in self._by_machine.items():
             self._by_machine[machine] = [k for k in keys if k in self._index]

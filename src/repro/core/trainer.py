@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError, RecoveryError
 from repro.parallel.data_parallel import DataParallelEngine
 from repro.parallel.pipeline import PipelineEngine
 from repro.parallel.results import IterationResult
+from repro.utils.pool import BufferPool
 
 __all__ = ["TrainerConfig", "TrainingTrace", "SwiftTrainer"]
 
@@ -48,6 +49,14 @@ class TrainerConfig:
     #: logging for PP); "checkpoint_only" forces the global
     #: checkpoint-restart baseline (Section 3's fallback)
     strategy: str = "auto"
+    #: persist only the leaves the optimizers report dirty since the last
+    #: checkpoint (delta checkpoints); every ``incremental_full_every``-th
+    #: save per shard writes a full base to bound delta chains
+    incremental_checkpoints: bool = False
+    incremental_full_every: int = 8
+    #: pool message buffers so the send+log path performs one copy into a
+    #: recycled arena instead of two fresh allocations (pipeline engines)
+    pooled_messaging: bool = True
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval < 1:
@@ -56,6 +65,8 @@ class TrainerConfig:
             raise ConfigurationError("parallel_recovery_degree must be >= 1")
         if self.strategy not in ("auto", "checkpoint_only"):
             raise ConfigurationError(f"unknown strategy {self.strategy!r}")
+        if self.incremental_full_every < 1:
+            raise ConfigurationError("incremental_full_every must be >= 1")
 
 
 @dataclass
@@ -103,7 +114,9 @@ class SwiftTrainer:
         #: distinct prefixes let several jobs share one global store
         #: without clobbering each other's checkpoints (repro.jobs)
         self.checkpoints = CheckpointManager(
-            self.cluster, self.clock, key_prefix=checkpoint_prefix
+            self.cluster, self.clock, key_prefix=checkpoint_prefix,
+            incremental=config.incremental_checkpoints,
+            full_every=config.incremental_full_every,
         )
         self.detector = FailureDetector(self.cluster.kvstore, self.clock)
         #: optional CheckFreq/Elastic-Horovod style snapshotting baseline
@@ -111,6 +124,7 @@ class SwiftTrainer:
         self.snapshot_interval = snapshot_interval
 
         self.is_pipeline = isinstance(engine, PipelineEngine)
+        self.pool: BufferPool | None = None
         if config.strategy == "checkpoint_only":
             from repro.core.global_restart import GlobalCheckpointRecovery
 
@@ -123,7 +137,13 @@ class SwiftTrainer:
                 replacement_join_time=config.replacement_join_time,
             )
         elif self.is_pipeline:
+            #: shared buffer arena: Transport.send copies once into it and
+            #: the log tap shares the buffer; gc (below) recycles storage
+            self.pool = BufferPool() if config.pooled_messaging else None
+            if self.pool is not None:
+                engine.transport.pool = self.pool
             self.tlog = TensorLog(self.cluster, grouping, mode=logging_mode)
+            self.tlog.pool = self.pool
             self.tlog.attach(engine.transport)
             engine.overhead_hooks.append(self.tlog.make_overhead_hook())
             self.checkpoints.post_checkpoint_hooks.append(self.tlog.gc)
@@ -157,13 +177,37 @@ class SwiftTrainer:
             return self.engine.full_state()
         return {w.rank: w.full_state() for w in self.engine.workers if w.alive}
 
+    def _engine_shards(self) -> list:
+        """Live shard objects (workers or stages) in checkpoint-shard order."""
+        if self.is_pipeline:
+            return list(self.engine.stages)
+        return [w for w in self.engine.workers if w.alive]
+
     def take_checkpoint(self) -> float:
-        """Synchronous global checkpoint of the whole job."""
-        return self.checkpoints.save_global(
+        """Synchronous global checkpoint of the whole job.
+
+        With incremental checkpoints enabled, the optimizers' dirty-key
+        reports select the leaves to persist; the reports are cleared only
+        after the save succeeds.
+        """
+        dirty = None
+        shards = self._engine_shards()
+        if self.config.incremental_checkpoints:
+            dirty = {
+                (s.stage_id if self.is_pipeline else s.rank):
+                    s.dirty_full_state_keys()
+                for s in shards
+            }
+        stall = self.checkpoints.save_global(
             self._engine_states(),
             self.engine.iteration,
             pipelined=self.is_pipeline,
+            dirty=dirty,
         )
+        if dirty is not None:
+            for s in shards:
+                s.clear_dirty()
+        return stall
 
     def take_snapshot(self) -> None:
         """CheckFreq/Elastic-Horovod snapshot of every shard (baseline)."""

@@ -80,6 +80,9 @@ class JobSpec:
     checkpoint_interval: int = 20
     #: fault-tolerance strategy, forwarded to :class:`TrainerConfig`
     strategy: str = "auto"
+    #: delta checkpoints (persist only dirty leaves), forwarded to
+    #: :class:`TrainerConfig` — see repro.core.checkpoint
+    incremental_checkpoints: bool = False
     # -- workload knobs (small deterministic MLP classification) ----------
     dim: int = 8
     hidden_dim: int = 16
@@ -210,6 +213,7 @@ class Job:
             TrainerConfig(
                 checkpoint_interval=self.spec.checkpoint_interval,
                 strategy=self.spec.strategy,
+                incremental_checkpoints=self.spec.incremental_checkpoints,
             ),
             clock=self.clock,
             checkpoint_prefix=f"ckpt/{self.spec.name}",

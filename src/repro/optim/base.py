@@ -65,6 +65,10 @@ class Optimizer:
         self.undo_journal: dict[str, dict[str, float]] = {
             name: {} for name in self.params
         }
+        #: parameters whose state changed since the last checkpoint — the
+        #: dirty-key report incremental checkpointing persists deltas from.
+        #: Everything is dirty before the first full checkpoint.
+        self.dirty_params: set[str] = set(self.params)
 
     # -- single-parameter update/undo (implemented by subclasses) ----------
     def _update(self, name: str, param: Parameter, grad: np.ndarray) -> None:
@@ -81,6 +85,7 @@ class Optimizer:
             raise ShapeError(f"parameter {name!r} has no gradient")
         self.step_counts[name] += 1
         self.undo_journal[name]["lr"] = self.lr
+        self.dirty_params.add(name)
         self._update(name, param, param.grad)
 
     def step(self, order: Iterable[str] | None = None) -> list[str]:
@@ -112,6 +117,7 @@ class Optimizer:
             raise NotInvertibleError(f"parameter {name!r} has no update to undo")
         self._undo(name, param, param.grad)
         self.step_counts[name] -= 1
+        self.dirty_params.add(name)
 
     def undo(self, names: Iterable[str] | None = None) -> list[str]:
         """Undo the latest update of the given parameters (default: all)."""
@@ -139,10 +145,30 @@ class Optimizer:
             name, slot = key.rsplit("::", 1)
             if name not in self.params:
                 raise ShapeError(f"unknown parameter {name!r} in optimizer state")
+            self.dirty_params.add(name)
             if slot == "step":
                 self.step_counts[name] = int(arr)
             else:
                 self.state[name][slot] = np.array(arr, dtype=np.float64, copy=True)
+
+    # -- dirty-key reporting (incremental checkpoints) -----------------------
+    def dirty_state_keys(self) -> set[str]:
+        """State-dict keys changed since :meth:`clear_dirty` was last called.
+
+        Covers both the slot tensors and the step counters of every dirty
+        parameter — together with the parameter itself (reported by the
+        worker layer) this is the full set of leaves a delta checkpoint
+        must persist.
+        """
+        keys: set[str] = set()
+        for name in self.dirty_params:
+            keys.update(f"{name}::{slot}" for slot in self.state[name])
+            keys.add(f"{name}::step")
+        return keys
+
+    def clear_dirty(self) -> None:
+        """Reset the dirty report (called after a successful checkpoint)."""
+        self.dirty_params = set()
 
     # -- helpers for subclasses ---------------------------------------------
     def _slot(self, name: str, slot: str, like: np.ndarray) -> np.ndarray:

@@ -71,6 +71,26 @@ class DPWorker:
             {k[len("optim/"):]: v for k, v in state.items() if k.startswith("optim/")}
         )
 
+    def dirty_full_state_keys(self) -> set[str]:
+        """Keys of :meth:`full_state` changed since the last checkpoint.
+
+        Optimizer-tracked parameters come from its dirty report; parameters
+        the optimizer does not manage (``requires_grad=False`` leaves such
+        as batch-norm running statistics, which mutate silently during the
+        forward pass) are conservatively always reported dirty.
+        """
+        keys = {f"optim/{k}" for k in self.optimizer.dirty_state_keys()}
+        keys.update(f"model/{name}" for name in self.optimizer.dirty_params)
+        keys.update(
+            f"model/{name}"
+            for name, _ in self.model.named_parameters()
+            if name not in self.optimizer.params
+        )
+        return keys
+
+    def clear_dirty(self) -> None:
+        self.optimizer.clear_dirty()
+
 
 class DataParallelEngine:
     """Drives synchronous DP training over a simulated cluster.

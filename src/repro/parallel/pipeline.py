@@ -117,6 +117,25 @@ class PipelineStage:
         )
         self.iteration = int(state["iteration"])
 
+    def dirty_full_state_keys(self) -> set[str]:
+        """Keys of :meth:`full_state` changed since the last checkpoint.
+
+        Mirrors ``DPWorker.dirty_full_state_keys``; the per-stage iteration
+        counter advances every iteration, so it is always dirty.
+        """
+        keys = {f"optim/{k}" for k in self.optimizer.dirty_state_keys()}
+        keys.update(f"model/{name}" for name in self.optimizer.dirty_params)
+        keys.update(
+            f"model/{name}"
+            for name, _ in self.module.named_parameters()
+            if name not in self.optimizer.params
+        )
+        keys.add("iteration")
+        return keys
+
+    def clear_dirty(self) -> None:
+        self.optimizer.clear_dirty()
+
 
 class PipelineEngine:
     """Executes 1F1B (or GPipe) iterations with real numerics + sim timing.

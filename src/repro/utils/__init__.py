@@ -1,5 +1,6 @@
-"""Shared utilities: deterministic RNG streams, state (de)serialization."""
+"""Shared utilities: RNG streams, state (de)serialization, zero-copy views."""
 
+from repro.utils.cow import StateView, freeze_array
 from repro.utils.metrics import (
     TraceSummary,
     goodput,
@@ -7,6 +8,7 @@ from repro.utils.metrics import (
     summarize_trace,
     trace_to_csv,
 )
+from repro.utils.pool import BufferPool, PooledBuffer
 from repro.utils.seeding import RngStream, derive_seed, stream
 from repro.utils.serialization import (
     clone_state,
@@ -19,6 +21,10 @@ from repro.utils.serialization import (
 )
 
 __all__ = [
+    "StateView",
+    "freeze_array",
+    "BufferPool",
+    "PooledBuffer",
     "RngStream",
     "derive_seed",
     "stream",

@@ -1,0 +1,194 @@
+"""A size-classed buffer arena for the send + log hot path.
+
+Without pooling, every inter-stage message costs two fresh allocations and
+two copies: :meth:`Transport.send` clones the outgoing tensor so the sender
+may keep mutating its buffers, and the tensor log's tap clones it *again*
+into the log record.  Both copies protect the same bytes.
+
+With a :class:`BufferPool` the path performs **one** copy into a pooled,
+read-only buffer that the message and the log record share.  Reference
+counting decides when the buffer can be recycled:
+
+* ``Transport.send`` captures the tensor (ref held by the in-flight
+  message);
+* the tensor log's tap retains the same buffer for its record;
+* ``Transport.recv`` releases the message's ref, marking the buffer as
+  consumer-visible — the receiver keeps using the view it was handed;
+* log garbage collection (a global checkpoint truncating the log) and
+  transport channel drops release with recycling, returning the storage
+  to the arena once no tracked holder remains.
+
+Storage that a consumer may still alias is not reused immediately: it
+passes through *two* quarantine generations (nursery → limbo → free),
+advancing one generation per :meth:`BufferPool.advance_epoch` — which
+the tensor log calls at the start of every garbage collection.  A
+received tensor therefore stays valid until at least the *second*
+global checkpoint after its buffer was released, whether or not the
+message was logged (selective logging releases unlogged buffers at
+``recv`` time, logged ones at gc time).  Consumers must not retain
+received tensors longer than that (engines never do: activations and
+gradients die with their iteration); copy with ``np.array(t,
+copy=True)`` to keep one indefinitely.
+
+Buffers are rounded up to power-of-two size classes so tensors of the
+same shape class reuse each other's storage — the steady state of a
+checkpointing training loop serves sends from recycled arena buffers
+instead of fresh allocations.
+
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BufferPool", "PooledBuffer"]
+
+#: smallest size class, bytes (sub-256B tensors share one class)
+_MIN_CLASS = 256
+
+
+class PooledBuffer:
+    """One captured tensor: a read-only view over arena storage + refcount."""
+
+    __slots__ = ("pool", "array", "_storage", "_refs", "seen_by_consumer")
+
+    def __init__(self, pool: "BufferPool | None", array: np.ndarray,
+                 storage: np.ndarray):
+        self.pool = pool
+        #: the read-only, correctly shaped/dtyped view consumers see
+        self.array = array
+        self._storage = storage
+        self._refs = 1
+        #: set by Transport.recv: a receiver may still alias the view, so
+        #: the storage must age through both quarantine generations
+        #: before being reused
+        self.seen_by_consumer = False
+
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    def retain(self) -> "PooledBuffer":
+        """Register one more holder of this buffer."""
+        self._refs += 1
+        return self
+
+    def release(self, recycle: bool = True) -> None:
+        """Drop one holder; recycle the storage when none remain.
+
+        ``recycle=False`` detaches instead: the storage is handed over to
+        whatever consumer still aliases it and simply becomes a normal
+        garbage-collected array.  Consumer-visible buffers recycle via the
+        quarantine generation (see :meth:`BufferPool.advance_epoch`).
+        """
+        if self._refs <= 0:
+            raise ValueError("release() on an already-dead pooled buffer")
+        self._refs -= 1
+        if self._refs == 0 and self.pool is not None:
+            pool, self.pool = self.pool, None
+            if recycle:
+                pool._recycle(self._storage,
+                              quarantine=self.seen_by_consumer)
+
+
+class BufferPool:
+    """Arena of reusable byte buffers, organised in power-of-two classes."""
+
+    def __init__(self, max_pooled_bytes: int = 256 * 1024 * 1024):
+        #: cap on idle bytes kept in the free lists (excess is dropped to
+        #: the allocator instead of hoarded)
+        self.max_pooled_bytes = int(max_pooled_bytes)
+        self._free: dict[int, list[np.ndarray]] = {}
+        self._idle_bytes = 0
+        #: quarantine generations for storage a consumer may still alias:
+        #: releases land in the nursery, advance_epoch moves nursery ->
+        #: limbo -> free, so reuse needs two epoch advances (both bounded
+        #: by max_pooled_bytes together with _free)
+        self._nursery: list[np.ndarray] = []
+        self._nursery_bytes = 0
+        self._limbo: list[np.ndarray] = []
+        self._limbo_bytes = 0
+        # -- stats (read by benchmarks and tests) --
+        self.hits = 0
+        self.misses = 0
+        self.recycled = 0
+        self.captured_bytes = 0
+
+    @staticmethod
+    def _size_class(nbytes: int) -> int:
+        cls = _MIN_CLASS
+        while cls < nbytes:
+            cls <<= 1
+        return cls
+
+    def capture(self, tensor: np.ndarray) -> PooledBuffer:
+        """Copy ``tensor`` once into pooled storage; returns the buffer.
+
+        The returned :attr:`PooledBuffer.array` is a read-only view with
+        the tensor's shape and dtype, safe to share between a message and
+        its log record.
+        """
+        arr = np.asarray(tensor)
+        cls = self._size_class(arr.nbytes)
+        free = self._free.get(cls)
+        if free:
+            storage = free.pop()
+            self._idle_bytes -= cls
+            self.hits += 1
+        else:
+            storage = np.empty(cls, dtype=np.uint8)
+            self.misses += 1
+        view = storage[: arr.nbytes].view(arr.dtype).reshape(arr.shape)
+        np.copyto(view, arr)
+        view.setflags(write=False)
+        self.captured_bytes += int(arr.nbytes)
+        return PooledBuffer(self, view, storage)
+
+    def _recycle(self, storage: np.ndarray, quarantine: bool = False) -> None:
+        cls = storage.nbytes
+        pooled = self._idle_bytes + self._limbo_bytes + self._nursery_bytes
+        if pooled + cls > self.max_pooled_bytes:
+            return  # over budget: let the allocator reclaim it
+        # the storage may still be aliased by frozen views of the retired
+        # tensor; re-enable writes on the backing buffer for its next life
+        storage.setflags(write=True)
+        if quarantine:
+            self._nursery.append(storage)
+            self._nursery_bytes += cls
+        else:
+            self._free.setdefault(cls, []).append(storage)
+            self._idle_bytes += cls
+        self.recycled += 1
+
+    def advance_epoch(self) -> int:
+        """Age the quarantine generations by one checkpoint.
+
+        Called when a global checkpoint truncates the tensor log.  Limbo
+        storage (released two epochs ago) becomes allocatable; nursery
+        storage (released since the previous checkpoint) moves to limbo.
+        Returns the number of buffers promoted to the free lists.
+        """
+        promoted = len(self._limbo)
+        for storage in self._limbo:
+            self._free.setdefault(storage.nbytes, []).append(storage)
+        self._idle_bytes += self._limbo_bytes
+        self._limbo = self._nursery
+        self._limbo_bytes = self._nursery_bytes
+        self._nursery = []
+        self._nursery_bytes = 0
+        return promoted
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def idle_bytes(self) -> int:
+        return self._idle_bytes
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "recycled": self.recycled,
+            "captured_bytes": self.captured_bytes,
+            "idle_bytes": self._idle_bytes,
+            "limbo_bytes": self._limbo_bytes + self._nursery_bytes,
+        }
