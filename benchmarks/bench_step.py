@@ -1,0 +1,334 @@
+"""Fused flat-buffer training step: DP iteration + replay gradient sync.
+
+Measures the wall-clock win of the flat-arena training step against the
+pre-PR per-parameter path, which is reproduced inline as the baseline:
+
+* **DP-8 iteration** — one synchronous data-parallel iteration on 8
+  replicas: per-parameter all-reduce + per-parameter ``step_param`` on
+  every replica (eager, ``fused=False``) vs one fused all-reduce over the
+  flat gradient arena + one vectorized canonical-replica update shared to
+  the other replicas through COW views (``fused=True``);
+* **parallel-replay gradient sync** — the recovery-worker bucket sum of
+  Section 5.2: per-parameter bucket capture + per-parameter sum loops vs
+  flat-buffer bucket snapshots + single vector adds.
+
+Every speedup claim is paired with bitwise equality checks
+(``state_equal``): fused and eager paths must produce identical replica
+states after plain training, after MID_UPDATE crashes (heterogeneous
+survivor progress included), after update-undo consumes those crash
+states, after full replication recovery, and after logging-based replay.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_step.py [--quick]
+        [--min-speedup 1.5] [--min-replay-speedup 1.5]
+
+Writes ``BENCH_step.json`` at the repo root and exits non-zero if either
+speedup regresses below its floor or any equivalence check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from _common import emit, fmt_table, write_bench_json
+from repro.cluster import Cluster, FailureEvent, FailurePhase, FailureSchedule
+from repro.core import SwiftTrainer, TrainerConfig
+from repro.core.undo import resolve_dp_consistency
+from repro.data import ClassificationTask
+from repro.models import make_mlp
+from repro.nn import CrossEntropyLoss
+from repro.optim import Adam
+from repro.parallel import DataParallelEngine, PipelineEngine
+from repro.parallel.pipeline import PipelineStage
+from repro.utils import FlatBuffer, state_equal
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    """Minimum wall time of ``fn`` over ``repeats`` runs (noise floor)."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+# ---------------------------------------------------------------------------
+# 1. DP-8 iteration: per-parameter reduce+update vs fused canonical update
+# ---------------------------------------------------------------------------
+
+def make_dp8(fused: bool, quick: bool, seed: int = 11) -> DataParallelEngine:
+    depth, hidden = (6, 192) if quick else (8, 384)
+    cluster = Cluster(4, devices_per_machine=2)
+    placement = [(m, d) for m in range(4) for d in range(2)]
+    task = ClassificationTask(dim=16, num_classes=8, batch_size=16, seed=3)
+    return DataParallelEngine(
+        cluster,
+        model_factory=lambda: make_mlp(16, hidden, 8, depth=depth, seed=seed),
+        opt_factory=lambda m: Adam(m, lr=1e-3, weight_decay=1e-4),
+        loss_factory=CrossEntropyLoss,
+        task=task,
+        placement=placement,
+        fused=fused,
+    )
+
+
+def bench_dp_iteration(quick: bool) -> dict:
+    iters = 8 if quick else 15
+    results = {}
+    for tag, fused in (("eager", False), ("fused", True)):
+        eng = make_dp8(fused, quick)
+        for _ in range(3):  # warmup: arenas allocate, COW sharing engages
+            eng.run_iteration()
+
+        def run(eng=eng):
+            for _ in range(iters):
+                eng.run_iteration()
+
+        results[tag] = best_of(run)
+    state_mb = make_dp8(True, quick).state_nbytes() / 1e6
+    return {
+        "workers": 8,
+        "state_mb": round(state_mb, 2),
+        "iterations": iters,
+        "eager_s": results["eager"],
+        "fused_s": results["fused"],
+        "eager_ms_per_iter": results["eager"] / iters * 1e3,
+        "fused_ms_per_iter": results["fused"] / iters * 1e3,
+        "speedup": results["eager"] / results["fused"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# 2. parallel-replay gradient sync: per-parameter buckets vs flat buckets
+# ---------------------------------------------------------------------------
+
+def bench_replay_sync(quick: bool) -> dict:
+    """The recovery-worker gradient synchronization of Section 5.2.
+
+    Baseline (the pre-PR ``LoggingRecovery._replay_iteration`` sync,
+    reproduced inline): each of ``d`` recovery workers snapshots its bucket
+    with ``module.grads()`` (one copy per parameter) and buckets are summed
+    parameter-by-parameter.  Flat path: each bucket snapshot is one memcpy
+    of the seeded flat gradient buffer and the sum is one vector add per
+    bucket.  Both sum in worker order, so results are bitwise identical.
+    """
+    depth, hidden, degree = (16, 32, 4) if quick else (32, 32, 4)
+    rounds = 20 if quick else 30
+    module = make_mlp(16, hidden, 8, depth=depth, seed=5)
+    params = dict(module.named_parameters())
+    rng = np.random.default_rng(9)
+    worker_grads = [
+        {name: rng.normal(size=p.data.shape) for name, p in params.items()}
+        for _ in range(degree)
+    ]
+    flat = FlatBuffer(module.param_shapes())
+    worker_flat = []
+    for grads in worker_grads:
+        buf = FlatBuffer(module.param_shapes())
+        buf.pack(grads)
+        worker_flat.append(buf.data)
+    # the bucket matrix LoggingRecovery preallocates once per replay span
+    buckets_mat = np.empty((degree, flat.size), dtype=np.float64)
+
+    def eager_sync():
+        for _ in range(rounds):
+            # bucket capture: one copy per parameter per recovery worker
+            # (the pre-PR module.grads() snapshot)
+            buckets = [
+                {name: np.array(g, copy=True) for name, g in grads.items()}
+                for grads in worker_grads
+            ]
+            # per-parameter sum in worker order
+            for name, param in params.items():
+                total = buckets[0][name].copy()
+                for bucket in buckets[1:]:
+                    total += bucket[name]
+                param.grad = total
+
+    def flat_sync():
+        for _ in range(rounds):
+            # bucket capture: one memcpy per recovery worker
+            for worker, grads in enumerate(worker_flat):
+                np.copyto(buckets_mat[worker], grads)
+            # cross-worker sum: one vector add per bucket
+            flat.copy_from(buckets_mat[0])
+            for worker in range(1, degree):
+                flat.data += buckets_mat[worker]
+            views = flat.views()
+            for name, param in params.items():
+                param.grad = views[name]
+
+    eager_s = best_of(eager_sync)
+    eager_result = {n: np.array(p.grad, copy=True) for n, p in params.items()}
+    flat_s = best_of(flat_sync)
+    flat_result = {n: np.array(p.grad, copy=True) for n, p in params.items()}
+    assert state_equal(eager_result, flat_result)
+
+    return {
+        "parameters": len(params),
+        "degree": degree,
+        "rounds": rounds,
+        "grad_mb": round(flat.nbytes / 1e6, 3),
+        "eager_s": eager_s,
+        "flat_s": flat_s,
+        "speedup": eager_s / flat_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# 3. equivalence: fused and per-parameter paths must agree bitwise
+# ---------------------------------------------------------------------------
+
+def worker_states(eng: DataParallelEngine) -> dict[int, dict[str, np.ndarray]]:
+    return {w.rank: w.full_state() for w in eng.workers}
+
+
+def states_bitwise(a: dict, b: dict) -> bool:
+    return all(state_equal(a[r], b[r]) for r in a)
+
+
+def check_equivalence(quick: bool) -> dict:
+    iters = 6 if quick else 10
+
+    # -- plain training ---------------------------------------------------
+    def run_plain(fused: bool):
+        eng = make_dp8(fused, quick=True)
+        for _ in range(iters):
+            eng.run_iteration()
+        return eng
+
+    fused_eng, eager_eng = run_plain(True), run_plain(False)
+    train_bitwise = states_bitwise(worker_states(fused_eng),
+                                   worker_states(eager_eng))
+
+    # -- MID_UPDATE crash states (heterogeneous survivor progress),
+    #    then the update-undo that consumes them ---------------------------
+    def run_crash(fused: bool):
+        eng = make_dp8(fused, quick=True)
+        for _ in range(3):
+            eng.run_iteration()
+        eng.run_iteration(
+            failure=FailureEvent(1, 3, FailurePhase.MID_UPDATE,
+                                 after_updates=3),
+            survivor_progress={0: 1, 1: 5, 2: 2, 3: 7},
+        )
+        return eng
+
+    fc, ec = run_crash(True), run_crash(False)
+    crash_bitwise = states_bitwise(worker_states(fc), worker_states(ec))
+    marks_equal = all(
+        wf.updated_params == we.updated_params
+        for wf, we in zip(fc.workers, ec.workers)
+    )
+    resolve_dp_consistency(fc)
+    resolve_dp_consistency(ec)
+    undo_bitwise = states_bitwise(worker_states(fc), worker_states(ec))
+
+    # -- full replication recovery through SwiftTrainer --------------------
+    def run_recovery(fused: bool):
+        eng = make_dp8(fused, quick=True)
+        trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=8))
+        trainer.train(iters + 4, failures=FailureSchedule([
+            FailureEvent(2, iters, FailurePhase.MID_UPDATE, after_updates=2)
+        ]))
+        return worker_states(eng)
+
+    recovery_bitwise = states_bitwise(run_recovery(True), run_recovery(False))
+
+    # -- logging replay after a crash: fused vs eager stage updates -------
+    def run_replay(fused_updates: bool):
+        cluster = Cluster(4, devices_per_machine=1)
+        task = ClassificationTask(dim=8, num_classes=4, batch_size=16, seed=3)
+        eng = PipelineEngine(
+            cluster,
+            model_factory=lambda: make_mlp(8, 16, 4, depth=3, seed=7),
+            partition_sizes=[2, 2, 2, 1],
+            placement=[(s, 0) for s in range(4)],
+            num_microbatches=4,
+            opt_factory=lambda m: Adam(m, lr=0.01, weight_decay=1e-4),
+            loss_factory=CrossEntropyLoss,
+            task=task,
+        )
+        for stage in eng.stages:
+            stage.fused_updates = fused_updates
+        trainer = SwiftTrainer(
+            eng, TrainerConfig(checkpoint_interval=8, parallel_recovery_degree=2)
+        )
+        trainer.train(12, failures=FailureSchedule(
+            [FailureEvent(2, 9, FailurePhase.ITERATION_START)]
+        ))
+        return {sid: s.full_state() for sid, s in enumerate(eng.stages)}
+
+    replay_bitwise = states_bitwise(run_replay(True), run_replay(False))
+
+    return {
+        "train_bitwise": bool(train_bitwise),
+        "crash_state_bitwise": bool(crash_bitwise),
+        "crash_marks_equal": bool(marks_equal),
+        "undo_state_bitwise": bool(undo_bitwise),
+        "recovery_bitwise": bool(recovery_bitwise),
+        "replay_bitwise": bool(replay_bitwise),
+    }
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="fail if the DP iteration speedup drops below")
+    parser.add_argument("--min-replay-speedup", type=float, default=1.5,
+                        help="fail if the replay-sync speedup drops below")
+    args = parser.parse_args(argv)
+
+    dp = bench_dp_iteration(args.quick)
+    replay = bench_replay_sync(args.quick)
+    equivalence = check_equivalence(args.quick)
+
+    rows = [
+        ["DP-8 iteration", f"{dp['eager_ms_per_iter']:.2f}ms",
+         f"{dp['fused_ms_per_iter']:.2f}ms", f"{dp['speedup']:.1f}x"],
+        ["replay grad sync", f"{replay['eager_s']*1e3:.2f}ms",
+         f"{replay['flat_s']*1e3:.2f}ms", f"{replay['speedup']:.1f}x"],
+    ]
+    emit("step", fmt_table(
+        ["path", "per-parameter", "fused flat", "speedup"], rows
+    ) + "\n\nequivalence: " + ", ".join(
+        f"{k}={v}" for k, v in equivalence.items()
+    ))
+
+    results = {
+        "quick": args.quick,
+        "dp_iteration": dp,
+        "replay_sync": replay,
+        "equivalence": equivalence,
+    }
+    write_bench_json("step", results)
+
+    failures = []
+    if not all(equivalence.values()):
+        failures.append(f"fused/eager equivalence violated: {equivalence}")
+    if dp["speedup"] < args.min_speedup:
+        failures.append(
+            f"DP iteration speedup {dp['speedup']:.2f}x < {args.min_speedup}x"
+        )
+    if replay["speedup"] < args.min_replay_speedup:
+        failures.append(
+            f"replay sync speedup {replay['speedup']:.2f}x < "
+            f"{args.min_replay_speedup}x"
+        )
+    for msg in failures:
+        print(f"[bench] FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

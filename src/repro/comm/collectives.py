@@ -26,6 +26,10 @@ class CollectiveGroup:
             raise ValueError("collective group needs at least one member")
         self.cluster = cluster
         self.devices = dict(devices)
+        #: slowest ring link, computed once — membership is fixed at
+        #: construction and link bandwidth depends only on machine
+        #: placement, so the scan is loop-invariant across iterations
+        self._slowest_link_cache: float | None = None
 
     @property
     def size(self) -> int:
@@ -36,15 +40,24 @@ class CollectiveGroup:
             if not dev.alive:
                 raise CommunicationError(rank, rank, f"rank {rank} is dead")
 
+    def _check_participants(self, buffers: dict[int, np.ndarray]) -> None:
+        if buffers.keys() != self.devices.keys():
+            raise CommunicationError(
+                -1, -1, "allreduce called with mismatched participant set"
+            )
+
     def _slowest_link(self) -> float:
-        """Bandwidth of the slowest pairwise link in the ring."""
-        devs = list(self.devices.values())
-        if len(devs) == 1:
-            return self.cluster.bandwidth.nvlink
-        return min(
-            self.cluster.link_bandwidth(devs[i], devs[(i + 1) % len(devs)])
-            for i in range(len(devs))
-        )
+        """Bandwidth of the slowest pairwise link in the ring (cached)."""
+        if self._slowest_link_cache is None:
+            devs = list(self.devices.values())
+            if len(devs) == 1:
+                self._slowest_link_cache = self.cluster.bandwidth.nvlink
+            else:
+                self._slowest_link_cache = min(
+                    self.cluster.link_bandwidth(devs[i], devs[(i + 1) % len(devs)])
+                    for i in range(len(devs))
+                )
+        return self._slowest_link_cache
 
     # -- timing -----------------------------------------------------------
     def allreduce_time(self, nbytes: float) -> float:
@@ -62,27 +75,41 @@ class CollectiveGroup:
     allgather_time = broadcast_time
 
     # -- data ---------------------------------------------------------------
-    def allreduce_mean(self, buffers: dict[int, np.ndarray]) -> np.ndarray:
+    def allreduce_mean(
+        self, buffers: dict[int, np.ndarray], out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Average buffers across ranks (gradient synchronization).
 
         The reduction order is fixed (ascending rank) so results are
         bit-deterministic — required for logging-based replay to be exact.
+        ``out`` (the fused flat-buffer path) receives the result in place,
+        avoiding a fresh allocation per reduce; it must not alias any
+        buffer other than the lowest rank's.
         """
         self._check_alive()
-        if buffers.keys() != self.devices.keys():
-            raise CommunicationError(
-                -1, -1, "allreduce called with mismatched participant set"
-            )
-        ranks = sorted(buffers)
-        total = np.array(buffers[ranks[0]], dtype=np.float64, copy=True)
-        for r in ranks[1:]:
-            total += buffers[r]
-        return total / len(ranks)
+        self._check_participants(buffers)
+        total = self._reduce(buffers, out)
+        if out is None:
+            return total / len(buffers)
+        total /= len(buffers)
+        return total
 
-    def allreduce_sum(self, buffers: dict[int, np.ndarray]) -> np.ndarray:
+    def allreduce_sum(
+        self, buffers: dict[int, np.ndarray], out: np.ndarray | None = None
+    ) -> np.ndarray:
         self._check_alive()
+        self._check_participants(buffers)
+        return self._reduce(buffers, out)
+
+    def _reduce(
+        self, buffers: dict[int, np.ndarray], out: np.ndarray | None
+    ) -> np.ndarray:
         ranks = sorted(buffers)
-        total = np.array(buffers[ranks[0]], dtype=np.float64, copy=True)
+        if out is None:
+            total = np.array(buffers[ranks[0]], dtype=np.float64, copy=True)
+        else:
+            total = out
+            np.copyto(total, buffers[ranks[0]])
         for r in ranks[1:]:
             total += buffers[r]
         return total

@@ -34,6 +34,7 @@ from repro.core.undo import resolve_pipeline_consistency
 from repro.errors import RecoveryError
 from repro.cluster.storage import pipelined_transfer_time
 from repro.parallel.pipeline import PipelineEngine, PipelineStage
+from repro.utils.flat import FlatBuffer
 
 __all__ = ["LoggingRecovery", "ReplaySpec"]
 
@@ -130,12 +131,31 @@ class LoggingRecovery:
             load_time = max(load_time, t)  # loads proceed in parallel
         return rebuilt, load_time
 
+    def _replay_scratch(
+        self, stages: dict[int, PipelineStage], stage_ids: list[int],
+        degree: int,
+    ) -> dict[int, tuple[FlatBuffer, np.ndarray]]:
+        """Per-stage flat gradient buffer + bucket matrix, allocated once.
+
+        One ``(degree, size)`` matrix holds every recovery worker's bucket
+        snapshot; reusing it across the replayed iterations keeps the
+        large-buffer path free of per-iteration allocations.
+        """
+        return {
+            sid: (
+                (flat := FlatBuffer(stages[sid].module.param_shapes())),
+                np.empty((degree, flat.size), dtype=np.float64),
+            )
+            for sid in stage_ids
+        }
+
     def _replay_iteration(
         self,
         stages: dict[int, PipelineStage],
         stage_ids: list[int],
         iteration: int,
         degree: int,
+        scratch: dict[int, tuple[FlatBuffer, np.ndarray]] | None = None,
     ) -> None:
         """Replay one lost iteration, optionally data-parallel (Figure 7).
 
@@ -143,16 +163,23 @@ class LoggingRecovery:
         virtual recovery worker accumulates its own gradient bucket and the
         buckets are summed in worker order before the update — mirroring
         the gradient synchronization of parallel recovery.
+
+        Buckets are *flat*: each worker accumulates straight into a seeded
+        contiguous buffer (:meth:`Module.seed_flat_grads`), a bucket
+        snapshot is one memcpy, and the cross-worker sum is one vector add
+        per bucket instead of one per parameter — bitwise identical to the
+        per-parameter sum (same per-element addition order).
         """
         xs, ys = self.engine.microbatches(iteration)
         m = self.engine.num_microbatches
         first, last = stage_ids[0], stage_ids[-1]
         p = self.engine.num_stages
 
-        grad_buckets: list[dict[int, dict[str, np.ndarray]]] = []
+        if scratch is None:
+            scratch = self._replay_scratch(stages, stage_ids, degree)
         for worker in range(degree):
             for sid in stage_ids:
-                stages[sid].module.zero_grad()
+                stages[sid].module.seed_flat_grads(scratch[sid][0])
             for mb in range(worker, m, degree):
                 # forward through the failed span
                 if first == 0:
@@ -170,19 +197,20 @@ class LoggingRecovery:
                     g = self.tlog.query(last, iteration, mb, "bwd").tensor
                 for sid in reversed(stage_ids):
                     g = stages[sid].module.backward(g)
-            grad_buckets.append(
-                {sid: stages[sid].module.grads() for sid in stage_ids}
-            )
+            for sid in stage_ids:
+                flat, buckets = scratch[sid]
+                np.copyto(buckets[worker], flat.data)
 
         # gradient synchronization across recovery workers (sum in rank
         # order — bit-deterministic, logically equal to sequential replay)
         for sid in stage_ids:
-            params = dict(stages[sid].module.named_parameters())
-            for name, param in params.items():
-                total = grad_buckets[0][sid][name].copy()
-                for bucket in grad_buckets[1:]:
-                    total += bucket[sid][name]
-                param.grad = total
+            flat, buckets = scratch[sid]
+            flat.copy_from(buckets[0])
+            for worker in range(1, degree):
+                flat.data += buckets[worker]
+            views = flat.views()
+            for name, param in stages[sid].module.named_parameters():
+                param.grad = views[name]
             stages[sid].step()
 
     # -- timing model ---------------------------------------------------------
@@ -274,8 +302,10 @@ class LoggingRecovery:
                 parallel_degree=self.parallel_degree,
             )
             rebuilt, load_time = self._rebuild_stages(span, ckpt_iter)
+            scratch = self._replay_scratch(rebuilt, span, spec.parallel_degree)
             for it in range(spec.from_iteration, spec.to_iteration):
-                self._replay_iteration(rebuilt, span, it, spec.parallel_degree)
+                self._replay_iteration(rebuilt, span, it,
+                                       spec.parallel_degree, scratch)
             for sid in span:
                 stage = rebuilt[sid]
                 assert stage.iteration == consensus, (

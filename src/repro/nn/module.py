@@ -136,6 +136,33 @@ class Module:
                 )
             param.data = np.array(value, copy=True)
 
+    # -- flat views -----------------------------------------------------------
+    def param_shapes(self, trainable_only: bool = False) -> dict[str, tuple[int, ...]]:
+        """Qualified-name → shape map — the layout a flat arena packs.
+
+        The iteration order matches :meth:`named_parameters`, so a
+        :class:`~repro.utils.flat.FlatBuffer` built from this map lines up
+        with every other per-parameter traversal of the module.
+        """
+        return {
+            name: p.data.shape
+            for name, p in self.named_parameters()
+            if not trainable_only or p.requires_grad
+        }
+
+    def seed_flat_grads(self, buffer) -> None:
+        """Point every parameter's grad at a zeroed slice of ``buffer``.
+
+        ``buffer`` is a :class:`~repro.utils.flat.FlatBuffer` laid out by
+        :meth:`param_shapes`.  Backward passes then accumulate directly
+        into the contiguous arena, so gradient bucketing (fused all-reduce,
+        recovery-worker bucket sums) needs no per-parameter gather.
+        """
+        buffer.zero()
+        views = buffer.views()
+        for name, p in self.named_parameters():
+            p.grad = views[name]
+
     # -- gradients -----------------------------------------------------------
     def zero_grad(self) -> None:
         for p in self.parameters():

@@ -13,6 +13,30 @@ from repro.optim.base import Optimizer
 __all__ = ["Adam", "AdamW"]
 
 
+def advance_moments(opt, m, v, g, w) -> None:
+    """Fused EMA advance of the Adam-family moments (shared kernel).
+
+    ``m ← b1*m + (1-b1)*g``, ``v ← b2*v + (1-b2)*g²`` over flat spans,
+    chained through the scratch vector ``w`` — the single statement of the
+    arithmetic Adam, AdamW, AMSGrad, and LAMB kernels all share, so the
+    bitwise eager-vs-fused contract has one implementation to audit.
+    """
+    m *= opt.beta1
+    np.multiply(g, 1.0 - opt.beta1, out=w)
+    m += w
+    np.multiply(g, g, out=w)
+    w *= 1.0 - opt.beta2
+    v *= opt.beta2
+    v += w
+
+
+def corrected_denominator(opt, v_like, w, t: int) -> None:
+    """``w ← sqrt(v_like / (1 - b2^t)) + eps`` — the shared denominator."""
+    np.divide(v_like, 1.0 - opt.beta2**t, out=w)
+    np.sqrt(w, out=w)
+    w += opt.eps
+
+
 class Adam(Optimizer):
     """Adam with L2 regularization folded into the gradient (Algorithm 5).
 
@@ -21,6 +45,8 @@ class Adam(Optimizer):
     estimates.  ``beta1 == 0`` or ``beta2 == 0`` would make the respective
     moment rewind a division by zero, so they are rejected at construction.
     """
+
+    flat_slots = ("m", "v")
 
     def __init__(
         self,
@@ -59,6 +85,25 @@ class Adam(Optimizer):
         t = self.step_counts[name]
         param.data -= self.lr * self._direction(name, t)
 
+    def _step_flat(self, arena, gflat, span, names, t) -> None:
+        # allocation-free restatement of _update: every pass is the same
+        # IEEE add/multiply/divide (commuted operands where convenient —
+        # both ops are commutative bit-for-bit), chained through two
+        # scratch vectors instead of fresh temporaries
+        p = arena.params.data[span]
+        m = arena.slots["m"].data[span]
+        v = arena.slots["v"].data[span]
+        g = arena.scratch("a")[span]
+        w = arena.scratch("b")[span]
+        np.multiply(p, self.weight_decay, out=g)
+        g += gflat[span]  # g = grad + wd * x
+        advance_moments(self, m, v, g, w)
+        np.divide(m, 1.0 - self.beta1**t, out=g)  # m_hat
+        corrected_denominator(self, v, w, t)
+        np.divide(g, w, out=g)
+        g *= self.lr
+        p -= g
+
     def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
         lr = self.undo_journal[name]["lr"]
         t = self.step_counts[name]
@@ -86,6 +131,8 @@ class AdamW(Optimizer):
         x_t = (x_{t+1} + lr * m_hat/(sqrt(v_hat)+eps)) / (1 - lr*wd)
         m_{t-1} = (m_t - (1-b1)*g)/b1;  v_{t-1} = (v_t - (1-b2)*g^2)/b2
     """
+
+    flat_slots = ("m", "v")
 
     def __init__(
         self,
@@ -127,6 +174,22 @@ class AdamW(Optimizer):
         param.data -= self.lr * (
             self._direction(name, t) + self.weight_decay * param.data
         )
+
+    def _step_flat(self, arena, gflat, span, names, t) -> None:
+        # allocation-free restatement of _update (see Adam._step_flat)
+        p = arena.params.data[span]
+        m = arena.slots["m"].data[span]
+        v = arena.slots["v"].data[span]
+        a = arena.scratch("a")[span]
+        w = arena.scratch("b")[span]
+        advance_moments(self, m, v, gflat[span], w)
+        np.divide(m, 1.0 - self.beta1**t, out=a)  # m_hat
+        corrected_denominator(self, v, w, t)
+        np.divide(a, w, out=a)  # direction
+        np.multiply(p, self.weight_decay, out=w)
+        a += w  # direction + wd * x
+        a *= self.lr
+        p -= a
 
     def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
         lr = self.undo_journal[name]["lr"]

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.module import Module, Parameter
+from repro.optim.adam import advance_moments, corrected_denominator
 from repro.optim.base import Optimizer
 
 __all__ = ["AMSGrad"]
@@ -25,6 +26,7 @@ class AMSGrad(Optimizer):
     """Adam variant with a running maximum of the second moment."""
 
     invertible = False
+    flat_slots = ("m", "v", "v_max")
 
     def __init__(
         self,
@@ -56,6 +58,24 @@ class AMSGrad(Optimizer):
         m_hat = m / (1.0 - self.beta1**t)
         v_hat = v_max / (1.0 - self.beta2**t)
         param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _step_flat(self, arena, gflat, span, names, t) -> None:
+        # allocation-free restatement of _update (same IEEE ops)
+        p = arena.params.data[span]
+        m = arena.slots["m"].data[span]
+        v = arena.slots["v"].data[span]
+        v_max = arena.slots["v_max"].data[span]
+        g = arena.scratch("a")[span]
+        w = arena.scratch("b")[span]
+        np.multiply(p, self.weight_decay, out=g)
+        g += gflat[span]  # g = grad + wd * x
+        advance_moments(self, m, v, g, w)
+        np.maximum(v_max, v, out=v_max)  # the non-invertible EW-max
+        np.divide(m, 1.0 - self.beta1**t, out=g)  # m_hat
+        g *= self.lr
+        corrected_denominator(self, v_max, w, t)
+        np.divide(g, w, out=g)
+        p -= g
 
     def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
         raise AssertionError("unreachable: guarded by invertible=False")

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import NotInvertibleError, ShapeError
 from repro.nn.module import Module, Parameter
+from repro.utils.flat import FlatArena
 
 __all__ = ["Optimizer"]
 
@@ -41,6 +42,11 @@ class Optimizer:
 
     #: Whether :meth:`undo_param` is implemented (Table 1).
     invertible: bool = True
+
+    #: slot tensor names the fused kernel advances (momentum, moments, ...);
+    #: subclasses overriding :meth:`_step_flat` must list every slot their
+    #: ``_update`` touches so the flat arena can host them
+    flat_slots: tuple[str, ...] = ()
 
     def __init__(self, params: Module | Iterable[tuple[str, Parameter]], lr: float):
         if isinstance(params, Module):
@@ -69,6 +75,8 @@ class Optimizer:
         #: dirty-key report incremental checkpointing persists deltas from.
         #: Everything is dirty before the first full checkpoint.
         self.dirty_params: set[str] = set(self.params)
+        #: flat arena backing the fused step path (built on first use)
+        self._arena: FlatArena | None = None
 
     # -- single-parameter update/undo (implemented by subclasses) ----------
     def _update(self, name: str, param: Parameter, grad: np.ndarray) -> None:
@@ -125,6 +133,179 @@ class Optimizer:
         for name in names:
             self.undo_param(name)
         return names
+
+    # -- fused flat-buffer update path ----------------------------------------
+    @classmethod
+    def supports_flat(cls) -> bool:
+        """Whether this optimizer ships a vectorized flat kernel."""
+        return cls._step_flat is not Optimizer._step_flat
+
+    def flat_arena(self, order: Iterable[str] | None = None) -> FlatArena:
+        """The optimizer's flat arena, (re)built when the layout changes."""
+        order = list(order) if order is not None else list(self.params)
+        unknown = [n for n in order if n not in self.params]
+        if unknown:
+            raise ShapeError(f"unknown parameters in flat order: {unknown}")
+        if self._arena is None or self._arena.order != order:
+            shapes = {n: self.params[n].data.shape for n in order}
+            self._arena = FlatArena(shapes, order, self.flat_slots)
+        return self._arena
+
+    def bind_flat(self, order: Iterable[str] | None = None) -> FlatArena:
+        """Adopt parameters (and existing slots) into the flat arena.
+
+        Leaves already backed by the arena are left alone (an ``is`` check
+        per leaf); detached leaves — fresh construction, ``load_state_dict``
+        rebinds, out-of-place undo rebinds, or copy-on-write shares of
+        another replica's arena — are copied in and rebound as writable
+        arena views.  Idempotent and cheap once bound.
+        """
+        arena = self.flat_arena(order)
+        pviews = arena.params.views()
+        for name in arena.order:
+            param = self.params[name]
+            if param.data is not pviews[name]:
+                pviews[name][...] = param.data
+                param.data = pviews[name]
+        for slot, buf in arena.slots.items():
+            sviews = buf.views()
+            for name in arena.order:
+                cur = self.state[name].get(slot)
+                if cur is not None and cur is not sviews[name]:
+                    sviews[name][...] = cur
+                    self.state[name][slot] = sviews[name]
+        return arena
+
+    def flat_bound(self, order: Iterable[str] | None = None) -> bool:
+        """True iff every leaf is currently a writable view of the arena."""
+        arena = self._arena
+        if arena is None:
+            return False
+        if order is not None and arena.order != list(order):
+            return False
+        pviews = arena.params.views()
+        if any(self.params[n].data is not pviews[n] for n in arena.order):
+            return False
+        for slot, buf in arena.slots.items():
+            sviews = buf.views()
+            for name in arena.order:
+                cur = self.state[name].get(slot)
+                if cur is not None and cur is not sviews[name]:
+                    return False
+        return True
+
+    def step_flat(
+        self,
+        count: int | None = None,
+        order: Iterable[str] | None = None,
+        grads: np.ndarray | None = None,
+    ) -> list[str]:
+        """Fused update of the first ``count`` arena parameters.
+
+        Bitwise-identical to calling :meth:`step_param` on the same names
+        in the same order: the kernels perform the same elementwise
+        arithmetic with the same scalars, just over contiguous spans.
+        ``count`` is the wait-free update budget — a MID_UPDATE crash after
+        ``k`` parameters is exactly ``step_flat(count=k)``.
+
+        ``grads`` optionally supplies an external flat gradient vector in
+        arena layout (e.g. the fused all-reduce output), skipping the
+        per-parameter gather entirely.
+        """
+        if not self.supports_flat():
+            # no vectorized kernel: plain eager loop, no arena involved
+            full = list(order) if order is not None else list(self.params)
+            names = full if count is None else full[: max(count, 0)]
+            if grads is not None:
+                # honor the external flat gradient source: scatter it into
+                # the per-parameter grads the eager loop reads
+                offset = 0
+                slices = {}
+                for name in full:
+                    size = int(self.params[name].data.size)
+                    slices[name] = slice(offset, offset + size)
+                    offset += size
+                if grads.size != offset:
+                    raise ShapeError(
+                        f"flat gradient size {grads.size} != layout size "
+                        f"{offset}"
+                    )
+                for name in names:
+                    param = self.params[name]
+                    param.grad = np.array(
+                        grads[slices[name]].reshape(param.data.shape),
+                        copy=True,
+                    )
+            for name in names:
+                self.step_param(name)
+            return list(names)
+        arena = self.bind_flat(order)
+        names = arena.order if count is None else arena.order[: max(count, 0)]
+        if not names:
+            return []
+        if grads is None:
+            gflat = arena.grads.data
+            gviews = arena.grads.views()
+            for name in names:
+                grad = self.params[name].grad
+                if grad is None:
+                    raise ShapeError(f"parameter {name!r} has no gradient")
+                if grad is not gviews[name] and grad.base is not gflat:
+                    gviews[name][...] = grad
+        else:
+            if grads.size != arena.params.size:
+                raise ShapeError(
+                    f"flat gradient size {grads.size} != arena size "
+                    f"{arena.params.size}"
+                )
+            gflat = grads
+        # fuse over maximal runs of uniform step count (bias-correction
+        # scalars depend on t; runs collapse to one span in steady state);
+        # bookkeeping lands per run, so a kernel raising mid-call never
+        # leaves an earlier successful run without its counts/journal
+        start = 0
+        while start < len(names):
+            t = self.step_counts[names[start]] + 1
+            stop = start + 1
+            while stop < len(names) and self.step_counts[names[stop]] + 1 == t:
+                stop += 1
+            run = names[start:stop]
+            span = slice(
+                arena.params.slices[run[0]].start,
+                arena.params.slices[run[-1]].stop,
+            )
+            self._step_flat(arena, gflat, span, run, t)
+            for name in run:
+                self.step_counts[name] += 1
+                self.undo_journal[name]["lr"] = self.lr
+            self.dirty_params.update(run)
+            # bind slots lazily, only for parameters actually stepped, so
+            # the state dict keeps exactly the keys the eager path would
+            # produce (crash states with partially created slots included)
+            for slot, buf in arena.slots.items():
+                sviews = buf.views()
+                for name in run:
+                    if self.state[name].get(slot) is not sviews[name]:
+                        self.state[name][slot] = sviews[name]
+            start = stop
+        return list(names)
+
+    def _step_flat(
+        self,
+        arena: FlatArena,
+        gflat: np.ndarray,
+        span: slice,
+        names: list[str],
+        t: int,
+    ) -> None:
+        """Vectorized update of ``arena.params.data[span]`` (subclasses).
+
+        ``gflat`` is the flat gradient source (arena layout), ``names`` the
+        parameters the span covers, ``t`` their common post-increment step
+        count.  Must perform the same elementwise arithmetic as
+        :meth:`_update` so fused and eager paths stay bitwise identical.
+        """
+        raise NotImplementedError
 
     # -- checkpointable state --------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.module import Module, Parameter
+from repro.optim.adam import advance_moments, corrected_denominator
 from repro.optim.base import Optimizer
 
 __all__ = ["LAMB"]
@@ -37,6 +38,8 @@ class LAMB(Optimizer):
         x_t = (x_{t+1} + lr*trust*a) / (1 - lr*trust*wd)
         m/v rewound as in Adam (decay folded into r, not g)
     """
+
+    flat_slots = ("m", "v")
 
     def __init__(
         self,
@@ -82,6 +85,49 @@ class LAMB(Optimizer):
         # The scalar journal entry is the paper's "save the L2 norm" trick.
         self.undo_journal[name]["trust"] = trust
         param.data -= self.lr * trust * r
+
+    def _step_flat(self, arena, gflat, span, names, t) -> None:
+        # moments advance fused over the whole span (allocation-free, same
+        # IEEE ops as _update); the trust ratio is a per-layer scalar by
+        # construction, so only the final scaled subtraction runs per
+        # parameter (over that parameter's slice)
+        p = arena.params.data[span]
+        m = arena.slots["m"].data[span]
+        v = arena.slots["v"].data[span]
+        r = arena.scratch("a")[span]
+        w = arena.scratch("b")[span]
+        advance_moments(self, m, v, gflat[span], w)
+        np.divide(m, 1.0 - self.beta1**t, out=r)  # m_hat
+        corrected_denominator(self, v, w, t)
+        np.divide(r, w, out=r)  # adam direction
+        np.multiply(p, self.weight_decay, out=w)
+        r += w  # r = direction + wd * x
+        base = span.start
+        locals_ = [
+            slice(arena.local_slice(n).start - base,
+                  arena.local_slice(n).stop - base)
+            for n in names
+        ]
+        trusts = []
+        for name, local in zip(names, locals_):
+            x_norm = float(np.linalg.norm(p[local]))
+            r_norm = float(np.linalg.norm(r[local]))
+            trusts.append(
+                x_norm / r_norm if x_norm > 0.0 and r_norm > 0.0 else 1.0
+            )
+        # guard the whole span before touching any parameter or journal, so
+        # a rejected step never leaves half the span updated with stale
+        # undo bookkeeping (the eager path cannot offer this atomicity)
+        if any(self.lr * t_ * self.weight_decay >= 1.0 for t_ in trusts):
+            raise ConfigurationError(
+                "lr * trust * weight_decay >= 1 makes this LAMB step "
+                "non-invertible"
+            )
+        for name, local, trust in zip(names, locals_, trusts):
+            self.undo_journal[name]["trust"] = trust
+            r_i = r[local]
+            r_i *= self.lr * trust
+            p[local] -= r_i
 
     def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
         journal = self.undo_journal[name]

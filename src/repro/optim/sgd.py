@@ -36,6 +36,15 @@ class SGD(Optimizer):
     def _update(self, name: str, param: Parameter, grad: np.ndarray) -> None:
         param.data -= self.lr * (grad + self.weight_decay * param.data)
 
+    def _step_flat(self, arena, gflat, span, names, t) -> None:
+        # same IEEE ops as _update, chained through a scratch vector
+        p = arena.params.data[span]
+        w = arena.scratch("a")[span]
+        np.multiply(p, self.weight_decay, out=w)
+        w += gflat[span]  # g + wd * x
+        w *= self.lr
+        p -= w
+
     def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
         lr = self.undo_journal[name]["lr"]
         param.data = (param.data + lr * grad) / (1.0 - lr * self.weight_decay)
@@ -57,6 +66,8 @@ class SGDMomentum(Optimizer):
     With ``mu == 0`` the previous momentum is unrecoverable but also unused
     (it is multiplied by ``mu`` in the next step), so undo resets it to zero.
     """
+
+    flat_slots = ("momentum",)
 
     def __init__(
         self,
@@ -81,6 +92,19 @@ class SGDMomentum(Optimizer):
         m *= self.momentum
         m += (1.0 - self.dampening) * g
         param.data -= self.lr * m
+
+    def _step_flat(self, arena, gflat, span, names, t) -> None:
+        # same IEEE ops as _update, chained through a scratch vector
+        p = arena.params.data[span]
+        m = arena.slots["momentum"].data[span]
+        w = arena.scratch("a")[span]
+        np.multiply(p, self.weight_decay, out=w)
+        w += gflat[span]  # g + wd * x
+        m *= self.momentum
+        w *= 1.0 - self.dampening
+        m += w
+        np.multiply(m, self.lr, out=w)
+        p -= w
 
     def _undo(self, name: str, param: Parameter, grad: np.ndarray) -> None:
         lr = self.undo_journal[name]["lr"]

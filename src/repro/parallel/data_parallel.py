@@ -10,6 +10,23 @@ the crash-consistency problem that update-undo repairs.
 The engine keeps replicas bit-identical across workers (same deterministic
 init, same reduced gradients, same update order), which is the invariant
 replication-based recovery exploits.
+
+Two bitwise-equivalent execution paths exist for the reduce+update half of
+the iteration:
+
+* the **eager** path (``fused=False``) issues one all-reduce and one
+  ``step_param`` per parameter per replica — the reference semantics;
+* the **fused** path (default) accumulates gradients straight into each
+  replica's flat arena (:mod:`repro.utils.flat`), synchronizes them with a
+  *single* all-reduce over one contiguous buffer, and applies vectorized
+  optimizer kernels.  Because replicas are bit-identical, the update runs
+  *once* on a canonical replica; surviving replicas adopt read-only
+  copy-on-write views of the canonical arena (they track every in-place
+  arena update for free, and accidental in-place writes raise).  Failure
+  injection — or any replica whose leaves stopped aliasing the canonical
+  arena — automatically falls back to divergent per-replica state, so
+  MID_UPDATE crash budgets, update-undo, and recovery see exactly the
+  states the eager path would produce.
 """
 
 from __future__ import annotations
@@ -27,6 +44,7 @@ from repro.nn.module import Module
 from repro.nn.sequential import Sequential
 from repro.optim.base import Optimizer
 from repro.parallel.results import IterationResult
+from repro.utils.flat import FlatBuffer
 
 __all__ = ["DPWorker", "DataParallelEngine"]
 
@@ -43,6 +61,11 @@ class DPWorker:
         #: parameter names updated in the current (possibly interrupted)
         #: update phase — the marks update-undo consumes (Section 6)
         self.updated_params: list[str] = []
+        #: fused-path caches: (arena, [(Parameter, grad view)]) pairs for
+        #: seeding, and [(Parameter, reduced view)] for the post-reduce
+        #: rebind — rebuilt whenever the backing buffers change identity
+        self._seed_pairs: tuple | None = None
+        self._grad_pairs: tuple | None = None
 
     @property
     def alive(self) -> bool:
@@ -118,6 +141,7 @@ class DataParallelEngine:
         placement: list[tuple[int, int]],
         clock: SimClock | None = None,
         compute_time_fn: Callable[[int], float] | None = None,
+        fused: bool = True,
     ):
         if len(placement) < 1:
             raise ConfigurationError("need at least one worker")
@@ -142,6 +166,16 @@ class DataParallelEngine:
             name for name, _ in self.workers[0].model.named_parameters()
         ][::-1]
         self.iteration = 0
+        #: fused flat-buffer reduce+update path (bitwise-equal to eager)
+        self.fused = bool(fused)
+        opt0 = self.workers[0].optimizer
+        self._fusable = type(opt0).supports_flat() and all(
+            name in opt0.params for name in self.update_order
+        )
+        #: fused all-reduce output, shared read-only by every replica's grads
+        self._reduced: FlatBuffer | None = None
+        #: worker whose arena the other replicas currently COW-share
+        self._canonical: DPWorker | None = None
 
     # -- queries ------------------------------------------------------------
     def alive_workers(self) -> list[DPWorker]:
@@ -188,10 +222,17 @@ class DataParallelEngine:
             return self._fail(failure)
 
         # forward/backward on each live replica's shard
+        use_fused = self.fused and self._fusable
         losses = []
         t_compute = 0.0
         for w, idx in zip(live, shards):
-            w.model.zero_grad()
+            if use_fused:
+                # accumulate gradients straight into the flat arena so the
+                # reduce needs no per-parameter gather (covers every
+                # parameter, so no separate zero_grad pass is needed)
+                self._seed_grads(w)
+            else:
+                w.model.zero_grad()
             w.updated_params = []
             loss_fn = self.loss_factory()
             out = w.model(x[idx])
@@ -206,6 +247,11 @@ class DataParallelEngine:
             # crash before any gradient synchronization completed: nobody
             # updated anything, survivors remain at iteration start state
             return self._fail(failure)
+
+        if use_fused:
+            return self._finish_fused(
+                live, losses, t_compute, failure, survivor_progress
+            )
 
         # gradient synchronization (per-parameter ring all-reduce)
         grad_bytes = 0
@@ -235,10 +281,9 @@ class DataParallelEngine:
             for name in self.update_order[:budget]:
                 w.optimizer.step_param(name)
                 w.updated_params.append(name)
-            if not mid_update or budget == len(self.update_order):
-                if not mid_update:
-                    w.iteration += 1
-                    w.updated_params = []
+            if not mid_update:
+                w.iteration += 1
+                w.updated_params = []
 
         if mid_update:
             return self._fail(failure, sim_time=t_compute + t_comm)
@@ -250,6 +295,210 @@ class DataParallelEngine:
             loss=float(np.mean(losses)),
             sim_time=t_compute + t_comm,
         )
+
+    # -- fused flat-buffer reduce + update --------------------------------------
+    def _finish_fused(
+        self,
+        live: list[DPWorker],
+        losses: list[float],
+        t_compute: float,
+        failure: FailureEvent | None,
+        survivor_progress: dict[int, int] | None,
+    ) -> IterationResult:
+        """Fused tail of the iteration: one all-reduce, one (shared) update.
+
+        Bitwise-equivalent to the eager tail: the reduce sums the same
+        per-rank values in the same order over one contiguous buffer, and
+        the vectorized kernels perform the same elementwise arithmetic as
+        ``step_param`` — verified end-to-end by ``tests/test_flat.py`` and
+        gated in ``benchmarks/bench_step.py``.
+        """
+        order = self.update_order
+        if self._reduced is None:
+            opt0 = self.workers[0].optimizer
+            self._reduced = FlatBuffer(
+                {n: opt0.params[n].data.shape for n in order}, order
+            )
+        buffers = {
+            w.rank: w.optimizer.flat_arena(order).grads.data for w in live
+        }
+        self.group.allreduce_mean(buffers, out=self._reduced.data)
+        grad_bytes = self._reduced.nbytes
+        # every replica reads the same reduced gradients (undo consumes
+        # them); read-only views make accidental in-place writes loud
+        for w in live:
+            cache = w._grad_pairs
+            if cache is None or cache[0] is not self._reduced:
+                gviews = self._reduced.frozen_views()
+                w._grad_pairs = (self._reduced, [
+                    (w.optimizer.params[name], gviews[name]) for name in order
+                ])
+                cache = w._grad_pairs
+            for param, view in cache[1]:
+                param.grad = view
+        t_comm = self.group.allreduce_time(grad_bytes)
+
+        if failure is not None and failure.phase == FailurePhase.MID_UPDATE:
+            # failure injection: replicas stop at different update budgets,
+            # so every replica needs divergent private state — privatize
+            # COW followers first (their views alias the canonical arena,
+            # which the canonical's bind/update would otherwise mutate)
+            prev_canon, self._canonical = self._canonical, None
+            for w in sorted(live, key=lambda w: w is prev_canon):
+                w.optimizer.bind_flat(order)
+            for w in live:
+                if w.machine_id == failure.machine_id:
+                    budget = failure.after_updates
+                else:
+                    budget = (survivor_progress or {}).get(
+                        w.rank, failure.after_updates
+                    )
+                budget = min(budget, len(order))
+                w.updated_params = list(
+                    w.optimizer.step_flat(
+                        count=budget, order=order, grads=self._reduced.data
+                    )
+                )
+            return self._fail(failure, sim_time=t_compute + t_comm)
+
+        canon = live[0]
+        if self._sharing_valid(live, canon):
+            # replicas are bit-identical and share the canonical arena:
+            # compute the update once; followers see it through their views
+            canon.optimizer.step_flat(order=order, grads=self._reduced.data)
+            for w in live:
+                if w is not canon:
+                    self._sync_follower_scalars(w, canon)
+        else:
+            # divergent/unverified replicas: fused compute on every one,
+            # then re-establish canonical sharing once they provably agree
+            for w in sorted(live, key=lambda w: w is self._canonical):
+                w.optimizer.bind_flat(order)
+            for w in live:
+                w.optimizer.step_flat(order=order, grads=self._reduced.data)
+            if self._replicas_arena_equal(live, canon):
+                for w in live:
+                    if w is not canon:
+                        self._share_follower(w, canon)
+                self._canonical = canon
+            else:
+                self._canonical = None
+        for w in live:
+            w.iteration += 1
+            w.updated_params = []
+
+        self.iteration += 1
+        self.clock.advance(t_compute + t_comm, "iteration", iteration=self.iteration)
+        return IterationResult(
+            iteration=self.iteration - 1,
+            loss=float(np.mean(losses)),
+            sim_time=t_compute + t_comm,
+        )
+
+    def _seed_grads(self, w: DPWorker) -> None:
+        """Point ``w``'s gradients at its zeroed flat arena (cached pairs)."""
+        arena = w.optimizer.flat_arena(self.update_order)
+        cache = w._seed_pairs
+        if cache is None or cache[0] is not arena:
+            views = arena.grads.views()
+            w._seed_pairs = (arena, [
+                (p, views[name]) for name, p in w.model.named_parameters()
+            ])
+            cache = w._seed_pairs
+        arena.grads.data[:] = 0.0
+        for param, view in cache[1]:
+            param.grad = view
+
+    def _sharing_valid(self, live: list[DPWorker], canon: DPWorker) -> bool:
+        """All live replicas still alias the canonical arena leaf-for-leaf.
+
+        Pure ``is``/length checks — any rebinding (recovery loads, undo,
+        elastic membership churn, test interference) breaks aliasing and
+        routes the iteration through the verified per-replica path instead.
+        """
+        if self._canonical is not canon:
+            return False
+        opt = canon.optimizer
+        if not opt.flat_bound(self.update_order):
+            return False
+        arena = opt.flat_arena(self.update_order)
+        fparams = arena.params.frozen_views()
+        fslots = [(s, b.frozen_views()) for s, b in arena.slots.items()]
+        cstates = opt.state
+        for w in live:
+            if w is canon:
+                continue
+            wopt = w.optimizer
+            wparams, wstates = wopt.params, wopt.state
+            for name in self.update_order:
+                if wparams[name].data is not fparams[name]:
+                    return False
+                cstate, wstate = cstates[name], wstates[name]
+                # sharing is only ever established over flat slots (see
+                # _replicas_arena_equal), so size + per-flat-slot aliasing
+                # pins the whole slot dict
+                if len(wstate) != len(cstate):
+                    return False
+                for slot, views in fslots:
+                    if slot in cstate and wstate.get(slot) is not views[name]:
+                        return False
+        return True
+
+    def _replicas_arena_equal(self, live: list[DPWorker], canon: DPWorker) -> bool:
+        """Bitwise agreement of all live arenas (the sharing precondition)."""
+        copt = canon.optimizer
+        ca = copt.flat_arena(self.update_order)
+        for w in live:
+            if w is canon:
+                continue
+            wopt = w.optimizer
+            wa = wopt.flat_arena(self.update_order)
+            if not np.array_equal(ca.params.data, wa.params.data):
+                return False
+            if any(
+                not np.array_equal(buf.data, wa.slots[slot].data)
+                for slot, buf in ca.slots.items()
+            ):
+                return False
+            if wopt.step_counts != copt.step_counts:
+                return False
+            if any(
+                wopt.state[n].keys() != copt.state[n].keys()
+                for n in self.update_order
+            ):
+                return False
+        # only share when every slot lives in the arena — non-flat slots
+        # (exotic loads) would dodge the aliasing checks of _sharing_valid
+        return all(
+            set(copt.state[n]) <= ca.slots.keys() for n in self.update_order
+        )
+
+    def _share_follower(self, w: DPWorker, canon: DPWorker) -> None:
+        """Bind a replica's leaves as frozen COW views of the canonical arena.
+
+        Only reached after :meth:`_replicas_arena_equal`, whose final guard
+        ensures every canonical slot is arena-backed.
+        """
+        opt, wopt = canon.optimizer, w.optimizer
+        arena = opt.flat_arena(self.update_order)
+        fparams = arena.params.frozen_views()
+        fslots = {s: b.frozen_views() for s, b in arena.slots.items()}
+        for name in self.update_order:
+            wopt.params[name].data = fparams[name]
+            cstate, wstate = opt.state[name], wopt.state[name]
+            for slot in list(wstate.keys() - cstate.keys()):
+                del wstate[slot]
+            for slot in cstate:
+                wstate[slot] = fslots[slot][name]
+        self._sync_follower_scalars(w, canon)
+
+    def _sync_follower_scalars(self, w: DPWorker, canon: DPWorker) -> None:
+        """Mirror the canonical step's scalar bookkeeping onto a follower."""
+        opt, wopt = canon.optimizer, w.optimizer
+        for name in self.update_order:
+            wopt.step_counts[name] = opt.step_counts[name]
+            wopt.undo_journal[name] = dict(opt.undo_journal[name])
+        wopt.dirty_params.update(self.update_order)
 
     def _fail(self, failure: FailureEvent, sim_time: float = 0.0) -> IterationResult:
         self.cluster.fail_machine(failure.machine_id)
@@ -270,4 +519,6 @@ class DataParallelEngine:
         model = self.model_factory()
         worker = DPWorker(rank, old.device, model, self.opt_factory(model))
         self.workers[rank] = worker
+        if self._canonical is old:
+            self._canonical = None
         return worker

@@ -50,6 +50,10 @@ __all__ = ["PipelineStage", "PipelineEngine"]
 class PipelineStage:
     """One pipeline stage: a model slice, its optimizer, and mb caches."""
 
+    #: apply stage updates through the vectorized flat kernels (bitwise
+    #: equal to the per-parameter path; set False to force the eager loop)
+    fused_updates = True
+
     def __init__(self, stage_id: int, module: Sequential, optimizer: Optimizer,
                  device):
         self.stage_id = stage_id
@@ -82,7 +86,10 @@ class PipelineStage:
         return self.module.backward(grad)
 
     def step(self) -> None:
-        self.optimizer.step()
+        if self.fused_updates and type(self.optimizer).supports_flat():
+            self.optimizer.step_flat()
+        else:
+            self.optimizer.step()
         self.iteration += 1
         self.updated_this_iteration = True
 

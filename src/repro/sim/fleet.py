@@ -17,6 +17,7 @@ fleet-level version of the paper's Figure-8 story.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.cluster.topology import Cluster
@@ -186,8 +187,8 @@ class FleetSimulator:
         )
 
     def run(self) -> FleetReport:
-        pending_specs = list(self.specs)
-        pending_failures = list(self.failures)
+        pending_specs = deque(self.specs)
+        pending_failures = deque(self.failures)
 
         while self.rounds < self.max_rounds and not self._all_terminal():
             r = self.rounds
@@ -201,14 +202,14 @@ class FleetSimulator:
             }
             # 1. arrivals
             while pending_specs and pending_specs[0].arrival <= r:
-                spec = pending_specs.pop(0)
+                spec = pending_specs.popleft()
                 self.scheduler.submit(Job(spec), now=self.fleet_time)
             # 2. repairs complete -> blocked jobs may resume
             if self.spares is not None and self.spares.tick():
                 self.scheduler.unblock()
             # 3. due machine failures, routed one event at a time
             while pending_failures and pending_failures[0].round <= r:
-                event = pending_failures.pop(0)
+                event = pending_failures.popleft()
                 self.scheduler.handle_machine_failure(event.machine_id)
             # 4. placement (may preempt), then restoration of preemptees
             self.scheduler.schedule(now=self.fleet_time)

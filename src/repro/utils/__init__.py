@@ -1,6 +1,7 @@
 """Shared utilities: RNG streams, state (de)serialization, zero-copy views."""
 
 from repro.utils.cow import StateView, freeze_array
+from repro.utils.flat import FlatArena, FlatBuffer
 from repro.utils.metrics import (
     TraceSummary,
     goodput,
@@ -23,6 +24,8 @@ from repro.utils.serialization import (
 __all__ = [
     "StateView",
     "freeze_array",
+    "FlatArena",
+    "FlatBuffer",
     "BufferPool",
     "PooledBuffer",
     "RngStream",

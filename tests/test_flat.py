@@ -1,0 +1,344 @@
+"""Fused flat-buffer step: bitwise equivalence with the per-parameter path.
+
+The flat arena (`repro.utils.flat`) promises that fused kernels, the fused
+all-reduce, and canonical-replica COW sharing are *bitwise* equivalent to
+the eager per-parameter path — including MID_UPDATE partial-update crash
+states and the update-undo / recovery flows that consume them.  This suite
+pins that contract for every optimizer and both engines.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import make_dp_engine, make_pp_engine
+from repro.cluster import FailureEvent, FailurePhase, FailureSchedule
+from repro.core import SwiftTrainer, TrainerConfig
+from repro.core.undo import resolve_dp_consistency
+from repro.errors import NotInvertibleError, ShapeError
+from repro.models import make_mlp
+from repro.optim import AMSGrad, Adam, AdamW, LAMB, SGD, SGDMomentum
+from repro.utils import FlatBuffer, state_equal
+
+OPTIMIZERS = {
+    "sgd": lambda m: SGD(m, lr=0.05, weight_decay=1e-3),
+    "sgd_momentum": lambda m: SGDMomentum(m, lr=0.05, momentum=0.9,
+                                          dampening=0.1, weight_decay=1e-3),
+    "adam": lambda m: Adam(m, lr=1e-3, weight_decay=1e-3),
+    "adamw": lambda m: AdamW(m, lr=1e-3, weight_decay=1e-2),
+    "lamb": lambda m: LAMB(m, lr=1e-3, weight_decay=1e-2),
+    "amsgrad": lambda m: AMSGrad(m, lr=1e-3, weight_decay=1e-3),
+}
+
+
+def make_pair(opt_name, seed=3):
+    """Two identical (model, optimizer) pairs for eager-vs-fused runs."""
+    pairs = []
+    for _ in range(2):
+        model = make_mlp(6, 10, 4, depth=3, seed=seed)
+        pairs.append((model, OPTIMIZERS[opt_name](model)))
+    return pairs
+
+
+def set_grads(model, rng):
+    grads = {}
+    for name, p in model.named_parameters():
+        grads[name] = rng.normal(size=p.data.shape)
+    for name, p in model.named_parameters():
+        p.grad = np.array(grads[name], copy=True)
+    return grads
+
+
+def full_state(model, opt):
+    state = {f"model/{k}": v for k, v in model.state_dict().items()}
+    state.update({f"optim/{k}": v for k, v in opt.state_dict().items()})
+    return state
+
+
+class TestFlatBuffer:
+    def test_layout_and_prefix(self):
+        buf = FlatBuffer({"a": (2, 3), "b": (4,), "c": ()}, order=["b", "a", "c"])
+        assert buf.order == ["b", "a", "c"]
+        assert buf.size == 4 + 6 + 1
+        assert buf.slices["b"] == slice(0, 4)
+        assert buf.slices["a"] == slice(4, 10)
+        assert buf.prefix_stop(0) == 0
+        assert buf.prefix_stop(1) == 4
+        assert buf.prefix_stop(2) == 10
+        assert buf.prefix_stop(99) == buf.size
+
+    def test_views_share_memory_and_identity(self):
+        buf = FlatBuffer({"a": (2, 2), "b": (3,)})
+        v = buf.view("a")
+        assert v.shape == (2, 2)
+        assert v.base is buf.data
+        assert buf.view("a") is v  # cached objects enable `is` checks
+        v[...] = 7.0
+        assert np.all(buf.data[:4] == 7.0)
+
+    def test_pack_unpack_roundtrip(self):
+        rng = np.random.default_rng(0)
+        arrays = {"a": rng.normal(size=(3, 2)), "b": rng.normal(size=(5,))}
+        buf = FlatBuffer({k: v.shape for k, v in arrays.items()})
+        buf.pack(arrays)
+        out = buf.unpack()
+        assert state_equal(arrays, out)
+        assert out["a"].base is None  # private copies
+
+    def test_frozen_views_reject_writes(self):
+        buf = FlatBuffer({"a": (2,)})
+        frozen = buf.frozen_views()["a"]
+        with pytest.raises(ValueError):
+            frozen += 1.0
+        buf.view("a")[...] = 3.0  # writable path still works
+        assert np.all(frozen == 3.0)
+
+
+class TestFusedOptimizerKernels:
+    @pytest.mark.parametrize("opt_name", sorted(OPTIMIZERS))
+    def test_full_steps_bitwise(self, opt_name):
+        (m_e, o_e), (m_f, o_f) = make_pair(opt_name)
+        order = [n for n, _ in m_e.named_parameters()][::-1]
+        rng_e, rng_f = np.random.default_rng(1), np.random.default_rng(1)
+        for _ in range(5):
+            set_grads(m_e, rng_e)
+            set_grads(m_f, rng_f)
+            o_e.step(order)
+            o_f.step_flat(order=order)
+            assert state_equal(full_state(m_e, o_e), full_state(m_f, o_f))
+        assert o_e.step_counts == o_f.step_counts
+
+    @pytest.mark.parametrize("opt_name", sorted(OPTIMIZERS))
+    def test_partial_prefix_bitwise(self, opt_name):
+        """MID_UPDATE budgets: fused prefix == eager prefix, keys included."""
+        (m_e, o_e), (m_f, o_f) = make_pair(opt_name)
+        order = [n for n, _ in m_e.named_parameters()][::-1]
+        rng_e, rng_f = np.random.default_rng(2), np.random.default_rng(2)
+        set_grads(m_e, rng_e)
+        set_grads(m_f, rng_f)
+        budget = 3
+        for name in order[:budget]:
+            o_e.step_param(name)
+        names = o_f.step_flat(count=budget, order=order)
+        assert names == order[:budget]
+        # state-dict equality covers keys: slots exist only where stepped
+        assert state_equal(full_state(m_e, o_e), full_state(m_f, o_f))
+        # a later full step crosses mixed step counts (uniform-t runs)
+        set_grads(m_e, np.random.default_rng(4))
+        set_grads(m_f, np.random.default_rng(4))
+        o_e.step(order)
+        o_f.step_flat(order=order)
+        assert state_equal(full_state(m_e, o_e), full_state(m_f, o_f))
+
+    @pytest.mark.parametrize(
+        "opt_name", [n for n in sorted(OPTIMIZERS) if n != "amsgrad"]
+    )
+    def test_undo_after_fused_partial_matches_eager(self, opt_name):
+        (m_e, o_e), (m_f, o_f) = make_pair(opt_name)
+        order = [n for n, _ in m_e.named_parameters()][::-1]
+        set_grads(m_e, np.random.default_rng(5))
+        set_grads(m_f, np.random.default_rng(5))
+        for name in order[:2]:
+            o_e.step_param(name)
+        o_f.step_flat(count=2, order=order)
+        o_e.undo(list(reversed(order[:2])))
+        o_f.undo(list(reversed(order[:2])))
+        assert state_equal(full_state(m_e, o_e), full_state(m_f, o_f))
+
+    def test_amsgrad_fused_step_still_not_invertible(self):
+        (_, _), (m_f, o_f) = make_pair("amsgrad")
+        set_grads(m_f, np.random.default_rng(6))
+        o_f.step_flat()
+        with pytest.raises(NotInvertibleError):
+            o_f.undo()
+
+    def test_external_flat_gradient_source(self):
+        (m_e, o_e), (m_f, o_f) = make_pair("adam")
+        order = [n for n, _ in m_e.named_parameters()][::-1]
+        grads = set_grads(m_e, np.random.default_rng(7))
+        gbuf = FlatBuffer({n: m_f.param_shapes()[n] for n in order}, order)
+        gbuf.pack(grads)
+        o_e.step(order)
+        o_f.step_flat(order=order, grads=gbuf.data)
+        assert state_equal(full_state(m_e, o_e), full_state(m_f, o_f))
+        with pytest.raises(ShapeError):
+            o_f.step_flat(order=order, grads=np.zeros(3))
+
+    def test_fallback_without_kernel_honors_external_grads(self):
+        """Optimizers lacking a flat kernel still honor step_flat(grads=)
+        by scattering the flat vector into per-parameter grads."""
+        from repro.optim import Optimizer
+
+        class PlainSGD(Optimizer):
+            def _update(self, name, param, grad):
+                param.data -= self.lr * grad
+
+        model_a = make_mlp(6, 10, 4, depth=2, seed=3)
+        model_b = make_mlp(6, 10, 4, depth=2, seed=3)
+        opt_a, opt_b = PlainSGD(model_a, lr=0.1), PlainSGD(model_b, lr=0.1)
+        assert not PlainSGD.supports_flat()
+        order = [n for n, _ in model_a.named_parameters()][::-1]
+        grads = {n: np.random.default_rng(12).normal(size=s)
+                 for n, s in model_a.param_shapes().items()}
+        gbuf = FlatBuffer(model_a.param_shapes(), order)
+        gbuf.pack(grads)
+        for n, p in model_a.named_parameters():
+            p.grad = np.array(grads[n], copy=True)
+        opt_a.step(order)
+        opt_b.step_flat(order=order, grads=gbuf.data)
+        assert state_equal(full_state(model_a, opt_a),
+                           full_state(model_b, opt_b))
+        with pytest.raises(ShapeError):
+            opt_b.step_flat(order=order, grads=np.zeros(3))
+
+    def test_rebinding_detaches_and_rebind_recovers(self):
+        """Out-of-place rebinds (undo, loads) detach; the next fused step
+        re-adopts and stays bitwise-correct."""
+        (m_e, o_e), (m_f, o_f) = make_pair("adamw")
+        order = [n for n, _ in m_e.named_parameters()][::-1]
+        for rng_seed in (8, 9):
+            set_grads(m_e, np.random.default_rng(rng_seed))
+            set_grads(m_f, np.random.default_rng(rng_seed))
+            o_e.step(order)
+            o_f.step_flat(order=order)
+        o_e.undo()
+        o_f.undo()  # AdamW undo rebinds param.data out of the arena
+        assert not o_f.flat_bound(order)
+        set_grads(m_e, np.random.default_rng(10))
+        set_grads(m_f, np.random.default_rng(10))
+        o_e.step(order)
+        o_f.step_flat(order=order)
+        assert o_f.flat_bound(order)
+        assert state_equal(full_state(m_e, o_e), full_state(m_f, o_f))
+
+    def test_dirty_report_covers_fused_slices(self):
+        (_, _), (m_f, o_f) = make_pair("adam")
+        order = [n for n, _ in m_f.named_parameters()][::-1]
+        o_f.clear_dirty()
+        set_grads(m_f, np.random.default_rng(11))
+        o_f.step_flat(count=2, order=order)
+        assert o_f.dirty_params == set(order[:2])
+        keys = o_f.dirty_state_keys()
+        for name in order[:2]:
+            assert f"{name}::step" in keys
+            assert f"{name}::m" in keys and f"{name}::v" in keys
+
+
+class TestFusedEngine:
+    def engines(self, **kw):
+        fused = make_dp_engine(**kw)
+        eager = make_dp_engine(**kw)
+        eager.fused = False
+        return fused, eager
+
+    @staticmethod
+    def states(eng):
+        return {w.rank: w.full_state() for w in eng.workers}
+
+    @staticmethod
+    def bitwise(a, b):
+        return all(state_equal(a[r], b[r]) for r in a)
+
+    def test_training_bitwise_and_sharing_engages(self):
+        fused, eager = self.engines()
+        for _ in range(8):
+            rf, re = fused.run_iteration(), eager.run_iteration()
+            assert rf.loss == re.loss
+            assert rf.sim_time == re.sim_time
+        assert self.bitwise(self.states(fused), self.states(eager))
+        # canonical-replica sharing is active: followers alias the canonical
+        # arena through read-only views
+        canon = fused.workers[0]
+        assert fused._canonical is canon
+        follower = fused.workers[1]
+        name = fused.update_order[0]
+        assert follower.optimizer.params[name].data.base is (
+            canon.optimizer.flat_arena(fused.update_order).params.data
+        )
+        assert not follower.optimizer.params[name].data.flags.writeable
+
+    def test_follower_inplace_write_raises(self):
+        fused, _ = self.engines()
+        for _ in range(3):
+            fused.run_iteration()
+        follower = fused.workers[1]
+        name = fused.update_order[0]
+        with pytest.raises(ValueError):
+            follower.optimizer.params[name].data += 1.0
+
+    def test_mid_update_crash_states_bitwise(self):
+        fused, eager = self.engines()
+        for _ in range(3):
+            fused.run_iteration()
+            eager.run_iteration()
+        event = lambda: FailureEvent(  # noqa: E731
+            1, 3, FailurePhase.MID_UPDATE, after_updates=2
+        )
+        progress = {0: 1, 1: 4}
+        fused.run_iteration(failure=event(), survivor_progress=progress)
+        eager.run_iteration(failure=event(), survivor_progress=progress)
+        assert self.bitwise(self.states(fused), self.states(eager))
+        for wf, we in zip(fused.workers, eager.workers):
+            assert wf.updated_params == we.updated_params
+        # the divergent crash states fall back to private (writable) arrays
+        assert fused._canonical is None
+        # undo consumes the fused crash state exactly like the eager one
+        resolve_dp_consistency(fused)
+        resolve_dp_consistency(eager)
+        assert self.bitwise(self.states(fused), self.states(eager))
+
+    def test_recovery_resumes_sharing_and_stays_bitwise(self):
+        def run(fused_flag):
+            eng = make_dp_engine()
+            eng.fused = fused_flag
+            trainer = SwiftTrainer(eng, TrainerConfig(checkpoint_interval=6))
+            trainer.train(10, failures=FailureSchedule([
+                FailureEvent(1, 4, FailurePhase.MID_UPDATE, after_updates=2)
+            ]))
+            return eng
+
+        fused, eager = run(True), run(False)
+        assert self.bitwise(self.states(fused), self.states(eager))
+        # replicas re-verified bitwise-equal after recovery: sharing resumed
+        assert fused._canonical is fused.workers[0]
+
+    def test_load_full_state_breaks_sharing_safely(self):
+        fused, eager = self.engines()
+        for _ in range(4):
+            fused.run_iteration()
+            eager.run_iteration()
+        # external load detaches one follower from the canonical arena; the
+        # engine must notice (aliasing check) and keep results correct
+        w = fused.workers[2]
+        w.load_full_state(w.full_state())
+        for _ in range(3):
+            rf, re = fused.run_iteration(), eager.run_iteration()
+            assert rf.loss == re.loss
+        assert self.bitwise(self.states(fused), self.states(eager))
+
+    def test_replicas_consistent_with_sharing(self):
+        fused, _ = self.engines()
+        for _ in range(4):
+            fused.run_iteration()
+        assert fused.replicas_consistent()
+
+
+class TestFusedPipelineReplay:
+    @pytest.mark.parametrize("degree", [1, 2])
+    def test_replay_after_crash_end_states_bitwise(self, degree):
+        """Logging replay (incl. parallel recovery) with fused stage updates
+        must reproduce the per-parameter end states bitwise."""
+
+        def run(fused_updates):
+            eng = make_pp_engine()
+            for stage in eng.stages:
+                stage.fused_updates = fused_updates
+            trainer = SwiftTrainer(eng, TrainerConfig(
+                checkpoint_interval=6, parallel_recovery_degree=degree,
+            ))
+            trainer.train(10, failures=FailureSchedule(
+                [FailureEvent(2, 8, FailurePhase.ITERATION_START)]
+            ))
+            return {sid: s.full_state() for sid, s in enumerate(eng.stages)}
+
+        fused, eager = run(True), run(False)
+        assert all(state_equal(fused[s], eager[s]) for s in fused)
