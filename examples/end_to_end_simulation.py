@@ -4,13 +4,16 @@ Reruns the Table 5 Monte-Carlo study: for each paper workload, injects
 failures with a 17-hour median time-between-failure and compares total
 training time under global checkpointing, CheckFreq/Elastic Horovod
 (Wide-ResNet-50 only), and Swift — printing the speedups the paper
-reports (1.16x / 1.01x / 1.10x).
+reports (1.16x / 1.01x / 1.10x).  Which Swift mechanism each workload
+exercises is decided by the ``repro.api`` planner (the Section 3 chain),
+not hard-coded.
 
 Run:  python examples/end_to_end_simulation.py [median_tbf_hours]
 """
 
 import sys
 
+from repro.api import FTStrategy, plan_workload
 from repro.sim import (
     BERT_128,
     VIT_128_32,
@@ -18,16 +21,20 @@ from repro.sim import (
     EndToEndSimulator,
 )
 
+#: planner strategy -> the simulator's Swift method for that mechanism
+SWIFT_METHODS = {
+    FTStrategy.REPLICATION: "swift_replication",
+    FTStrategy.LOGGING: "swift_logging_pr",
+    FTStrategy.CHECKPOINT_ONLY: "global_checkpoint",
+}
+
 
 def main() -> None:
     mtbf = float(sys.argv[1]) if len(sys.argv) > 1 else 17.0
     print(f"median time between failures: {mtbf} hours\n")
     rows = []
-    for workload, swift_method in (
-        (WIDE_RESNET_50, "swift_replication"),
-        (VIT_128_32, "swift_logging_pr"),
-        (BERT_128, "swift_logging_pr"),
-    ):
+    for workload in (WIDE_RESNET_50, VIT_128_32, BERT_128):
+        swift_method = SWIFT_METHODS[plan_workload(workload).strategy]
         sim = EndToEndSimulator(workload, median_tbf_hours=mtbf,
                                 repeats=10, seed=1)
         ckpt = sim.simulate("global_checkpoint")

@@ -1,22 +1,25 @@
 """Fleet scheduling: many jobs, one shared cluster, failures, preemption.
 
 Five jobs — mixed data-parallel and pipeline-parallel, different
-priorities, two of them elastic — share a 6-machine cluster with one hot
-spare.  Two machines crash while the fleet runs; each crash is routed to
-the owning jobs' Swift recovery paths (replication for DP, logging replay
-for PP) while every other job keeps training.  A high-priority gang
-arriving mid-run preempts the elastic low-priority jobs by *shrinking*
-them (crash-consistent scale-in via update-undo, paper Section 8); they
-are re-grown once capacity frees up.
+priorities, two of them elastic — are declared as ``repro.api``
+Experiments and lowered into fleet-schedulable job specs
+(``Experiment.to_job_spec``), then share a 6-machine cluster with one
+hot spare.  Two machines crash while the fleet runs; each crash is
+routed to the owning jobs' Swift recovery paths (replication for DP,
+logging replay for PP) while every other job keeps training.  A
+high-priority gang arriving mid-run preempts the elastic low-priority
+jobs by *shrinking* them (crash-consistent scale-in via update-undo,
+paper Section 8); they are re-grown once capacity frees up.
 
 Run:  PYTHONPATH=src python examples/fleet_scheduler.py
 """
 
-from repro.sim import FleetSimulator, demo_fleet
+from repro.api import demo_fleet_specs
+from repro.sim import FleetSimulator
 
 
 def main() -> None:
-    specs, failures = demo_fleet(iterations=30)
+    specs, failures = demo_fleet_specs(iterations=30)
     sim = FleetSimulator(
         specs,
         num_machines=6,

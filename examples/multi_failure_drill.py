@@ -1,6 +1,7 @@
 """Failure drill: multiple simultaneous and cascading failures (Appendix B).
 
-Exercises the harder recovery paths on a 6-machine pipeline:
+Exercises the harder recovery paths on a declaratively-specified
+6-machine pipeline:
 
 * two machines hosting *disjoint* pipeline portions fail at the same
   iteration — each contiguous span recovers independently;
@@ -15,30 +16,36 @@ Run:  python examples/multi_failure_drill.py
 
 import numpy as np
 
-from repro.cluster import Cluster, FailureEvent, FailurePhase, FailureSchedule
-from repro.core import SwiftTrainer, TrainerConfig
-from repro.data import ClassificationTask
-from repro.models import make_mlp
-from repro.nn import CrossEntropyLoss
-from repro.optim import Adam
-from repro.parallel import PipelineEngine
+from repro.api import (
+    ClusterSpec,
+    DataSpec,
+    Experiment,
+    FaultToleranceSpec,
+    ModelSpec,
+    ParallelismSpec,
+    Session,
+)
+from repro.cluster import FailureEvent, FailurePhase, FailureSchedule
 
 ITERATIONS = 48
 
-
-def build_trainer() -> SwiftTrainer:
-    cluster = Cluster(num_machines=6, devices_per_machine=1)
-    engine = PipelineEngine(
-        cluster,
-        model_factory=lambda: make_mlp(12, 24, 4, depth=5, seed=3),
-        partition_sizes=[2, 2, 2, 2, 2, 1],  # 11 layers over 6 stages
-        placement=[(m, 0) for m in range(6)],
+EXPERIMENT = Experiment(
+    name="multi-failure-drill",
+    model=ModelSpec(family="mlp", dim=12, hidden_dim=24, num_classes=4,
+                    depth=5, seed=3, optimizer="adam", lr=5e-3),
+    data=DataSpec(kind="classification", batch_size=16, seed=2),
+    cluster=ClusterSpec(num_machines=6, devices_per_machine=1),
+    parallelism=ParallelismSpec(
+        kind="pp", num_workers=6,
+        partition_sizes=(2, 2, 2, 2, 2, 1),  # 11 layers over 6 stages
         num_microbatches=4,
-        opt_factory=lambda m: Adam(m, lr=5e-3),
-        loss_factory=CrossEntropyLoss,
-        task=ClassificationTask(dim=12, num_classes=4, batch_size=16, seed=2),
-    )
-    return SwiftTrainer(engine, TrainerConfig(checkpoint_interval=12))
+    ),
+    fault_tolerance=FaultToleranceSpec(checkpoint_interval=12),
+)
+
+
+def build_session() -> Session:
+    return EXPERIMENT.build()
 
 
 SCENARIOS = {
@@ -58,12 +65,13 @@ SCENARIOS = {
 
 
 def main() -> None:
-    reference = build_trainer().train(ITERATIONS)
+    print(EXPERIMENT.plan().describe(), end="\n\n")
+    reference = build_session().run(ITERATIONS)
 
     for name, events in SCENARIOS.items():
-        trainer = build_trainer()
-        trace = trainer.train(ITERATIONS,
-                              failures=FailureSchedule(list(events)))
+        session = build_session()
+        trace = session.run(ITERATIONS,
+                            failures=FailureSchedule(list(events)))
         ok = np.allclose(reference.losses, trace.losses, atol=1e-7)
         print(f"{name}:")
         for r in trace.recoveries:

@@ -1,62 +1,66 @@
 """Logging-based recovery for pipeline-parallel training (paper Section 5).
 
-Trains a small BERT-style encoder on a 4-machine pipeline.  Every
-cross-machine activation/gradient is logged by its sender (upstream
-backup); when machine 2 crashes, only its stage replays from the last
-global checkpoint using the logged tensors — the surviving stages keep
-their progress.  The example also demonstrates parallel recovery
-(Section 5.2): the same failure recovered with 4 helpers is strictly
-faster in simulated time, and still numerically equivalent.
+Declares a small BERT-style encoder pipelined over 4 machines through
+``repro.api``.  The plan shows the Section 5.4 calculus picking
+logging-based recovery; every cross-machine activation/gradient is logged
+by its sender (upstream backup).  When machine 2 crashes, only its stage
+replays from the last global checkpoint using the logged tensors — the
+surviving stages keep their progress.  The example also demonstrates
+parallel recovery (Section 5.2): the same failure recovered with 4
+helpers is strictly faster in simulated time, and still numerically
+equivalent.
 
 Run:  python examples/pipeline_logging_recovery.py
 """
 
 import numpy as np
 
-from repro.cluster import Cluster, FailureEvent, FailurePhase, FailureSchedule
-from repro.core import SwiftTrainer, TrainerConfig
-from repro.data import TokenTask
-from repro.models import make_bert
-from repro.nn import CrossEntropyLoss
-from repro.optim import Adam
-from repro.parallel import PipelineEngine
+from repro.api import (
+    ClusterSpec,
+    DataSpec,
+    Experiment,
+    FaultToleranceSpec,
+    ModelSpec,
+    ParallelismSpec,
+)
+from repro.cluster import FailureEvent, FailurePhase, FailureSchedule
 
 ITERATIONS = 80
 KILL_AT = 45
 
 
-def build_trainer(parallel_recovery_degree: int = 1) -> SwiftTrainer:
-    cluster = Cluster(num_machines=4, devices_per_machine=1)
-    engine = PipelineEngine(
-        cluster,
-        model_factory=lambda: make_bert(
-            vocab_size=32, max_len=8, dim=16, depth=2, num_heads=2, seed=9
+def build_experiment(parallel_recovery_degree: int = 1) -> Experiment:
+    return Experiment(
+        name="pipeline-logging",
+        model=ModelSpec(family="bert", dim=16, depth=2, vocab_size=32,
+                        max_len=8, num_heads=2, seed=9,
+                        optimizer="adam", lr=5e-3),
+        data=DataSpec(kind="tokens", batch_size=16, seed=5),
+        cluster=ClusterSpec(num_machines=4, devices_per_machine=1),
+        parallelism=ParallelismSpec(
+            kind="pp", num_workers=4,
+            partition_sizes=(1, 1, 1, 1),  # embed | layer | layer | LM head
+            num_microbatches=4,
         ),
-        partition_sizes=[1, 1, 1, 1],  # embed | layer | layer | LM head
-        placement=[(0, 0), (1, 0), (2, 0), (3, 0)],
-        num_microbatches=4,
-        opt_factory=lambda m: Adam(m, lr=5e-3),
-        loss_factory=CrossEntropyLoss,
-        task=TokenTask(vocab_size=32, seq_len=8, batch_size=16, seed=5),
-    )
-    return SwiftTrainer(
-        engine,
-        TrainerConfig(checkpoint_interval=20,
-                      parallel_recovery_degree=parallel_recovery_degree),
+        fault_tolerance=FaultToleranceSpec(
+            checkpoint_interval=20,
+            parallel_recovery_degree=parallel_recovery_degree,
+        ),
     )
 
 
 def main() -> None:
-    reference = build_trainer().train(ITERATIONS)
+    print(build_experiment().plan().describe(), end="\n\n")
+    reference = build_experiment().build().run(ITERATIONS)
 
     results = {}
     for degree in (1, 4):
-        trainer = build_trainer(parallel_recovery_degree=degree)
+        session = build_experiment(parallel_recovery_degree=degree).build()
         failures = FailureSchedule([
             FailureEvent(machine_id=2, iteration=KILL_AT,
                          phase=FailurePhase.FORWARD)
         ])
-        trace = trainer.train(ITERATIONS, failures=failures)
+        trace = session.run(ITERATIONS, failures=failures)
         results[degree] = trace
         r = trace.recoveries[0]
         print(f"--- parallel recovery degree {degree} ---")

@@ -1,49 +1,52 @@
-"""Quickstart: fault-tolerant data-parallel training in ~40 lines.
+"""Quickstart: fault-tolerant data-parallel training, declaratively.
 
-Trains a small MLP with synchronous data parallelism on a simulated
-2-machine cluster, kills machine 1 in the middle of a parameter update
-(the crash-consistency scenario of the Swift paper, Figure 5), and lets
-Swift recover via update-undo + replica broadcast.  The final loss matches
-a failure-free run exactly.
+The whole Swift usage story of the paper's Section 6 in one spec: declare
+the model, data, cluster, parallelism, and fault-tolerance configuration;
+``plan()`` shows every pre-training decision (strategy, checkpoints, log
+volume); ``build()`` returns a live session.  Machine 1 is killed in the
+middle of a parameter update (the crash-consistency scenario of Figure 5)
+and Swift recovers via update-undo + replica broadcast — the final loss
+matches a failure-free run exactly.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.cluster import Cluster, FailureEvent, FailurePhase, FailureSchedule
-from repro.core import SwiftTrainer, TrainerConfig
-from repro.data import ClassificationTask
-from repro.models import make_mlp
-from repro.nn import CrossEntropyLoss
-from repro.optim import SGDMomentum
-from repro.parallel import DataParallelEngine
+from repro.api import (
+    ClusterSpec,
+    DataSpec,
+    Experiment,
+    FaultToleranceSpec,
+    ModelSpec,
+    ParallelismSpec,
+)
+from repro.cluster import FailureEvent, FailurePhase, FailureSchedule
 
-
-def build_trainer() -> SwiftTrainer:
-    cluster = Cluster(num_machines=2, devices_per_machine=2)
-    engine = DataParallelEngine(
-        cluster,
-        model_factory=lambda: make_mlp(16, 32, 4, depth=2, seed=42),
-        opt_factory=lambda m: SGDMomentum(m, lr=0.05, momentum=0.9),
-        loss_factory=CrossEntropyLoss,
-        task=ClassificationTask(dim=16, num_classes=4, batch_size=32, seed=7),
-        placement=[(0, 0), (0, 1), (1, 0), (1, 1)],  # 4 workers, 2 machines
-    )
-    return SwiftTrainer(engine, TrainerConfig(checkpoint_interval=25))
+EXPERIMENT = Experiment(
+    name="quickstart",
+    model=ModelSpec(family="mlp", dim=16, hidden_dim=32, num_classes=4,
+                    depth=2, seed=42, optimizer="sgd_momentum", lr=0.05),
+    data=DataSpec(kind="classification", batch_size=32, seed=7),
+    cluster=ClusterSpec(num_machines=2, devices_per_machine=2),
+    parallelism=ParallelismSpec(kind="dp", num_workers=4),
+    fault_tolerance=FaultToleranceSpec(checkpoint_interval=25),
+)
 
 
 def main() -> None:
-    # failure-free reference
-    reference = build_trainer().train(60)
+    print(EXPERIMENT.plan().describe(), end="\n\n")
 
-    # same run, but machine 1 crashes mid-update at iteration 30
-    trainer = build_trainer()
+    # failure-free reference
+    reference = EXPERIMENT.build().run(60)
+
+    # same spec, but machine 1 crashes mid-update at iteration 30
+    session = EXPERIMENT.build()
     failures = FailureSchedule([
         FailureEvent(machine_id=1, iteration=30,
                      phase=FailurePhase.MID_UPDATE, after_updates=2)
     ])
-    trace = trainer.train(60, failures=failures)
+    trace = session.run(60, failures=failures)
 
     report = trace.recoveries[0]
     print(f"strategy:          {report.strategy}")

@@ -1,45 +1,35 @@
 """Selective logging: plan machine groups under a storage budget (§5.3-5.4).
 
 For the paper's BERT-128 workload (128-stage pipeline on 16 machines),
-this example:
+this example drives the ``repro.api`` planner:
 
-1. runs the Section 5.4 "is logging worth doing" calculus (does one
-   iteration's log volume fit through PCIe within the bubble time?);
-2. sweeps storage budgets with the greedy ΔR/ΔM planner, printing the
-   Figure 10-style trade-off between log storage and expected recovery
-   time;
-3. shows how the Section 3 strategy chooser reacts to the cluster layout.
+1. ``plan_workload`` runs the Section 5.4 "is logging worth doing"
+   calculus (does one iteration's log volume fit through PCIe within the
+   bubble time?) and the Section 3 strategy chain;
+2. sweeping storage budgets re-plans the Section 5.3 greedy ΔR/ΔM
+   grouping, printing the Figure 10-style trade-off between log storage
+   and expected recovery time;
+3. two hand-built layouts show how the same chooser reacts to replica
+   placement (replication vs logging).
 
 Run:  python examples/selective_logging_planner.py
 """
 
-from repro.core import (
-    PipelineProfile,
-    SelectiveLoggingPlanner,
-    choose_strategy,
-    logging_worth_it,
-)
+from repro.api import plan_workload
+from repro.core import choose_strategy
 from repro.parallel import ParallelLayout, StagePlacement
-from repro.sim import BERT_128, CostModel
+from repro.sim import BERT_128
 
 GB = 1e9
 
 
 def main() -> None:
     w = BERT_128
-    cost = CostModel(w)
 
-    # 1. Section 5.4 feasibility calculus
-    feasibility = logging_worth_it(
-        cost.logging_bytes_per_machine(),
-        cost.iteration_time,
-        w.num_stages,
-        w.num_microbatches,
-        cost.hw.pcie_bw,
-        model_state_bytes=w.state_bytes,
-    )
-    print(f"workload: {w.name} ({w.num_stages}-stage pipeline, "
-          f"{w.num_machines} machines)")
+    # 1. Section 5.4 feasibility calculus + Section 3 chain, as one plan
+    plan = plan_workload(w, checkpoint_interval=100)
+    feasibility = plan.feasibility
+    print(plan.describe(), end="\n\n")
     print(f"log volume (busiest sender): "
           f"{feasibility.log_bytes_per_iteration / GB:.2f} GB/iter")
     print(f"PCIe copy time: {feasibility.copy_time * 1e3:.1f} ms, "
@@ -48,29 +38,17 @@ def main() -> None:
           f"({feasibility.reason})\n")
 
     # 2. storage/recovery trade-off sweep
-    n = w.num_machines
-    stages_per_machine = w.num_stages // n
-    profile = PipelineProfile(
-        compute_times=tuple(
-            [w.num_microbatches * stages_per_machine * cost.slot_time] * n
-        ),
-        boundary_bytes=tuple(
-            [2.0 * w.num_microbatches * w.boundary_bytes] * (n - 1)
-        ),
-    )
-    planner = SelectiveLoggingPlanner(
-        profile, checkpoint_interval=100,
-        network_bandwidth=cost.hw.network_bw,
-    )
     print(f"{'budget':>10}  {'#groups':>7}  {'storage':>9}  "
           f"{'E[recovery]/lost-iter':>22}  grouping")
     for budget in [1e15, 8e11, 4e11, 2e11, 1e11, 5e10, 0.0]:
-        plan = planner.plan(budget)
+        result = plan_workload(
+            w, log_budget_bytes=budget, checkpoint_interval=100
+        ).selective
         label = "unlimited" if budget >= 1e15 else f"{budget / GB:.0f} GB"
-        groups = "+".join(str(len(g)) for g in plan.plan.groups)
-        print(f"{label:>10}  {plan.plan.num_groups:>7}  "
-              f"{plan.storage_bytes / GB:>7.1f}GB  "
-              f"{plan.expected_recovery_time:>21.3f}s  [{groups}]")
+        groups = "+".join(str(len(g)) for g in result.plan.groups)
+        print(f"{label:>10}  {result.plan.num_groups:>7}  "
+              f"{result.storage_bytes / GB:>7.1f}GB  "
+              f"{result.expected_recovery_time:>21.3f}s  [{groups}]")
 
     # 3. strategy selection on two layouts (Section 3)
     print()

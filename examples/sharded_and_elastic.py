@@ -1,62 +1,52 @@
 """Section-8 extensions: sharded replication (FSDP) and elastic training.
 
-Part 1 — FSDP + Swift: the model state is sharded across 4 workers with
-each shard mirrored on a different machine ("maintain two copies of each
-piece of the sharded model state").  Machine 1 dies mid-update; the lost
-shards restore from their mirrors after shard-wise update-undo, with zero
+Part 1 — FSDP + Swift, declaratively: ``ParallelismSpec(kind="fsdp")``
+shards the model state across 4 workers with each shard mirrored on a
+different machine ("maintain two copies of each piece of the sharded
+model state").  Machine 1 dies mid-update; the session routes the
+failure through shard-wise update-undo + mirror restore with zero
 recomputation.
 
 Part 2 — Elastic training: workers join and leave mid-run without
 checkpoint-restart; an abrupt (mid-update) departure is repaired with
-update-undo, and joiners receive state by replica broadcast.
+update-undo, and joiners receive state by replica broadcast.  The
+coordinator drives the engine the API session built.
 
 Run:  python examples/sharded_and_elastic.py
 """
 
-import numpy as np
-
-from repro.cluster import Cluster, FailureEvent, FailurePhase
-from repro.core import (
-    ElasticCoordinator,
-    FailureDetector,
-    ResizeEvent,
-    ShardedReplicationRecovery,
+from repro.api import (
+    ClusterSpec,
+    DataSpec,
+    Experiment,
+    ModelSpec,
+    ParallelismSpec,
 )
-from repro.data import ClassificationTask
-from repro.models import make_mlp
-from repro.nn import CrossEntropyLoss
-from repro.optim import Adam, SGDMomentum
-from repro.parallel import DataParallelEngine, FSDPEngine
+from repro.cluster import FailureEvent, FailurePhase, FailureSchedule
+from repro.core import ElasticCoordinator, ResizeEvent
 
 
 def fsdp_demo() -> None:
     print("=== sharded replication (FSDP + Swift) ===")
-    cluster = Cluster(num_machines=2, devices_per_machine=2)
-    engine = FSDPEngine(
-        cluster,
-        model_factory=lambda: make_mlp(8, 16, 4, seed=7),
-        opt_factory=lambda named: Adam(named, lr=0.01),
-        loss_factory=CrossEntropyLoss,
-        task=ClassificationTask(dim=8, num_classes=4, batch_size=16, seed=3),
-        placement=[(0, 0), (0, 1), (1, 0), (1, 1)],
-    )
+    session = Experiment(
+        name="fsdp-demo",
+        model=ModelSpec(family="mlp", dim=8, hidden_dim=16, num_classes=4,
+                        seed=7, optimizer="adam", lr=0.01),
+        data=DataSpec(kind="classification", batch_size=16, seed=3),
+        cluster=ClusterSpec(num_machines=2, devices_per_machine=2),
+        parallelism=ParallelismSpec(kind="fsdp", num_workers=4),
+    ).build()
+    engine = session.engine
     shards = {r: len(engine.plan.params_owned_by(r)) for r in range(4)}
     print(f"shard ownership (rank -> #params): {shards}")
 
-    recovery = ShardedReplicationRecovery(
-        engine, FailureDetector(cluster.kvstore, engine.clock), engine.clock
-    )
-    for _ in range(6):
-        engine.run_iteration()
-    result = engine.run_iteration(
-        failure=FailureEvent(1, 6, FailurePhase.MID_UPDATE, after_updates=3)
-    )
-    assert result.failed
-    report = recovery.recover()
+    failures = FailureSchedule([
+        FailureEvent(1, 6, FailurePhase.MID_UPDATE, after_updates=3)
+    ])
+    session.run(12, failures=failures)
+    report = session.trace.recoveries[0]
     print(f"restored {report.details['restored_bytes']} shard bytes from "
           f"mirrors; undid {report.details['undone_params']} partial updates")
-    for _ in range(engine.iteration, 12):
-        engine.run_iteration()
     assert engine.mirrors_consistent() and engine.full_params_consistent()
     print(f"training resumed to iteration {engine.iteration}; "
           f"mirrors and replicas consistent\n")
@@ -64,15 +54,17 @@ def fsdp_demo() -> None:
 
 def elastic_demo() -> None:
     print("=== elastic training via update-undo ===")
-    cluster = Cluster(num_machines=2, devices_per_machine=4)
-    engine = DataParallelEngine(
-        cluster,
-        model_factory=lambda: make_mlp(8, 16, 4, seed=7),
-        opt_factory=lambda m: SGDMomentum(m, lr=0.05, momentum=0.9),
-        loss_factory=CrossEntropyLoss,
-        task=ClassificationTask(dim=8, num_classes=4, batch_size=32, seed=3),
-        placement=[(0, 0), (0, 1), (1, 0), (1, 1)],
-    )
+    session = Experiment(
+        name="elastic-demo",
+        model=ModelSpec(family="mlp", dim=8, hidden_dim=16, num_classes=4,
+                        seed=7, optimizer="sgd_momentum", lr=0.05),
+        data=DataSpec(kind="classification", batch_size=32, seed=3),
+        cluster=ClusterSpec(num_machines=2, devices_per_machine=4),
+        parallelism=ParallelismSpec(kind="dp", num_workers=4,
+                                    placement=((0, 0), (0, 1),
+                                               (1, 0), (1, 1))),
+    ).build()
+    engine = session.engine
     coordinator = ElasticCoordinator(engine)
     schedule = [
         ResizeEvent(iteration=8, join=((0, 2), (1, 2))),   # scale 4 -> 6

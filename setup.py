@@ -21,6 +21,7 @@ setup(
     author="paper-repo-growth",
     packages=find_packages("src"),
     package_dir={"": "src"},
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy>=1.22"],
     entry_points={"console_scripts": ["repro = repro.cli:main"]},

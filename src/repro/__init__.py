@@ -14,10 +14,35 @@ is layered:
   table and figure of the paper's evaluation;
 * :mod:`repro.jobs` -- the fleet layer: a multi-job gang scheduler with
   failure-aware placement, spare-pool management, and priority preemption
-  via elastic scale-in/out on one shared cluster.
+  via elastic scale-in/out on one shared cluster;
+* :mod:`repro.api` -- the declarative experiment surface (Section 6
+  usage): validated specs -> inspectable :class:`~repro.api.ExecutionPlan`
+  -> live :class:`~repro.api.Session`, with fleet lowering and a
+  pluggable recovery-policy registry.
 """
 
-from repro import cluster, comm, core, data, jobs, models, nn, optim, parallel, sim
+from repro import (
+    api,
+    cluster,
+    comm,
+    core,
+    data,
+    jobs,
+    models,
+    nn,
+    optim,
+    parallel,
+    sim,
+)
+from repro.api import (
+    ClusterSpec,
+    DataSpec,
+    Experiment,
+    FaultToleranceSpec,
+    ModelSpec,
+    ParallelismSpec,
+    Session,
+)
 from repro.core import (
     FTStrategy,
     GroupingPlan,
@@ -43,6 +68,14 @@ __all__ = [
     "core",
     "sim",
     "jobs",
+    "api",
+    "Experiment",
+    "Session",
+    "ModelSpec",
+    "DataSpec",
+    "ClusterSpec",
+    "ParallelismSpec",
+    "FaultToleranceSpec",
     "SwiftTrainer",
     "TrainerConfig",
     "FTStrategy",

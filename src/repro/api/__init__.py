@@ -1,0 +1,62 @@
+"""repro.api — one declarative experiment surface over the whole stack.
+
+The paper's Section 6 usage story, as an API: describe an experiment with
+five validated sub-specs, inspect every pre-training decision as an
+:class:`ExecutionPlan`, then either build a live :class:`Session` or
+lower the same spec into the fleet scheduler::
+
+    from repro.api import Experiment, ModelSpec, ParallelismSpec
+
+    exp = Experiment(
+        name="quickstart",
+        model=ModelSpec(family="mlp", dim=16, hidden_dim=32, seed=42),
+        parallelism=ParallelismSpec(kind="dp", num_workers=4),
+    )
+    print(exp.plan().describe())     # strategy, checkpoints, log volume
+    session = exp.build()            # cluster + engine + SwiftTrainer
+    trace = session.run(100)         # fault-tolerant training
+    job = session.submit(100)        # or a repro.jobs.JobSpec instead
+
+Validation is eager (:class:`~repro.errors.ConfigurationError` at
+composition time), planning is deterministic, and ``Session.run``
+produces traces bitwise-equal to hand-wiring the engines and
+:class:`~repro.core.SwiftTrainer` directly.
+"""
+
+from repro.api.engines import build_engine
+from repro.api.experiment import ExecutionPlan, Experiment
+from repro.api.session import Session
+from repro.api.specs import (
+    ClusterSpec,
+    DataSpec,
+    FaultToleranceSpec,
+    ModelSpec,
+    ParallelismSpec,
+)
+from repro.api.workloads import demo_fleet_specs, plan_workload
+from repro.core.policies import (
+    RecoveryPolicy,
+    get_recovery_policy,
+    recovery_policy_names,
+    register_recovery_policy,
+)
+from repro.core.strategy import FTStrategy
+
+__all__ = [
+    "Experiment",
+    "ExecutionPlan",
+    "Session",
+    "ModelSpec",
+    "DataSpec",
+    "ClusterSpec",
+    "ParallelismSpec",
+    "FaultToleranceSpec",
+    "FTStrategy",
+    "build_engine",
+    "plan_workload",
+    "demo_fleet_specs",
+    "RecoveryPolicy",
+    "register_recovery_policy",
+    "get_recovery_policy",
+    "recovery_policy_names",
+]

@@ -1,0 +1,424 @@
+"""Experiment composition: validate -> plan -> build (paper Section 6).
+
+An :class:`Experiment` composes the five sub-specs of
+:mod:`repro.api.specs` and enforces every cross-spec constraint eagerly,
+so misconfigurations fail at construction with a
+:class:`~repro.errors.ConfigurationError` rather than mid-training.
+
+``plan()`` runs the paper's *pre-training* decisions without building any
+engine: the Section 3 strategy chain over the placement-derived
+:class:`~repro.parallel.ParallelLayout`, the Section 5.4 logging
+feasibility calculus, the Section 5.3 selective-logging grouping under a
+storage budget, and the checkpoint layout.  The returned
+:class:`ExecutionPlan` is inspectable (``describe()``) and deterministic:
+the same specs always produce the same plan.
+
+``build()`` lowers the plan into a live :class:`repro.api.Session`;
+``to_job_spec()`` lowers the same specs into a
+:class:`repro.jobs.JobSpec` for fleet scheduling instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.api.specs import (
+    ClusterSpec,
+    DataSpec,
+    FaultToleranceSpec,
+    ModelSpec,
+    ParallelismSpec,
+)
+from repro.core.selective import (
+    PipelineProfile,
+    PlanResult,
+    SelectiveLoggingPlanner,
+)
+from repro.core.strategy import (
+    FTStrategy,
+    LoggingFeasibility,
+    choose_strategy,
+    logging_worth_it,
+)
+from repro.errors import ConfigurationError
+from repro.jobs.spec import JobSpec
+from repro.parallel.hybrid import ParallelLayout, StagePlacement
+from repro.parallel.schedules import (
+    schedule_1f1b,
+    schedule_gpipe,
+    simulate_schedule,
+)
+
+__all__ = ["Experiment", "ExecutionPlan"]
+
+GB = 1e9
+#: float64 numpy tensors everywhere in the substrate
+DTYPE_BYTES = 8
+#: engine-default per-micro-batch stage compute times (seconds), matching
+#: PipelineEngine's defaults so planned and simulated timing agree
+DEFAULT_FWD_TIME = 1e-3
+DEFAULT_BWD_TIME = 2e-3
+#: optimizer state multiplier over parameter bytes (params + slots)
+_STATE_MULTIPLIER = {
+    "sgd": 1, "sgd_momentum": 2, "adam": 3, "adamw": 3, "lamb": 3,
+    "amsgrad": 4,
+}
+
+_STRATEGY_KINDS = {
+    FTStrategy.REPLICATION: ("dp", "fsdp"),
+    FTStrategy.LOGGING: ("pp",),
+    FTStrategy.CHECKPOINT_ONLY: ("dp", "pp"),
+}
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Everything decided before training starts, in inspectable form."""
+
+    #: the composed spec this plan was derived from (None for analytic
+    #: Table-2 workload plans, see :mod:`repro.api.workloads`)
+    experiment: "Experiment | None"
+    engine_kind: str
+    placement: tuple[tuple[int, int], ...]
+    partition_sizes: tuple[int, ...] | None
+    layout: ParallelLayout
+    #: an :class:`FTStrategy` member, or the name of a custom-registered
+    #: recovery policy when the spec asked for one explicitly
+    strategy: FTStrategy | str
+    #: "auto" when the Section 3 chain chose, "explicit" when the spec did
+    strategy_source: str
+    feasibility: LoggingFeasibility | None
+    #: per-iteration bytes the busiest sender must log (0 for DP)
+    predicted_log_bytes_per_iteration: float
+    model_state_bytes: float
+    checkpoint_prefix: str
+    checkpoint_interval: int
+    incremental_checkpoints: bool
+    #: Section 5.3 grouping under ``log_budget_bytes`` (logging plans only)
+    selective: PlanResult | None = None
+    workload_name: str | None = None
+
+    @property
+    def machines(self) -> tuple[int, ...]:
+        return tuple(sorted({m for m, _ in self.placement}))
+
+    def describe(self) -> str:
+        """Human-readable plan summary (the ``repro plan`` output core)."""
+        name = self.workload_name or (
+            self.experiment.name if self.experiment else "experiment"
+        )
+        lines = [
+            f"plan for {name!r}:",
+            f"  engine:          {self.engine_kind} "
+            f"({len(self.placement)} workers on machines "
+            f"{list(self.machines)})",
+            f"  strategy:        "
+            f"{getattr(self.strategy, 'value', self.strategy)} "
+            f"({self.strategy_source})",
+            f"  checkpoints:     every {self.checkpoint_interval} "
+            f"iterations under {self.checkpoint_prefix!r}"
+            + (" (incremental)" if self.incremental_checkpoints else ""),
+            f"  model state:     {self.model_state_bytes / GB:.3g} GB",
+        ]
+        if self.feasibility is not None:
+            f = self.feasibility
+            lines.append(
+                f"  log volume:      "
+                f"{self.predicted_log_bytes_per_iteration / GB:.3g} GB/iter "
+                f"(copy {f.copy_time * 1e3:.2f} ms vs bubble "
+                f"{f.bubble_time * 1e3:.2f} ms -> "
+                f"{'worth it' if f.worth_it else 'not worth it'}: "
+                f"{f.reason})"
+            )
+        if self.selective is not None:
+            groups = "+".join(
+                str(len(g)) for g in self.selective.plan.groups
+            )
+            lines.append(
+                f"  selective log:   {self.selective.plan.num_groups} "
+                f"groups [{groups}], "
+                f"{self.selective.storage_bytes / GB:.1f} GB stored, "
+                f"E[recovery] {self.selective.expected_recovery_time:.3f} "
+                "s/lost-iteration"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One declarative, validated experiment over the whole stack."""
+
+    name: str = "experiment"
+    model: ModelSpec = field(default_factory=ModelSpec)
+    data: DataSpec = field(default_factory=DataSpec)
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    parallelism: ParallelismSpec = field(default_factory=ParallelismSpec)
+    fault_tolerance: FaultToleranceSpec = field(
+        default_factory=FaultToleranceSpec
+    )
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- eager cross-spec validation --------------------------------------
+    def validate(self) -> "Experiment":
+        model, data, par = self.model, self.data, self.parallelism
+        if model.family not in data.compatible_families():
+            raise ConfigurationError(
+                f"data kind {data.kind!r} feeds model families "
+                f"{data.compatible_families()}, not {model.family!r}"
+            )
+        placement = par.resolve_placement(self.cluster)
+        if par.kind == "fsdp" and len({m for m, _ in placement}) < 2:
+            raise ConfigurationError(
+                "sharded replication mirrors need >= 2 machines in the "
+                "placement"
+            )
+        if par.kind == "pp":
+            if data.batch_size < par.num_microbatches:
+                raise ConfigurationError(
+                    f"batch_size ({data.batch_size}) must cover "
+                    f"num_microbatches ({par.num_microbatches})"
+                )
+            num_layers = model.num_partitionable_layers()
+            if par.partition_sizes is not None:
+                if sum(par.partition_sizes) != num_layers:
+                    raise ConfigurationError(
+                        f"partition_sizes sum to "
+                        f"{sum(par.partition_sizes)} but the "
+                        f"{model.family} model has {num_layers} layers"
+                    )
+            elif num_layers < par.num_workers:
+                raise ConfigurationError(
+                    f"cannot split {num_layers} layers over "
+                    f"{par.num_workers} pipeline stages"
+                )
+        strategy = self.fault_tolerance.strategy
+        if strategy != "auto":
+            try:
+                allowed = _STRATEGY_KINDS[FTStrategy(strategy)]
+            except ValueError:
+                # custom-registered policy: engine compatibility is the
+                # policy's own call, checked when the trainer is built
+                allowed = None
+            if allowed is not None and par.kind not in allowed:
+                raise ConfigurationError(
+                    f"strategy {strategy!r} requires parallelism in "
+                    f"{allowed}, got {par.kind!r}"
+                )
+        return self
+
+    # -- derived views ----------------------------------------------------
+    def resolved_placement(self) -> tuple[tuple[int, int], ...]:
+        return self.parallelism.resolve_placement(self.cluster)
+
+    def resolved_partition_sizes(self) -> tuple[int, ...] | None:
+        """Pipeline layer counts per stage (balanced when unspecified)."""
+        if self.parallelism.kind != "pp":
+            return None
+        if self.parallelism.partition_sizes is not None:
+            return tuple(self.parallelism.partition_sizes)
+        stages = self.parallelism.num_workers
+        layers = self.model.num_partitionable_layers()
+        base, rem = divmod(layers, stages)
+        return tuple(base + 1 if s < rem else base for s in range(stages))
+
+    def derive_layout(self) -> ParallelLayout:
+        """Placement as the Section 3 replica/stage question."""
+        placement = self.resolved_placement()
+        if self.parallelism.kind == "pp":
+            stages = [
+                StagePlacement(sid, ((machine,),))
+                for sid, (machine, _) in enumerate(placement)
+            ]
+        else:
+            # DP replicas / FSDP mirror-holders: one replica per worker
+            stages = [
+                StagePlacement(0, tuple((m,) for m, _ in placement))
+            ]
+        return ParallelLayout(stages=list(stages)).validate()
+
+    # -- the plan ---------------------------------------------------------
+    def _iteration_time_estimate(self) -> float:
+        """Engine-default schedule makespan (pp) — the timing the logging
+        calculus compares the PCIe copy against."""
+        par = self.parallelism
+        maker = schedule_1f1b if par.schedule == "1f1b" else schedule_gpipe
+        ops = maker(par.num_workers, par.num_microbatches)
+        timing = simulate_schedule(
+            ops,
+            [DEFAULT_FWD_TIME] * par.num_workers,
+            [DEFAULT_BWD_TIME] * par.num_workers,
+            par.comm_time,
+        )
+        return timing.iteration_time
+
+    def _predicted_log_bytes(self) -> float:
+        """Busiest sender's per-iteration log volume (Section 5.4)."""
+        par, data = self.parallelism, self.data
+        if par.kind != "pp":
+            return 0.0
+        micro = max(1, data.batch_size // par.num_microbatches)
+        elems = self.model.boundary_elements(micro)
+        # forward activation out + backward gradient out, per micro-batch
+        return 2.0 * par.num_microbatches * elems * DTYPE_BYTES
+
+    def _model_state_bytes(self) -> float:
+        param_bytes = self.model.param_elements() * DTYPE_BYTES
+        return param_bytes * _STATE_MULTIPLIER[self.model.optimizer]
+
+    def plan(self) -> ExecutionPlan:
+        """Run every pre-training decision; pure function of the specs."""
+        self.validate()
+        par, ft = self.parallelism, self.fault_tolerance
+        placement = self.resolved_placement()
+        layout = self.derive_layout()
+        state_bytes = self._model_state_bytes()
+        feasibility = None
+        log_bytes = self._predicted_log_bytes()
+        if par.kind == "pp":
+            feasibility = logging_worth_it(
+                log_bytes,
+                self._iteration_time_estimate(),
+                par.num_workers,
+                par.num_microbatches,
+                self.cluster.bandwidth_model().pcie,
+                model_state_bytes=state_bytes,
+            )
+        if ft.strategy == "auto":
+            strategy = choose_strategy(
+                layout, feasibility,
+                optimizer_name=self.model.table1_optimizer,
+            )
+            source = "auto"
+        else:
+            try:
+                strategy = FTStrategy(ft.strategy)
+            except ValueError:
+                strategy = ft.strategy  # custom-registered policy name
+            source = "explicit"
+            if (
+                strategy is FTStrategy.REPLICATION
+                and not layout.replication_covers_all_failures()
+            ):
+                raise ConfigurationError(
+                    "strategy 'replication' needs a surviving replica for "
+                    "every machine failure; spread workers over >= 2 "
+                    "machines"
+                )
+        selective = None
+        if (
+            strategy is FTStrategy.LOGGING
+            and ft.log_budget_bytes is not None
+        ):
+            selective = self._plan_selective_logging(placement, log_bytes)
+        return ExecutionPlan(
+            experiment=self,
+            engine_kind=par.kind,
+            placement=placement,
+            partition_sizes=self.resolved_partition_sizes(),
+            layout=layout,
+            strategy=strategy,
+            strategy_source=source,
+            feasibility=feasibility,
+            predicted_log_bytes_per_iteration=log_bytes,
+            model_state_bytes=state_bytes,
+            checkpoint_prefix=ft.checkpoint_prefix,
+            checkpoint_interval=ft.checkpoint_interval,
+            incremental_checkpoints=ft.incremental_checkpoints,
+            selective=selective,
+        )
+
+    def _plan_selective_logging(
+        self,
+        placement: tuple[tuple[int, int], ...],
+        log_bytes: float,
+    ) -> PlanResult:
+        """Section 5.3 grouping under the spec's storage budget."""
+        par = self.parallelism
+        machine_order: list[int] = []
+        stages_per_machine: dict[int, int] = {}
+        for machine, _ in placement:
+            if machine not in stages_per_machine:
+                machine_order.append(machine)
+            stages_per_machine[machine] = (
+                stages_per_machine.get(machine, 0) + 1
+            )
+        per_stage = DEFAULT_FWD_TIME + DEFAULT_BWD_TIME
+        compute = tuple(
+            par.num_microbatches * stages_per_machine[m] * per_stage
+            for m in machine_order
+        )
+        boundaries = tuple(
+            [log_bytes] * (len(machine_order) - 1)
+        )
+        planner = SelectiveLoggingPlanner(
+            PipelineProfile(compute, boundaries),
+            checkpoint_interval=self.fault_tolerance.checkpoint_interval,
+            network_bandwidth=self.cluster.bandwidth_model().network,
+        )
+        return planner.plan(self.fault_tolerance.log_budget_bytes)
+
+    # -- lowering ---------------------------------------------------------
+    def build(self, cluster=None, clock=None) -> "Session":
+        """Materialize cluster + engine + trainer behind a Session."""
+        from repro.api.session import Session
+
+        return Session(self, self.plan(), cluster=cluster, clock=clock)
+
+    def to_job_spec(
+        self,
+        iterations: int,
+        priority: int = 0,
+        elastic: bool = False,
+        min_workers: int = 1,
+        arrival: int = 0,
+    ) -> JobSpec:
+        """Lower the spec into a fleet-schedulable :class:`JobSpec`.
+
+        The jobs layer rebuilds engines from the spec on whatever slots
+        the scheduler grants, so only the workload families it can
+        express are accepted (the deterministic MLP classification
+        task over DP or PP gangs).
+        """
+        model, data, par = self.model, self.data, self.parallelism
+        if model.family != "mlp" or data.kind != "classification":
+            raise ConfigurationError(
+                "fleet submission supports the MLP classification "
+                f"workload; got model {model.family!r} over data "
+                f"{data.kind!r}"
+            )
+        if par.kind not in ("dp", "pp"):
+            raise ConfigurationError(
+                f"fleet submission supports 'dp' and 'pp' gangs, "
+                f"got {par.kind!r}"
+            )
+        ft = self.fault_tolerance
+        return JobSpec(
+            name=self.name,
+            parallelism=par.kind,
+            num_workers=par.num_workers,
+            iterations=iterations,
+            priority=priority,
+            elastic=elastic,
+            min_workers=min_workers,
+            arrival=arrival,
+            batch_size=data.batch_size,
+            checkpoint_interval=ft.checkpoint_interval,
+            strategy=ft.strategy,
+            incremental_checkpoints=ft.incremental_checkpoints,
+            dim=model.dim,
+            hidden_dim=model.hidden_dim,
+            num_classes=model.num_classes,
+            depth=model.depth,
+            num_microbatches=par.num_microbatches,
+            seed=model.seed,
+            task_seed=data.seed,
+            optimizer=model.optimizer,
+            lr=model.lr,
+            momentum=model.momentum,
+        )
+
+    def with_(self, **overrides) -> "Experiment":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **overrides)

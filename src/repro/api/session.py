@@ -1,0 +1,187 @@
+"""Session: the live facade an Experiment builds into (Section 6 usage).
+
+A Session owns the materialized cluster, engine, and — for DP/PP plans —
+the :class:`~repro.core.SwiftTrainer` assembled through the recovery
+policy registry.  Sharded-DP (FSDP) plans run through the Section 8
+mirror machinery instead (no trainer exists for it), behind the same
+``run``/``step``/``trace`` surface.
+
+The facade adds nothing numeric: ``Session.run`` produces traces
+bitwise-equal to driving a hand-wired ``SwiftTrainer`` with the same
+seeds and schedule.
+"""
+
+from __future__ import annotations
+
+from repro.api.engines import build_engine
+from repro.api.experiment import ExecutionPlan, Experiment
+from repro.cluster.clock import SimClock
+from repro.cluster.failures import FailureSchedule
+from repro.cluster.topology import Cluster
+from repro.core.detector import FailureDetector
+from repro.core.sharded_recovery import ShardedReplicationRecovery
+from repro.core.strategy import FTStrategy
+from repro.core.trainer import SwiftTrainer, TrainingTrace
+from repro.errors import RecoveryError
+from repro.jobs.spec import Job, JobSpec
+from repro.parallel.results import IterationResult
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A built experiment: engine + fault tolerance + lifetime trace."""
+
+    def __init__(
+        self,
+        experiment: Experiment,
+        plan: ExecutionPlan,
+        cluster: Cluster | None = None,
+        clock: SimClock | None = None,
+    ):
+        self.experiment = experiment
+        self.plan = plan
+        self.cluster = (
+            cluster if cluster is not None else experiment.cluster.build()
+        )
+        self.clock = clock or SimClock()
+        self.engine = build_engine(plan, self.cluster, self.clock)
+        ft = experiment.fault_tolerance
+        self.trainer: SwiftTrainer | None = None
+        self.recovery = None
+        if plan.engine_kind in ("dp", "pp"):
+            # run the strategy the PLAN decided, not the raw spec value:
+            # "auto" may have resolved past the engine default (e.g. a DP
+            # layout with no second machine, or a non-invertible
+            # optimizer, plans checkpoint_only) and the session must
+            # honor the decision plan() reported
+            config = ft.to_trainer_config()
+            config.strategy = (
+                plan.strategy.value
+                if isinstance(plan.strategy, FTStrategy) else plan.strategy
+            )
+            self.trainer = SwiftTrainer(
+                self.engine,
+                config,
+                clock=self.clock,
+                grouping=ft.grouping,
+                logging_mode=ft.logging_mode_enum,
+                checkpoint_prefix=ft.checkpoint_prefix,
+            )
+            self.recovery = self.trainer.recovery
+        else:  # fsdp: Section 8 sharded replication, trainerless
+            self.detector = FailureDetector(self.cluster.kvstore, self.clock)
+            self.recovery = ShardedReplicationRecovery(
+                self.engine, self.detector, self.clock,
+                replacement_join_time=ft.replacement_join_time,
+            )
+            self._trace = TrainingTrace()
+            self._recoveries = 0
+            self._max_recoveries = ft.max_recoveries
+
+    # -- observability ----------------------------------------------------
+    @property
+    def trace(self) -> TrainingTrace:
+        """Lifetime trace across every run()/step() call."""
+        if self.trainer is not None:
+            return self.trainer.trace
+        return self._trace
+
+    def describe(self) -> str:
+        lines = [self.plan.describe()]
+        lines.append(
+            f"  session:         {type(self.engine).__name__} live on "
+            f"{self.cluster.num_machines} machines, "
+            f"iteration {self.engine.iteration}"
+        )
+        return "\n".join(lines)
+
+    # -- driving ----------------------------------------------------------
+    def run(
+        self,
+        iterations: int,
+        failures: FailureSchedule | None = None,
+        max_recoveries: int | None = None,
+    ) -> TrainingTrace:
+        """Train to ``iterations``, recovering from scheduled failures.
+
+        Returns the trace of *this call* (the lifetime trace stays on
+        :attr:`trace`), exactly like ``SwiftTrainer.train``.
+        """
+        limit = (
+            self.experiment.fault_tolerance.max_recoveries
+            if max_recoveries is None else max_recoveries
+        )
+        if self.trainer is not None:
+            return self.trainer.train(
+                iterations, failures=failures, max_recoveries=limit
+            )
+        return self._run_fsdp(iterations, failures, limit)
+
+    def step(
+        self, failures: FailureSchedule | None = None
+    ) -> IterationResult:
+        """Run (at most) one iteration — the cooperative scheduling unit."""
+        if self.trainer is not None:
+            return self.trainer.step(failures)
+        return self._step_fsdp(failures or FailureSchedule())
+
+    # -- fsdp driving (no SwiftTrainer exists for sharded engines) --------
+    def _step_fsdp(self, failures: FailureSchedule) -> IterationResult:
+        failure = SwiftTrainer._due_failure(failures, self.engine.iteration)
+        result = self.engine.run_iteration(failure=failure)
+        if result.failed:
+            self._recoveries += 1
+            if self._recoveries > self._max_recoveries:
+                raise RecoveryError("too many recoveries; giving up")
+            report = self.recovery.recover()
+            self._trace.recoveries.append(report)
+            return result
+        self._trace.losses.append(result.loss)
+        self._trace.iteration_times.append(result.sim_time)
+        self._trace.iteration_numbers.append(result.iteration)
+        self._trace.wall_times.append(self.clock.now)
+        return result
+
+    def _run_fsdp(
+        self,
+        iterations: int,
+        failures: FailureSchedule | None,
+        max_recoveries: int,
+    ) -> TrainingTrace:
+        failures = failures or FailureSchedule()
+        self._max_recoveries = max_recoveries
+        self._recoveries = 0
+        start = len(self._trace.losses)
+        start_rec = len(self._trace.recoveries)
+        while self.engine.iteration < iterations:
+            self._step_fsdp(failures)
+        return TrainingTrace(
+            losses=self._trace.losses[start:],
+            iteration_times=self._trace.iteration_times[start:],
+            iteration_numbers=self._trace.iteration_numbers[start:],
+            checkpoints=[],
+            recoveries=self._trace.recoveries[start_rec:],
+            wall_times=self._trace.wall_times[start:],
+        )
+
+    # -- fleet lowering ---------------------------------------------------
+    def submit(
+        self,
+        iterations: int,
+        scheduler=None,
+        now: float = 0.0,
+        **spec_kwargs,
+    ) -> JobSpec | Job:
+        """Lower this experiment into the fleet layer.
+
+        Returns the :class:`JobSpec`; when ``scheduler`` (a
+        :class:`repro.jobs.Scheduler`) is given, wraps it in a
+        :class:`Job`, submits it, and returns the Job instead.
+        """
+        spec = self.experiment.to_job_spec(iterations, **spec_kwargs)
+        if scheduler is None:
+            return spec
+        job = Job(spec)
+        scheduler.submit(job, now=now)
+        return job

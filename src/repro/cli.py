@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import PipelineProfile, SelectiveLoggingPlanner
+from repro.api import FTStrategy, demo_fleet_specs, plan_workload
 from repro.errors import ConfigurationError
 from repro.sim import (
     BERT_128,
@@ -30,8 +30,9 @@ from repro.sim import (
     EndToEndSimulator,
     FleetSimulator,
     ThroughputSimulator,
-    demo_fleet,
 )
+
+__all__ = ["build_parser", "main"]
 
 GB = 1e9
 
@@ -85,7 +86,10 @@ def cmd_table5(args: argparse.Namespace) -> int:
 def cmd_fig8(args: argparse.Namespace) -> int:
     workload = _WORKLOAD_ALIASES[args.workload]
     sim = ThroughputSimulator(workload)
-    if workload.parallelism == "DP":
+    # the repro.api planner decides which recovery family the workload
+    # exercises (Section 3), hence which method column set to print
+    strategy = plan_workload(workload).strategy
+    if strategy is FTStrategy.REPLICATION:
         timelines = {
             "global_ckpt": sim.global_checkpointing(),
             "checkfreq": sim.checkfreq(),
@@ -110,25 +114,19 @@ def cmd_fig8(args: argparse.Namespace) -> int:
 
 def cmd_plan(args: argparse.Namespace) -> int:
     workload = _WORKLOAD_ALIASES[args.workload]
-    if workload.parallelism != "PP":
+    plan = plan_workload(
+        workload,
+        log_budget_bytes=args.budget_gb * GB,
+        checkpoint_interval=args.ckpt_interval,
+    )
+    if plan.strategy is not FTStrategy.LOGGING:
         print("selective logging applies to pipeline-parallel workloads",
               file=sys.stderr)
         return 2
-    cost = CostModel(workload)
-    n = workload.num_machines
-    stages = workload.num_stages // n
-    profile = PipelineProfile(
-        tuple([workload.num_microbatches * stages * cost.slot_time] * n),
-        tuple([2.0 * workload.num_microbatches * workload.boundary_bytes]
-              * (n - 1)),
-    )
-    planner = SelectiveLoggingPlanner(
-        profile, checkpoint_interval=args.ckpt_interval,
-        network_bandwidth=cost.hw.network_bw,
-    )
-    result = planner.plan(args.budget_gb * GB)
+    result = plan.selective
     print(f"workload: {workload.name}, budget {args.budget_gb} GB, "
           f"ckpt interval {args.ckpt_interval}")
+    print(plan.describe())
     print(f"groups ({result.plan.num_groups}): "
           f"{[list(g) for g in result.plan.groups]}")
     print(f"storage used: {result.storage_bytes / GB:.1f} GB")
@@ -140,7 +138,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Multi-tenant fleet demo: mixed DP/PP jobs, preemption, failures."""
     try:
-        specs, failures = demo_fleet(args.iterations)
+        specs, failures = demo_fleet_specs(args.iterations)
         sim = FleetSimulator(
             specs,
             num_machines=args.machines,

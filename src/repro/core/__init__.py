@@ -10,6 +10,15 @@ from repro.core.checkpoint import (
 )
 from repro.core.detector import DetectionReport, FailureDetector
 from repro.core.elastic import ElasticCoordinator, ResizeEvent
+from repro.core.policies import (
+    PolicyContext,
+    RecoveryBundle,
+    RecoveryPolicy,
+    get_recovery_policy,
+    recovery_policy_names,
+    register_recovery_policy,
+    resolve_strategy,
+)
 from repro.core.global_restart import GlobalCheckpointRecovery
 from repro.core.replay import LoggingRecovery, ReplaySpec
 from repro.core.replication import RecoveryReport, ReplicationRecovery
@@ -68,4 +77,11 @@ __all__ = [
     "SwiftTrainer",
     "TrainerConfig",
     "TrainingTrace",
+    "PolicyContext",
+    "RecoveryBundle",
+    "RecoveryPolicy",
+    "register_recovery_policy",
+    "get_recovery_policy",
+    "recovery_policy_names",
+    "resolve_strategy",
 ]

@@ -21,14 +21,19 @@ from repro.cluster.clock import SimClock
 from repro.cluster.failures import FailureEvent, FailurePhase, FailureSchedule
 from repro.core.checkpoint import CheckpointManager, SnapshotManager
 from repro.core.detector import FailureDetector
-from repro.core.replay import LoggingRecovery
-from repro.core.replication import RecoveryReport, ReplicationRecovery
-from repro.core.tlog import GroupingPlan, LoggingMode, TensorLog
+from repro.core.policies import (
+    PolicyContext,
+    get_recovery_policy,
+    recovery_policy_names,
+    resolve_strategy,
+)
+from repro.core.replication import RecoveryReport
+from repro.core.strategy import FTStrategy
+from repro.core.tlog import GroupingPlan, LoggingMode
 from repro.errors import ConfigurationError, RecoveryError
 from repro.parallel.data_parallel import DataParallelEngine
 from repro.parallel.pipeline import PipelineEngine
 from repro.parallel.results import IterationResult
-from repro.utils.pool import BufferPool
 
 __all__ = ["TrainerConfig", "TrainingTrace", "SwiftTrainer"]
 
@@ -46,8 +51,10 @@ class TrainerConfig:
     #: replacement-machine provisioning time, seconds
     replacement_join_time: float = 5.0
     #: "auto" picks Swift's mechanism per the engine (replication for DP,
-    #: logging for PP); "checkpoint_only" forces the global
-    #: checkpoint-restart baseline (Section 3's fallback)
+    #: logging for PP, the Section 3 chain); any :class:`FTStrategy` value
+    #: — "replication", "logging", "checkpoint_only" — may be named
+    #: explicitly and is validated against the engine when the trainer is
+    #: built (a mismatch raises :class:`ConfigurationError`)
     strategy: str = "auto"
     #: persist only the leaves the optimizers report dirty since the last
     #: checkpoint (delta checkpoints); every ``incremental_full_every``-th
@@ -63,8 +70,13 @@ class TrainerConfig:
             raise ConfigurationError("checkpoint_interval must be >= 1")
         if self.parallel_recovery_degree < 1:
             raise ConfigurationError("parallel_recovery_degree must be >= 1")
-        if self.strategy not in ("auto", "checkpoint_only"):
-            raise ConfigurationError(f"unknown strategy {self.strategy!r}")
+        if isinstance(self.strategy, FTStrategy):
+            self.strategy = self.strategy.value
+        if self.strategy != "auto" and self.strategy not in recovery_policy_names():
+            raise ConfigurationError(
+                f"unknown strategy {self.strategy!r}; expected 'auto' or "
+                f"one of {recovery_policy_names()}"
+            )
         if self.incremental_full_every < 1:
             raise ConfigurationError("incremental_full_every must be >= 1")
 
@@ -91,6 +103,27 @@ class TrainingTrace:
     @property
     def total_time(self) -> float:
         return self.wall_times[-1] if self.wall_times else 0.0
+
+    @property
+    def recovery_time_total(self) -> float:
+        """Simulated seconds spent inside recovery paths (detection +
+        replacement init + undo + restore, summed over all recoveries)."""
+        return sum(r.total_time for r in self.recoveries)
+
+    def goodput(self, samples_per_iteration: int) -> float:
+        """Useful samples per simulated second over the whole run.
+
+        Unlike :meth:`throughput` this includes every stall — checkpoints,
+        detection, and recovery — so it is the number benchmarks should
+        report instead of recomputing ``iterations * batch / total_time``
+        ad hoc.
+        """
+        if self.total_time <= 0:
+            return 0.0
+        return (
+            len(self.iteration_times) * samples_per_iteration
+            / self.total_time
+        )
 
 
 class SwiftTrainer:
@@ -124,46 +157,23 @@ class SwiftTrainer:
         self.snapshot_interval = snapshot_interval
 
         self.is_pipeline = isinstance(engine, PipelineEngine)
-        self.pool: BufferPool | None = None
-        if config.strategy == "checkpoint_only":
-            from repro.core.global_restart import GlobalCheckpointRecovery
-
-            self.tlog = None
-            self.recovery = GlobalCheckpointRecovery(
-                engine,
-                self.checkpoints,
-                self.detector,
-                self.clock,
-                replacement_join_time=config.replacement_join_time,
-            )
-        elif self.is_pipeline:
-            #: shared buffer arena: Transport.send copies once into it and
-            #: the log tap shares the buffer; gc (below) recycles storage
-            self.pool = BufferPool() if config.pooled_messaging else None
-            if self.pool is not None:
-                engine.transport.pool = self.pool
-            self.tlog = TensorLog(self.cluster, grouping, mode=logging_mode)
-            self.tlog.pool = self.pool
-            self.tlog.attach(engine.transport)
-            engine.overhead_hooks.append(self.tlog.make_overhead_hook())
-            self.checkpoints.post_checkpoint_hooks.append(self.tlog.gc)
-            self.recovery = LoggingRecovery(
-                engine,
-                self.tlog,
-                self.checkpoints,
-                self.detector,
-                self.clock,
-                parallel_degree=config.parallel_recovery_degree,
-                replacement_join_time=config.replacement_join_time,
-            )
-        else:
-            self.tlog = None
-            self.recovery = ReplicationRecovery(
-                engine,
-                self.detector,
-                self.clock,
-                replacement_join_time=config.replacement_join_time,
-            )
+        #: the mechanism actually protecting this run (strategy vocabulary
+        #: is unified on :class:`FTStrategy`; "auto" resolves here)
+        self.strategy: FTStrategy = resolve_strategy(config.strategy, engine)
+        policy = get_recovery_policy(self.strategy)
+        bundle = policy.build(PolicyContext(
+            engine=engine,
+            config=config,
+            clock=self.clock,
+            cluster=self.cluster,
+            checkpoints=self.checkpoints,
+            detector=self.detector,
+            grouping=grouping,
+            logging_mode=logging_mode,
+        ))
+        self.recovery = bundle.recovery
+        self.tlog = bundle.tlog
+        self.pool = bundle.pool
 
         #: running trace; persists across step()/train() calls so a cluster
         #: scheduler can interleave this trainer with other jobs

@@ -9,6 +9,19 @@ detects machine failures by catching NCCL communicator errors.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "NotInvertibleError",
+    "MachineFailure",
+    "CommunicationError",
+    "CheckpointError",
+    "LogIntegrityError",
+    "RecoveryError",
+    "StateInconsistencyError",
+]
+
 
 class ReproError(Exception):
     """Base class for every error raised by :mod:`repro`."""

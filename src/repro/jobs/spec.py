@@ -31,9 +31,10 @@ from repro.core.replication import RecoveryReport
 from repro.core.trainer import SwiftTrainer, TrainerConfig
 from repro.data import ClassificationTask
 from repro.errors import ConfigurationError
+from repro.core.strategy import FTStrategy
 from repro.models import make_mlp
 from repro.nn import CrossEntropyLoss
-from repro.optim import Adam, SGDMomentum
+from repro.optim import make_optimizer
 from repro.parallel.data_parallel import DataParallelEngine
 from repro.parallel.pipeline import PipelineEngine
 from repro.parallel.results import IterationResult
@@ -78,7 +79,9 @@ class JobSpec:
     arrival: int = 0
     batch_size: int = 16
     checkpoint_interval: int = 20
-    #: fault-tolerance strategy, forwarded to :class:`TrainerConfig`
+    #: fault-tolerance strategy, forwarded to :class:`TrainerConfig` —
+    #: "auto" or any :class:`~repro.core.FTStrategy` value, checked here
+    #: against ``parallelism`` so a mismatch fails at submission time
     strategy: str = "auto"
     #: delta checkpoints (persist only dirty leaves), forwarded to
     #: :class:`TrainerConfig` — see repro.core.checkpoint
@@ -90,6 +93,13 @@ class JobSpec:
     depth: int = 2
     num_microbatches: int = 4
     seed: int = 7
+    #: dataset seed; ``None`` reuses ``seed`` (the historic behavior)
+    task_seed: int | None = None
+    #: optimizer family — ``None`` keeps the historic per-parallelism
+    #: defaults (SGD-momentum for DP, Adam for PP)
+    optimizer: str | None = None
+    lr: float | None = None
+    momentum: float = 0.9
 
     def __post_init__(self) -> None:
         if self.parallelism not in ("dp", "pp"):
@@ -105,6 +115,21 @@ class JobSpec:
         if not 1 <= self.min_workers <= self.num_workers:
             raise ConfigurationError(
                 "min_workers must be in [1, num_workers]"
+            )
+        if self.strategy not in ("auto",) + tuple(s.value for s in FTStrategy):
+            raise ConfigurationError(
+                f"unknown strategy {self.strategy!r}; expected 'auto' or "
+                f"one of {[s.value for s in FTStrategy]}"
+            )
+        if self.strategy == FTStrategy.REPLICATION.value \
+                and self.parallelism != "dp":
+            raise ConfigurationError(
+                "strategy 'replication' requires a data-parallel job"
+            )
+        if self.strategy == FTStrategy.LOGGING.value \
+                and self.parallelism != "pp":
+            raise ConfigurationError(
+                "strategy 'logging' requires a pipeline-parallel job"
             )
 
     @property
@@ -156,16 +181,26 @@ class Job:
             dim=spec.dim,
             num_classes=spec.num_classes,
             batch_size=spec.batch_size,
-            seed=spec.seed,
+            seed=spec.seed if spec.task_seed is None else spec.task_seed,
         )
         if spec.parallelism == "dp":
+            family = spec.optimizer or "sgd_momentum"
+            # legacy specs (optimizer=None) keep the historic lr=0.05;
+            # declared optimizers pass lr through verbatim (None = class
+            # default), matching what repro.api's Session would build
+            lr = (
+                spec.lr if spec.optimizer is not None
+                else (0.05 if spec.lr is None else spec.lr)
+            )
             return DataParallelEngine(
                 cluster,
                 model_factory=lambda: make_mlp(
                     spec.dim, spec.hidden_dim, spec.num_classes,
                     depth=spec.depth, seed=spec.seed,
                 ),
-                opt_factory=lambda m: SGDMomentum(m, lr=0.05, momentum=0.9),
+                opt_factory=lambda m: make_optimizer(
+                    family, m, lr=lr, momentum=spec.momentum
+                ),
                 loss_factory=CrossEntropyLoss,
                 task=task,
                 placement=list(slots),
@@ -176,6 +211,11 @@ class Job:
         num_layers = 2 * depth + 1
         base, rem = divmod(num_layers, spec.num_workers)
         sizes = [base + 1 if s < rem else base for s in range(spec.num_workers)]
+        family = spec.optimizer or "adam"
+        lr = (
+            spec.lr if spec.optimizer is not None
+            else (0.01 if spec.lr is None else spec.lr)
+        )
         return PipelineEngine(
             cluster,
             model_factory=lambda: make_mlp(
@@ -185,7 +225,9 @@ class Job:
             partition_sizes=sizes,
             placement=list(slots),
             num_microbatches=spec.num_microbatches,
-            opt_factory=lambda m: Adam(m, lr=0.01),
+            opt_factory=lambda m: make_optimizer(
+                family, m, lr=lr, momentum=spec.momentum
+            ),
             loss_factory=CrossEntropyLoss,
             task=task,
             clock=self.clock,

@@ -8,6 +8,11 @@ using the cached gradient.
 from repro.optim.adam import Adam, AdamW
 from repro.optim.amsgrad import AMSGrad
 from repro.optim.base import Optimizer
+from repro.optim.factory import (
+    OPTIMIZER_FAMILIES,
+    OPTIMIZER_TABLE1_NAMES,
+    make_optimizer,
+)
 from repro.optim.lamb import LAMB
 from repro.optim.ops import (
     OPERATORS,
@@ -41,6 +46,9 @@ __all__ = [
     "OperatorInfo",
     "OPERATORS",
     "OPTIMIZER_OPERATORS",
+    "OPTIMIZER_FAMILIES",
+    "OPTIMIZER_TABLE1_NAMES",
+    "make_optimizer",
     "optimizer_invertible",
     "table1_rows",
 ]

@@ -249,7 +249,9 @@ class FleetSimulator:
                 if job.start_time is not None
                 else None
             )
-            recovery_time = sum(rep.total_time for rep in job.recoveries)
+            recovery_time = (
+                job.trainer.trace.recovery_time_total if job.trainer else 0.0
+            )
             lost = sum(rep.lost_iterations for rep in job.recoveries)
             stats = JobStats(
                 name=job.name,
@@ -303,35 +305,14 @@ class FleetSimulator:
 def demo_fleet(
     iterations: int = 30,
 ) -> tuple[list[JobSpec], list[FleetFailure]]:
-    """The canonical demo scenario (used by ``repro.cli fleet`` and
-    ``examples/fleet_scheduler.py``): five mixed DP/PP jobs of different
+    """The canonical demo scenario: five mixed DP/PP jobs of different
     priorities — two elastic, one preempting high-priority arrival, one
-    queued non-elastic gang — plus two machine crashes."""
-    specs = [
-        # the workhorse: elastic, so preemption shrinks it instead of
-        # killing it
-        JobSpec("dp-main", "dp", num_workers=8, iterations=iterations,
-                priority=1, elastic=True, min_workers=4,
-                checkpoint_interval=10, seed=11),
-        # pipeline-parallel job: recovers via tensor-log replay
-        JobSpec("pp-chain", "pp", num_workers=4, iterations=iterations,
-                priority=2, checkpoint_interval=10, seed=12),
-        # background batch job, lowest priority, elastic
-        JobSpec("dp-batch", "dp", num_workers=4,
-                iterations=max(2, iterations // 2), priority=0,
-                elastic=True, min_workers=2, checkpoint_interval=10,
-                seed=13),
-        # high-priority gang arriving later: triggers preemption
-        JobSpec("dp-rush", "dp", num_workers=8,
-                iterations=max(2, iterations // 2), priority=5,
-                arrival=6, checkpoint_interval=10, seed=14),
-        # low-priority non-elastic gang: cannot preempt, must queue
-        JobSpec("dp-late", "dp", num_workers=8,
-                iterations=max(2, iterations // 3), priority=0,
-                arrival=8, checkpoint_interval=10, seed=15),
-    ]
-    failures = [
-        FleetFailure(round=4, machine_id=0),
-        FleetFailure(round=10, machine_id=2),
-    ]
-    return specs, failures
+    queued non-elastic gang — plus two machine crashes.
+
+    Thin alias of :func:`repro.api.demo_fleet_specs`, which declares the
+    jobs as Experiments and lowers them through the API; kept here for
+    backward compatibility.
+    """
+    from repro.api.workloads import demo_fleet_specs
+
+    return demo_fleet_specs(iterations)

@@ -44,7 +44,7 @@ def summarize_trace(trace, samples_per_iteration: int) -> TraceSummary:
     """Reduce a TrainingTrace to headline numbers."""
     times = np.asarray(trace.iteration_times, dtype=float)
     median_time = float(np.median(times)) if times.size else 0.0
-    recovery_time = sum(r.total_time for r in trace.recoveries)
+    recovery_time = trace.recovery_time_total
     checkpoint_time = sum(t for _, t in trace.checkpoints)
     return TraceSummary(
         iterations=len(trace.iteration_times),
@@ -62,10 +62,12 @@ def summarize_trace(trace, samples_per_iteration: int) -> TraceSummary:
 
 
 def goodput(trace, samples_per_iteration: int) -> float:
-    """Samples per simulated second over the whole run, stalls included."""
-    if trace.total_time <= 0:
-        return 0.0
-    return len(trace.iteration_times) * samples_per_iteration / trace.total_time
+    """Samples per simulated second over the whole run, stalls included.
+
+    Thin alias of :meth:`TrainingTrace.goodput`, kept for callers holding
+    trace-like objects.
+    """
+    return trace.goodput(samples_per_iteration)
 
 
 def loss_curve_distance(a: list[float], b: list[float]) -> float:

@@ -1,0 +1,73 @@
+"""Public-surface audit: __all__ integrity, typing marker, facade exports.
+
+The facade (:mod:`repro.api`) is the documented, typed entry point; this
+suite keeps the advertised surface honest:
+
+* every ``__all__`` name in every module resolves to a real attribute;
+* every public module *has* an ``__all__`` (no accidental surface);
+* the ``py.typed`` marker ships so checkers consume the annotations;
+* the facade re-exports the documented spec/plan/session names.
+"""
+
+import importlib
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+PACKAGE_DIR = Path(repro.__file__).parent
+
+
+def iter_module_names():
+    yield "repro"
+    for mod in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield mod.name
+
+
+MODULES = sorted(iter_module_names())
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    missing = [n for n in exported if not hasattr(module, n)]
+    assert not missing, f"{name}.__all__ names missing: {missing}"
+    assert len(set(exported)) == len(exported), f"{name}.__all__ has dupes"
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in MODULES if not n.rsplit(".", 1)[-1].startswith("_")]
+)
+def test_public_modules_declare_all(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} lacks __all__"
+
+
+def test_py_typed_marker_ships():
+    assert (PACKAGE_DIR / "py.typed").is_file()
+
+
+def test_facade_exports_the_documented_surface():
+    import repro.api as api
+
+    documented = {
+        "Experiment", "ExecutionPlan", "Session",
+        "ModelSpec", "DataSpec", "ClusterSpec", "ParallelismSpec",
+        "FaultToleranceSpec", "FTStrategy", "build_engine",
+        "plan_workload", "demo_fleet_specs",
+        "RecoveryPolicy", "register_recovery_policy",
+        "get_recovery_policy", "recovery_policy_names",
+    }
+    assert documented <= set(api.__all__)
+
+
+def test_top_level_reexports_facade():
+    for name in ("Experiment", "Session", "ModelSpec", "DataSpec",
+                 "ClusterSpec", "ParallelismSpec", "FaultToleranceSpec"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is getattr(repro.api, name)
