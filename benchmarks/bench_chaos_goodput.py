@@ -1,0 +1,192 @@
+"""Chaos goodput: replication vs logging vs checkpoint-only, per scenario.
+
+The paper's headline claim — logging-based recovery with parallel replay
+beats global-restart checkpointing, and replication loses nothing at all
+— was only ever evaluated under uniform singleton failures.  This
+benchmark measures it under the :mod:`repro.chaos` scenario catalog, two
+ways:
+
+* **engine-measured** — real DP/PP engines run the same sampled traces
+  under each fault-tolerance strategy; goodput is
+  ``TrainingTrace.goodput`` (useful samples per simulated second,
+  including every checkpoint/detection/recovery stall).  The comparison
+  is paired: every strategy replays the identical
+  :class:`~repro.chaos.FailureTrace`.
+* **analytic** — the calibrated paper-scale cost model
+  (:func:`repro.chaos.evaluate_scenario` on BERT-128) prices the same
+  scenarios at production iteration times.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_chaos_goodput.py [--quick]
+        [--min-ratio 1.0]
+
+Writes ``BENCH_chaos_goodput.json`` at the repo root and exits non-zero
+if paper-scale logging-recovery goodput falls below ``--min-ratio`` x
+the checkpoint-only goodput under the ``steady_mtbf`` scenario (the CI
+gate), or if any paired engine run diverges from the failure-free loss
+curve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from _common import emit, fmt_table, write_bench_json
+from repro.chaos import evaluate_scenario, get_scenario
+from repro.cli import _chaos_experiment
+from repro.sim import BERT_128, WIDE_RESNET_50
+
+#: engine configurations compared under every scenario
+CONFIGS = {
+    "dp_replication": ("dp", "replication"),
+    "dp_checkpoint_only": ("dp", "checkpoint_only"),
+    "pp_logging": ("pp", "logging"),
+    "pp_checkpoint_only": ("pp", "checkpoint_only"),
+}
+
+SCENARIOS = ("steady_mtbf", "rack_burst", "flaky_node", "cascading",
+             "storage_outage")
+
+MACHINES = 4
+CKPT_INTERVAL = 20
+
+
+def run_config(scenario: str, parallelism: str, strategy: str,
+               seeds: int, iterations: int) -> dict:
+    """Mean engine-measured goodput of one (scenario, strategy) pair."""
+    spec = get_scenario(scenario)
+    exp = _chaos_experiment(parallelism, MACHINES, CKPT_INTERVAL)
+    exp = exp.with_(fault_tolerance=exp.fault_tolerance.__class__(
+        checkpoint_interval=CKPT_INTERVAL,
+        strategy=strategy,
+        checkpoint_after_recovery=True,
+        parallel_recovery_degree=4 if strategy == "logging" else 1,
+    ))
+    batch = exp.data.batch_size
+    # the failure-free reference loss curve for equivalence checking
+    reference = exp.build().run(iterations).losses
+    goodputs, recoveries, lost = [], 0, 0
+    for seed in range(seeds):
+        trace = spec.sample(seed, MACHINES, horizon_iters=iterations)
+        schedule = trace.to_schedule()
+        session = exp.build()
+        run = session.run(iterations, failures=schedule,
+                          max_recoveries=len(schedule) + 16)
+        goodputs.append(run.goodput(batch))
+        recoveries += len(run.recoveries)
+        lost += sum(r.lost_iterations for r in run.recoveries)
+        # recovery must reproduce the failure-free computation.  Compare
+        # the final loss recorded per iteration number: rollbacks
+        # re-record recomputed iterations (last one wins), and a
+        # mid-update pipeline crash can complete an iteration through
+        # replay without recording a loss row at all.
+        final = dict(zip(run.iteration_numbers, run.losses))
+        assert np.allclose(
+            [reference[i] for i in sorted(final)],
+            [final[i] for i in sorted(final)],
+            atol=1e-7,
+        ), (
+            f"{scenario}/{parallelism}+{strategy} seed {seed}: "
+            "recovered run diverged from the failure-free loss curve"
+        )
+    return {
+        "mean_goodput": float(np.mean(goodputs)),
+        "recoveries": recoveries,
+        "lost_iterations": lost,
+        "seeds": seeds,
+    }
+
+
+def run_analytic(seeds: int) -> dict:
+    """Paper-scale analytic goodput fractions per scenario/method."""
+    out: dict[str, dict[str, float]] = {}
+    for scenario in SCENARIOS:
+        row: dict[str, float] = {}
+        for workload, method in (
+            (WIDE_RESNET_50, "swift_replication"),
+            (BERT_128, "swift_logging_pr"),
+            (BERT_128, "global_checkpoint"),
+        ):
+            results = evaluate_scenario(
+                scenario, workload, method, seeds=range(seeds)
+            )
+            row[method] = float(np.mean(
+                [r.goodput_fraction for r in results]
+            ))
+        out[scenario] = row
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer seeds, shorter runs")
+    parser.add_argument("--min-ratio", type=float, default=1.0,
+                        help="gate: logging goodput must be >= this x "
+                             "checkpoint-only goodput under steady_mtbf")
+    args = parser.parse_args(argv)
+    seeds = 3 if args.quick else 5
+    iterations = 40 if args.quick else 80
+
+    results: dict[str, dict] = {}
+    rows = []
+    for scenario in SCENARIOS:
+        results[scenario] = {}
+        for name, (parallelism, strategy) in CONFIGS.items():
+            r = run_config(scenario, parallelism, strategy,
+                           seeds, iterations)
+            results[scenario][name] = r
+            rows.append([scenario, name, f"{r['mean_goodput']:.1f}",
+                         r["recoveries"], r["lost_iterations"]])
+    emit("chaos_goodput", fmt_table(
+        ["scenario", "config", "goodput smp/s", "recoveries", "lost iters"],
+        rows,
+    ))
+
+    analytic = run_analytic(seeds)
+    arows = [
+        [scenario] + [f"{row[m] * 100:.1f}%" for m in
+                      ("swift_replication", "swift_logging_pr",
+                       "global_checkpoint")]
+        for scenario, row in analytic.items()
+    ]
+    emit("chaos_goodput_analytic", fmt_table(
+        ["scenario", "replication", "logging+PR", "global ckpt"], arows,
+    ))
+
+    # -- the gate ---------------------------------------------------------
+    # The paper's claim lives at production iteration times (seconds per
+    # iteration), where recomputing lost work dominates; the toy-scale
+    # engines spend milliseconds per iteration, so recomputation is
+    # nearly free there and fixed recovery costs dominate instead (the
+    # same regime note as benchmarks/bench_fleet_goodput.py).  Gate on
+    # the calibrated paper-scale numbers; the engine runs above gate
+    # numerical correctness (loss-curve equivalence) per scenario.
+    steady = analytic["steady_mtbf"]
+    ratio = steady["swift_logging_pr"] / steady["global_checkpoint"]
+    gate_ok = ratio >= args.min_ratio
+    print(f"\n[gate] steady_mtbf logging/checkpoint-only goodput ratio "
+          f"(paper scale): {ratio:.3f} (floor {args.min_ratio}) -> "
+          f"{'OK' if gate_ok else 'FAIL'}")
+
+    write_bench_json("chaos_goodput", {
+        "engine": results,
+        "analytic": analytic,
+        "gate": {
+            "steady_mtbf_logging_over_checkpoint": ratio,
+            "min_ratio": args.min_ratio,
+            "ok": gate_ok,
+        },
+        "settings": {"seeds": seeds, "iterations": iterations,
+                     "machines": MACHINES,
+                     "checkpoint_interval": CKPT_INTERVAL},
+    })
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,17 @@
 """Failure drill: multiple simultaneous and cascading failures (Appendix B).
 
 Exercises the harder recovery paths on a declaratively-specified
-6-machine pipeline:
+6-machine pipeline, driven by the *named* drill scenarios of the
+:mod:`repro.chaos` registry (the schedules used to be built inline here;
+now the registry is the single source of truth and the same drills are
+replayable from the CLI: ``repro chaos --scenario drill_cascading``):
 
-* two machines hosting *disjoint* pipeline portions fail at the same
-  iteration — each contiguous span recovers independently;
-* two *adjacent* machines fail — they recover jointly as one span;
-* a second failure strikes after the first recovery (cascading) — handled
-  as another independent recovery round.
+* ``drill_disjoint``  — two machines hosting *disjoint* pipeline portions
+  fail at the same iteration — each contiguous span recovers independently;
+* ``drill_adjacent``  — two *adjacent* machines fail — they recover
+  jointly as one span;
+* ``drill_cascading`` — a second failure strikes after the first recovery
+  (cascading, mid-update) — handled as another independent recovery round.
 
 Every scenario is verified numerically against a failure-free run.
 
@@ -24,10 +28,11 @@ from repro.api import (
     ModelSpec,
     ParallelismSpec,
     Session,
+    get_scenario,
 )
-from repro.cluster import FailureEvent, FailurePhase, FailureSchedule
 
 ITERATIONS = 48
+DRILLS = ("drill_disjoint", "drill_adjacent", "drill_cascading")
 
 EXPERIMENT = Experiment(
     name="multi-failure-drill",
@@ -48,33 +53,20 @@ def build_session() -> Session:
     return EXPERIMENT.build()
 
 
-SCENARIOS = {
-    "disjoint simultaneous (machines 1 and 4)": [
-        FailureEvent(1, 20, FailurePhase.FORWARD),
-        FailureEvent(4, 20, FailurePhase.ITERATION_START),
-    ],
-    "adjacent simultaneous (machines 2 and 3)": [
-        FailureEvent(2, 25, FailurePhase.FORWARD),
-        FailureEvent(3, 25, FailurePhase.ITERATION_START),
-    ],
-    "cascading (machine 0 then machine 5)": [
-        FailureEvent(0, 15, FailurePhase.BACKWARD),
-        FailureEvent(5, 30, FailurePhase.MID_UPDATE, after_updates=2),
-    ],
-}
-
-
 def main() -> None:
     print(EXPERIMENT.plan().describe(), end="\n\n")
     reference = build_session().run(ITERATIONS)
 
-    for name, events in SCENARIOS.items():
+    for name in DRILLS:
+        scenario = get_scenario(name)
+        # scripted drills carry their iterations; sampling is deterministic
+        trace = scenario.sample(seed=0,
+                                num_machines=EXPERIMENT.cluster.num_machines)
         session = build_session()
-        trace = session.run(ITERATIONS,
-                            failures=FailureSchedule(list(events)))
-        ok = np.allclose(reference.losses, trace.losses, atol=1e-7)
-        print(f"{name}:")
-        for r in trace.recoveries:
+        run = session.run(ITERATIONS, failures=trace.to_schedule())
+        ok = np.allclose(reference.losses, run.losses, atol=1e-7)
+        print(f"{name}: {scenario.description}")
+        for r in run.recoveries:
             print(f"  recovery: machines={sorted(r.failed_machines)} "
                   f"stages={r.details['stage_ids']} "
                   f"lost={r.lost_iterations} "

@@ -18,11 +18,16 @@ is layered:
 * :mod:`repro.api` -- the declarative experiment surface (Section 6
   usage): validated specs -> inspectable :class:`~repro.api.ExecutionPlan`
   -> live :class:`~repro.api.Session`, with fleet lowering and a
-  pluggable recovery-policy registry.
+  pluggable recovery-policy registry;
+* :mod:`repro.chaos` -- trace- and distribution-driven failure
+  scenarios: seeded failure processes, a registry of named scenarios,
+  and the :class:`~repro.chaos.FailureTrace` record/replay format that
+  makes any stochastic run bitwise-reproducible.
 """
 
 from repro import (
     api,
+    chaos,
     cluster,
     comm,
     core,
@@ -34,6 +39,7 @@ from repro import (
     parallel,
     sim,
 )
+from repro.chaos import FailureTrace, ScenarioSpec, get_scenario
 from repro.api import (
     ClusterSpec,
     DataSpec,
@@ -69,6 +75,10 @@ __all__ = [
     "sim",
     "jobs",
     "api",
+    "chaos",
+    "FailureTrace",
+    "ScenarioSpec",
+    "get_scenario",
     "Experiment",
     "Session",
     "ModelSpec",

@@ -34,6 +34,13 @@ from repro.api.specs import (
     ParallelismSpec,
 )
 from repro.api.workloads import demo_fleet_specs, plan_workload
+from repro.chaos import (
+    FailureTrace,
+    ScenarioSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.core.policies import (
     RecoveryPolicy,
     get_recovery_policy,
@@ -59,4 +66,9 @@ __all__ = [
     "register_recovery_policy",
     "get_recovery_policy",
     "recovery_policy_names",
+    "FailureTrace",
+    "ScenarioSpec",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
 ]

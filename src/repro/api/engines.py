@@ -32,6 +32,14 @@ def build_engine(
     ``cluster`` defaults to a fresh one from the experiment's
     :class:`~repro.api.ClusterSpec`; pass an existing cluster (and
     clock) to share hardware with other jobs.
+
+    >>> from repro.api import Experiment, ModelSpec, ParallelismSpec
+    >>> plan = Experiment(
+    ...     model=ModelSpec(family="mlp", dim=4, hidden_dim=8),
+    ...     parallelism=ParallelismSpec(kind="dp", num_workers=2),
+    ... ).plan()
+    >>> type(build_engine(plan)).__name__
+    'DataParallelEngine'
     """
     exp = plan.experiment
     if exp is None:

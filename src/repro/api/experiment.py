@@ -73,7 +73,21 @@ _STRATEGY_KINDS = {
 
 @dataclass(frozen=True)
 class ExecutionPlan:
-    """Everything decided before training starts, in inspectable form."""
+    """Everything decided before training starts, in inspectable form.
+
+    >>> from repro.api import (ClusterSpec, Experiment, ModelSpec,
+    ...                        ParallelismSpec)
+    >>> plan = Experiment(
+    ...     model=ModelSpec(family="mlp", dim=4, hidden_dim=8),
+    ...     cluster=ClusterSpec(num_machines=2, devices_per_machine=1),
+    ...     parallelism=ParallelismSpec(kind="pp", num_workers=2,
+    ...                                 num_microbatches=2),
+    ... ).plan()
+    >>> (plan.engine_kind, plan.strategy.value)
+    ('pp', 'logging')
+    >>> "strategy:" in plan.describe()
+    True
+    """
 
     #: the composed spec this plan was derived from (None for analytic
     #: Table-2 workload plans, see :mod:`repro.api.workloads`)
@@ -97,6 +111,15 @@ class ExecutionPlan:
     #: Section 5.3 grouping under ``log_budget_bytes`` (logging plans only)
     selective: PlanResult | None = None
     workload_name: str | None = None
+    #: named :mod:`repro.chaos` scenario the run will sample (if any)
+    scenario: str | None = None
+    #: analytic machine-crash rate of the scenario on this cluster
+    predicted_failure_rate_per_hour: float | None = None
+    #: expected crashes over one scenario horizon
+    expected_failures: float | None = None
+    #: predicted useful fraction of wall-clock under the scenario
+    #: (failure-free time / total time, over a default-length run)
+    expected_goodput_fraction: float | None = None
 
     @property
     def machines(self) -> tuple[int, ...]:
@@ -141,12 +164,47 @@ class ExecutionPlan:
                 f"E[recovery] {self.selective.expected_recovery_time:.3f} "
                 "s/lost-iteration"
             )
+        if self.scenario is not None:
+            cluster_machines = (
+                self.experiment.cluster.num_machines
+                if self.experiment is not None else len(self.machines)
+            )
+            lines.append(
+                f"  scenario:        {self.scenario} "
+                f"(~{self.predicted_failure_rate_per_hour * 100:.1f} "
+                f"failures/100h on {cluster_machines} machines, "
+                f"E[{self.expected_failures:.1f}] per horizon; "
+                f"expected goodput "
+                f"~{self.expected_goodput_fraction * 100:.0f}% of "
+                "failure-free)"
+            )
         return "\n".join(lines)
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """One declarative, validated experiment over the whole stack."""
+    """One declarative, validated experiment over the whole stack.
+
+    Misconfigurations fail at composition time; ``plan()`` is a pure
+    function of the specs; ``build()`` yields a live
+    :class:`~repro.api.Session` whose traces are bitwise-equal to
+    hand-wiring the engines.
+
+    >>> from repro.api import ModelSpec, ParallelismSpec
+    >>> exp = Experiment(
+    ...     name="doc",
+    ...     model=ModelSpec(family="mlp", dim=4, hidden_dim=8, seed=1),
+    ...     parallelism=ParallelismSpec(kind="dp", num_workers=2),
+    ... )
+    >>> exp.plan().engine_kind
+    'dp'
+    >>> exp.with_(name="doc2").name        # functional update
+    'doc2'
+    >>> Experiment(model=ModelSpec(family="bert"))  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: data kind 'classification' feeds ...
+    """
 
     name: str = "experiment"
     model: ModelSpec = field(default_factory=ModelSpec)
@@ -312,6 +370,14 @@ class Experiment:
             and ft.log_budget_bytes is not None
         ):
             selective = self._plan_selective_logging(placement, log_bytes)
+        scenario_name = rate = expected = goodput = None
+        chaos_spec = ft.resolve_scenario()
+        if chaos_spec is not None:
+            scenario_name = chaos_spec.name
+            n = self.cluster.num_machines
+            rate = chaos_spec.rate_per_hour(n)
+            expected = chaos_spec.expected_failures(n)
+            goodput = self._expected_goodput(chaos_spec, strategy, expected)
         return ExecutionPlan(
             experiment=self,
             engine_kind=par.kind,
@@ -327,7 +393,40 @@ class Experiment:
             checkpoint_interval=ft.checkpoint_interval,
             incremental_checkpoints=ft.incremental_checkpoints,
             selective=selective,
+            scenario=scenario_name,
+            predicted_failure_rate_per_hour=rate,
+            expected_failures=expected,
+            expected_goodput_fraction=goodput,
         )
+
+    def _expected_goodput(
+        self, chaos_spec, strategy, expected_failures: float
+    ) -> float:
+        """Availability estimate under a scenario (plan-time, analytic).
+
+        Useful time over useful time plus expected recovery cost, for a
+        ``default_iters``-iteration run mapped over the scenario
+        horizon.  Lost work per failure is half a checkpoint interval
+        (checkpoint restart), divided by the parallel-replay degree for
+        logging, and zero for replication (update-undo loses nothing).
+        """
+        ft = self.fault_tolerance
+        if self.parallelism.kind == "pp":
+            iter_time = self._iteration_time_estimate()
+        else:
+            iter_time = DEFAULT_FWD_TIME + DEFAULT_BWD_TIME
+        if strategy is FTStrategy.REPLICATION:
+            lost_iters = 0.0
+        elif strategy is FTStrategy.LOGGING:
+            lost_iters = ft.checkpoint_interval / 2.0 / max(
+                1, ft.parallel_recovery_degree
+            )
+        else:
+            lost_iters = ft.checkpoint_interval / 2.0
+        # detection is ~0.1 s of simulated time; provisioning dominates
+        per_failure = ft.replacement_join_time + 0.1 + lost_iters * iter_time
+        useful = chaos_spec.default_iters * iter_time
+        return useful / (useful + expected_failures * per_failure)
 
     def _plan_selective_logging(
         self,

@@ -30,7 +30,21 @@ __all__ = ["Session"]
 
 
 class Session:
-    """A built experiment: engine + fault tolerance + lifetime trace."""
+    """A built experiment: engine + fault tolerance + lifetime trace.
+
+    >>> from repro.api import (ClusterSpec, Experiment, ModelSpec,
+    ...                        ParallelismSpec)
+    >>> session = Experiment(
+    ...     model=ModelSpec(family="mlp", dim=4, hidden_dim=8, seed=2),
+    ...     cluster=ClusterSpec(num_machines=2, devices_per_machine=1),
+    ...     parallelism=ParallelismSpec(kind="dp", num_workers=2),
+    ... ).build()
+    >>> trace = session.run(3)
+    >>> len(trace.losses), session.engine.iteration
+    (3, 3)
+    >>> session.trace.losses == trace.losses   # lifetime trace
+    True
+    """
 
     def __init__(
         self,
@@ -46,6 +60,8 @@ class Session:
         )
         self.clock = clock or SimClock()
         self.engine = build_engine(plan, self.cluster, self.clock)
+        #: the last scenario trace sampled by :meth:`run` (if any)
+        self.chaos_trace = None
         ft = experiment.fault_tolerance
         self.trainer: SwiftTrainer | None = None
         self.recovery = None
@@ -107,7 +123,25 @@ class Session:
 
         Returns the trace of *this call* (the lifetime trace stays on
         :attr:`trace`), exactly like ``SwiftTrainer.train``.
+
+        When the experiment's :class:`FaultToleranceSpec` names a
+        :mod:`repro.chaos` ``scenario`` and no explicit ``failures`` are
+        passed, the scenario is sampled (seeded by ``scenario_seed``)
+        over this run's iteration horizon; the sampled trace is kept on
+        :attr:`chaos_trace` for saving/replay.
         """
+        ft = self.experiment.fault_tolerance
+        if failures is None and ft.scenario is not None:
+            # the scenario describes the [0, iterations) timeline; a
+            # continuation run keeps only the events it can still hit,
+            # so chaos_trace records exactly what this call injected
+            trace = ft.resolve_scenario().sample(
+                ft.scenario_seed,
+                self.cluster.num_machines,
+                horizon_iters=iterations,
+            ).after_iteration(self.engine.iteration)
+            self.chaos_trace = trace
+            failures = trace.to_schedule()
         limit = (
             self.experiment.fault_tolerance.max_recoveries
             if max_recoveries is None else max_recoveries

@@ -62,6 +62,17 @@ class ModelSpec:
     workloads; ``optimizer`` matters beyond numerics because strategy
     selection (Section 3) requires an *invertible* optimizer for
     update-undo (Table 1) before replication-based recovery applies.
+
+    >>> spec = ModelSpec(family="mlp", dim=4, hidden_dim=8, num_classes=2)
+    >>> model = spec.build()            # deterministic seeded instance
+    >>> spec.param_elements() == sum(
+    ...     int(p.data.size) for _, p in model.named_parameters())
+    True
+    >>> ModelSpec(family="resnet-9000")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: unknown model family 'resnet-9000'; \
+known: ('mlp', 'bert', 'vit', 'wide_resnet')
     """
 
     family: str = "mlp"
@@ -197,6 +208,13 @@ class DataSpec:
     from the :class:`ModelSpec` so the two can never disagree; the task
     kind itself is cross-checked against the model family by
     ``Experiment.validate``.
+
+    >>> task = DataSpec(kind="classification", batch_size=8).build(
+    ...     ModelSpec(family="mlp", dim=4))
+    >>> task.batch(iteration=0)[0].shape   # deterministic synthetic data
+    (8, 4)
+    >>> DataSpec(kind="tokens").compatible_families()
+    ('bert',)
     """
 
     kind: str = "classification"  # classification | tokens | images
@@ -253,6 +271,12 @@ class ClusterSpec:
 
     Bandwidth overrides of ``None`` keep the paper's numbers (40 Gbps
     Ethernet, NVLink intra-machine, PCIe 3.0 x16 GPU-CPU).
+
+    >>> spec = ClusterSpec(num_machines=4, devices_per_machine=2)
+    >>> spec.num_slots
+    8
+    >>> spec.build().num_machines      # a live simulated cluster
+    4
     """
 
     num_machines: int = 2
@@ -316,6 +340,11 @@ class ParallelismSpec:
     recovery territory), ``"fsdp"`` shards it with cross-machine mirrors
     (the Section 8 extension).  ``placement=None`` block-fills machines
     device-major: rank r -> (r // devices_per_machine, r % ...).
+
+    >>> par = ParallelismSpec(kind="dp", num_workers=4)
+    >>> par.resolve_placement(ClusterSpec(num_machines=2,
+    ...                                   devices_per_machine=2))
+    ((0, 0), (0, 1), (1, 0), (1, 1))
     """
 
     kind: str = "dp"
@@ -405,10 +434,30 @@ class FaultToleranceSpec:
     against the parallelism layout.  Checkpoint fields configure the
     always-on global checkpointing net; logging fields shape the tensor
     log (Section 5); ``parallel_recovery_degree`` enables parallel
-    replay (Section 5.2).
+    replay (Section 5.2).  ``scenario`` names a registered
+    :mod:`repro.chaos` failure scenario: ``plan()`` then predicts the
+    failure rate and expected goodput, and ``Session.run`` samples the
+    scenario (seeded by ``scenario_seed``) whenever no explicit failure
+    schedule is passed.
+
+    >>> ft = FaultToleranceSpec(checkpoint_interval=50,
+    ...                         scenario="steady_mtbf")
+    >>> ft.to_trainer_config().checkpoint_interval
+    50
+    >>> ft.resolve_scenario().name
+    'steady_mtbf'
     """
 
     strategy: str = "auto"
+    #: named :mod:`repro.chaos` scenario (or a ScenarioSpec) driving
+    #: stochastic failure injection; ``None`` = no injected failures
+    scenario: object | None = None
+    scenario_seed: int = 0
+    #: re-baseline the tensor log (fresh checkpoint) after each logging
+    #: recovery so later failures never need the crashed machine's
+    #: records; ``None`` = enabled exactly when a scenario is set (the
+    #: multi-failure regime that requires it)
+    checkpoint_after_recovery: bool | None = None
     checkpoint_interval: int = 100
     checkpoint_at_start: bool = True
     parallel_recovery_degree: int = 1
@@ -444,11 +493,22 @@ class FaultToleranceSpec:
             ) from None
         if self.max_recoveries < 1:
             raise ConfigurationError("max_recoveries must be >= 1")
+        if self.scenario is not None:
+            # resolve eagerly so unknown names fail at composition time
+            self.resolve_scenario()
         if self.log_budget_bytes is not None and self.log_budget_bytes < 0:
             raise ConfigurationError("log_budget_bytes must be >= 0")
         # interval/degree/full_every bounds match TrainerConfig; build one
         # eagerly so the two vocabularies can never drift
         self.to_trainer_config()
+
+    def resolve_scenario(self):
+        """The registered :class:`~repro.chaos.ScenarioSpec` (or None)."""
+        if self.scenario is None:
+            return None
+        from repro.chaos import get_scenario
+
+        return get_scenario(self.scenario)
 
     def to_trainer_config(self) -> TrainerConfig:
         """Lower into the trainer-level config (shared validation)."""
@@ -461,6 +521,11 @@ class FaultToleranceSpec:
             incremental_checkpoints=self.incremental_checkpoints,
             incremental_full_every=self.incremental_full_every,
             pooled_messaging=self.pooled_messaging,
+            checkpoint_after_recovery=(
+                self.scenario is not None
+                if self.checkpoint_after_recovery is None
+                else self.checkpoint_after_recovery
+            ),
         )
 
     @property

@@ -79,6 +79,13 @@ def plan_workload(
     paper-scale originals, priced by the cost model) — it is the
     inspection/planning half of the API: strategy, feasibility, and the
     selective-logging grouping under ``log_budget_bytes``.
+
+    >>> from repro.sim import BERT_128, WIDE_RESNET_50
+    >>> plan_workload(WIDE_RESNET_50).strategy.value
+    'replication'
+    >>> plan = plan_workload(BERT_128, log_budget_bytes=200e9)
+    >>> (plan.strategy.value, plan.selective.storage_bytes <= 200e9)
+    ('logging', True)
     """
     cost = CostModel(w)
     layout = _workload_layout(w)
@@ -159,8 +166,15 @@ def demo_fleet_specs(
 
     Mixed DP/PP gangs of different priorities (two elastic, one
     preempting high-priority arrival, one queued non-elastic gang) plus
-    two machine crashes — byte-for-byte the scenario
+    the two machine crashes of the registered ``"demo_fleet_crashes"``
+    :mod:`repro.chaos` scenario — byte-for-byte the schedule
     ``repro.sim.demo_fleet`` used to hand-write.
+
+    >>> specs, failures = demo_fleet_specs(iterations=10)
+    >>> [s.name for s in specs]
+    ['dp-main', 'pp-chain', 'dp-batch', 'dp-rush', 'dp-late']
+    >>> [(f.round, f.machine_id) for f in failures]
+    [(4, 0), (10, 2)]
     """
     if iterations < 1:
         raise ConfigurationError("iterations must be >= 1")
@@ -205,8 +219,11 @@ def demo_fleet_specs(
             max(2, iterations // 3), priority=0, arrival=8,
         ),
     ]
-    failures = [
-        FleetFailure(round=4, machine_id=0),
-        FleetFailure(round=10, machine_id=2),
-    ]
+    # the demo's two crashes live in the scenario registry (scripted
+    # events carry their rounds, so no horizon mapping is needed)
+    from repro.chaos import get_scenario
+
+    failures = get_scenario("demo_fleet_crashes").sample(
+        seed=0, num_machines=fleet_cluster.num_machines
+    ).to_fleet_failures()
     return specs, failures

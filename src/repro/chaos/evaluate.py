@@ -1,0 +1,227 @@
+"""Analytic goodput evaluation of a fault-tolerance method under a trace.
+
+The paper's headline comparison — replication vs logging vs global
+checkpointing — was only ever simulated under uniform singleton failures
+(Section 7.3).  This module walks an arbitrary
+:class:`~repro.chaos.trace.FailureTrace` (correlated bursts, flaky
+nodes, storage outages, stragglers) through the calibrated
+:class:`~repro.sim.CostModel`, re-using the exact per-iteration overhead
+and recovery pricing of :mod:`repro.sim.endtoend`, and reports the
+end-to-end hours and goodput fraction each method achieves.
+
+Semantics:
+
+* **crash** — the method pays its recovery cost; checkpoint-based
+  methods additionally recompute everything since the last *durable*
+  checkpoint, replication loses nothing (undo + broadcast), logging
+  replays at the (possibly parallel) replay rate;
+* **straggler** — synchronous training runs at the slowest worker's
+  pace, so from the onset every iteration is scaled by the largest
+  active slowdown factor (all methods suffer equally — stragglers
+  compress the *relative* gap between methods);
+* **storage_outage** — global-checkpoint persists pause during the
+  window, so a crash after an outage loses work back to the last
+  checkpoint that completed *before* it.  In-memory snapshots
+  (CheckFreq/Elastic-Horovod) are unaffected.
+
+The walk is segment-based (O(#events), not O(#iterations)); an
+iteration in flight when an event lands is charged but not counted — the
+same convention as :class:`~repro.sim.EndToEndSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.scenarios import ScenarioSpec, get_scenario
+from repro.chaos.trace import FailureTrace
+from repro.core.strategy import FTStrategy
+from repro.sim.costmodel import CostModel
+from repro.sim.endtoend import per_iteration_overhead, recovery_seconds
+from repro.sim.workloads import Workload
+
+__all__ = [
+    "GoodputResult",
+    "method_for_strategy",
+    "evaluate_trace",
+    "evaluate_scenario",
+]
+
+#: analytic method names for the paper's three mechanisms
+_STRATEGY_METHODS = {
+    FTStrategy.REPLICATION: "swift_replication",
+    FTStrategy.LOGGING: "swift_logging_pr",
+    FTStrategy.CHECKPOINT_ONLY: "global_checkpoint",
+}
+
+
+def method_for_strategy(strategy: FTStrategy | str) -> str:
+    """Map an :class:`FTStrategy` to its analytic cost-model method name.
+
+    >>> from repro.core.strategy import FTStrategy
+    >>> method_for_strategy(FTStrategy.REPLICATION)
+    'swift_replication'
+    """
+    if isinstance(strategy, str):
+        strategy = FTStrategy(strategy)
+    return _STRATEGY_METHODS[strategy]
+
+
+@dataclass(frozen=True)
+class GoodputResult:
+    """One method's outcome under one sampled trace."""
+
+    scenario: str
+    method: str
+    seed: int
+    #: end-to-end completion time, including every stall
+    hours: float
+    #: completion time had no event fired
+    failure_free_hours: float
+    num_crashes: int
+    num_straggler_onsets: int
+    num_storage_outages: int
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Useful fraction of the wall clock (failure-free / actual)."""
+        return self.failure_free_hours / self.hours if self.hours else 0.0
+
+    @property
+    def overhead_hours(self) -> float:
+        return self.hours - self.failure_free_hours
+
+
+def evaluate_trace(
+    trace: FailureTrace,
+    workload: Workload,
+    method: str,
+    interval: int | None = None,
+    cost: CostModel | None = None,
+    parallel_degree: int = 16,
+) -> GoodputResult:
+    """End-to-end hours for ``method`` under the exact events of ``trace``.
+
+    Deterministic: the same trace and workload always produce the same
+    result (the trace carries all the randomness).
+    """
+    cost = cost or CostModel(workload, use_experiment_time=False)
+    snapshot_based = method in ("checkfreq", "elastic_horovod")
+    if interval is None:
+        if snapshot_based:  # the tuned snapshot cadence, as EndToEnd does
+            from repro.core.checkpoint import checkfreq_interval
+
+            interval = checkfreq_interval(
+                cost.iteration_time, cost.snapshot_stall()
+            )
+        else:
+            interval = workload.checkpoint_interval_iters or 100
+    dt_base = cost.iteration_time + per_iteration_overhead(
+        cost, workload, method, interval
+    )
+    total = workload.total_iterations or 10_000
+
+    # event timeline in seconds, time-ordered (ties: outages first so a
+    # simultaneous crash already sees the window)
+    order = {"storage_outage": 0, "straggler": 1, "crash": 2}
+    events = sorted(
+        trace.events, key=lambda e: (e.time_hours, order[e.kind], e.machine_id)
+    )
+    outages: list[tuple[float, float]] = []  # [start, end) in seconds
+
+    def in_outage(t: float) -> bool:
+        return any(start <= t < end for start, end in outages)
+
+    elapsed = 0.0
+    completed = 0
+    last_ckpt = 0  # iteration of the last durable global checkpoint
+    slowdown = 1.0
+    crashes = onsets = outage_count = 0
+
+    def advance_to(t_target: float) -> None:
+        """Run whole iterations until the next would cross ``t_target``."""
+        nonlocal elapsed, completed, last_ckpt
+        dt = dt_base * slowdown
+        while completed < total:
+            boundary = (completed // interval + 1) * interval
+            n = min(boundary, total) - completed
+            fit = int((t_target - elapsed) / dt)
+            if fit < n:
+                completed += max(fit, 0)
+                elapsed += max(fit, 0) * dt
+                return
+            completed += n
+            elapsed += n * dt
+            if completed % interval == 0 and not in_outage(elapsed):
+                last_ckpt = completed
+
+    for e in events:
+        if completed >= total:
+            break
+        t = e.time_hours * 3600.0
+        advance_to(t)
+        if completed >= total:
+            break
+        # the iteration in flight at the event is charged but not counted
+        elapsed = max(elapsed, t)
+        if e.kind == "storage_outage":
+            outage_count += 1
+            outages.append((t, t + e.magnitude * 3600.0))
+        elif e.kind == "straggler":
+            onsets += 1
+            slowdown = max(slowdown, e.magnitude)
+        else:  # crash
+            crashes += 1
+            if method == "swift_replication":
+                lost = 0  # undo resolves the partial update; nothing lost
+            elif snapshot_based:
+                lost = completed % interval  # in-memory snapshots persist
+            else:
+                lost = completed - last_ckpt
+            elapsed += recovery_seconds(cost, method, lost, parallel_degree)
+
+    if completed < total:
+        # no events remain: run the tail uninterrupted
+        elapsed += (total - completed) * dt_base * slowdown
+        completed = total
+
+    return GoodputResult(
+        scenario=trace.scenario,
+        method=method,
+        seed=trace.seed,
+        hours=elapsed / 3600.0,
+        failure_free_hours=total * dt_base / 3600.0,
+        num_crashes=crashes,
+        num_straggler_onsets=onsets,
+        num_storage_outages=outage_count,
+    )
+
+
+def evaluate_scenario(
+    scenario: str | ScenarioSpec,
+    workload: Workload,
+    method: str,
+    seeds=range(5),
+    interval: int | None = None,
+    horizon_hours: float | None = None,
+    num_machines: int | None = None,
+) -> list[GoodputResult]:
+    """Evaluate ``method`` over freshly sampled traces of a scenario.
+
+    One trace per seed; the horizon defaults to 1.5x the workload's
+    published end-to-end hours so events keep arriving for the slower
+    methods too.  Traces are sampled identically for every method
+    evaluated with the same arguments — the comparison is paired.
+    """
+    spec = get_scenario(scenario)
+    machines = num_machines or workload.num_machines
+    hours = horizon_hours or max(
+        spec.horizon_hours, 1.5 * (workload.end_to_end_hours or 100.0)
+    )
+    return [
+        evaluate_trace(
+            spec.sample(seed, machines, horizon_hours=hours),
+            workload, method, interval=interval,
+        )
+        for seed in seeds
+    ]

@@ -1,0 +1,348 @@
+"""Named failure scenarios: the catalog the whole stack draws from.
+
+A :class:`ScenarioSpec` composes one or more
+:class:`~repro.chaos.distributions.FailureProcess` models with a time
+horizon into a named, registered, seedable failure workload.  Sampling a
+scenario yields a :class:`~repro.chaos.trace.FailureTrace`; the same
+``(scenario, seed, num_machines)`` triple always yields the identical
+trace (per-process RNG streams are derived with
+:func:`repro.utils.seeding.derive_seed`, so adding a process to a
+scenario never perturbs the streams of the ones before it).
+
+The built-in catalog:
+
+========================  ====================================================
+``steady_mtbf``           the paper's uniform 17-hour-median exponential model
+``rack_burst``            correlated rack/switch bursts over a light background
+``flaky_node``            one pathological host dominating the failure log
+``storage_outage``        checkpoint-store outages + moderate crash background
+``cascading``             crashes triggering follow-up crashes (branching)
+``infant_mortality``      bathtub hazard: young machines die more often
+``stragglers``            slowdown onsets over the steady MTBF background
+``drill_disjoint``        scripted: two disjoint machines at one iteration
+``drill_adjacent``        scripted: two adjacent pipeline machines at once
+``drill_cascading``       scripted: a crash, then a mid-update crash later
+``demo_fleet_crashes``    scripted: the fleet demo's two machine crashes
+========================  ====================================================
+
+Use :func:`register_scenario` to add custom scenarios; every consumer
+(``FaultToleranceSpec(scenario=...)``, ``FleetSimulator(scenario=...)``,
+``repro.cli chaos/fleet/fig8``) resolves names through this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chaos.distributions import (
+    BathtubMTBF,
+    Cascade,
+    FailureProcess,
+    FlakyNode,
+    PoissonMTBF,
+    RackBurst,
+    ScriptedEvents,
+    StorageOutage,
+    StragglerOnset,
+)
+from repro.chaos.trace import ChaosEvent, FailureTrace
+from repro.cluster.failures import FailurePhase
+from repro.errors import ConfigurationError
+from repro.utils.seeding import derive_seed
+
+__all__ = [
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, composable failure scenario.
+
+    >>> from repro.chaos import ScenarioSpec, PoissonMTBF
+    >>> spec = ScenarioSpec(name="my_mtbf", description="steady failures",
+    ...                     processes=(PoissonMTBF(median_hours=10.0),))
+    >>> trace = spec.sample(seed=1, num_machines=4, horizon_iters=50)
+    >>> trace == spec.sample(seed=1, num_machines=4, horizon_iters=50)
+    True
+    >>> round(spec.rate_per_hour(4), 4)   # analytic ln(2)/10
+    0.0693
+    """
+
+    name: str
+    description: str
+    processes: tuple[FailureProcess, ...]
+    #: simulated wall-clock span one sampled trace covers
+    horizon_hours: float = 100.0
+    #: default engine-iteration horizon for CLI / benchmark runs
+    default_iters: int = 60
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if not self.processes:
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs at least one process"
+            )
+        object.__setattr__(self, "processes", tuple(self.processes))
+        if self.horizon_hours <= 0:
+            raise ConfigurationError("horizon_hours must be positive")
+        if self.default_iters < 1:
+            raise ConfigurationError("default_iters must be >= 1")
+
+    # -- sampling ---------------------------------------------------------
+    def sample(
+        self,
+        seed: int,
+        num_machines: int,
+        horizon_iters: int | None = None,
+        horizon_hours: float | None = None,
+    ) -> FailureTrace:
+        """Draw one :class:`FailureTrace` for this scenario.
+
+        Each process samples from its own derived stream
+        (``derive_seed(seed, "chaos", name, index)``), so traces are
+        reproducible and process-order independent in their randomness.
+        ``horizon_iters`` additionally maps events onto engine
+        iterations (see :meth:`FailureTrace.with_iterations`).
+        """
+        if num_machines < 1:
+            raise ConfigurationError("num_machines must be >= 1")
+        hours = self.horizon_hours if horizon_hours is None else horizon_hours
+        events: list[ChaosEvent] = []
+        for index, process in enumerate(self.processes):
+            rng = np.random.default_rng(
+                derive_seed(seed, "chaos", self.name, index)
+            )
+            events.extend(process.events(rng, num_machines, hours))
+        events.sort(key=lambda e: (e.time_hours, e.machine_id, e.kind))
+        trace = FailureTrace(
+            scenario=self.name,
+            seed=seed,
+            num_machines=num_machines,
+            horizon_hours=hours,
+            events=tuple(events),
+        )
+        if horizon_iters is not None:
+            trace = trace.with_iterations(horizon_iters)
+        return trace
+
+    # -- analytics --------------------------------------------------------
+    def rate_per_hour(self, num_machines: int) -> float:
+        """Expected machine-crash rate (events/hour), summed over processes."""
+        return sum(p.rate_per_hour(num_machines) for p in self.processes)
+
+    def expected_failures(
+        self, num_machines: int, horizon_hours: float | None = None
+    ) -> float:
+        hours = self.horizon_hours if horizon_hours is None else horizon_hours
+        return self.rate_per_hour(num_machines) * hours
+
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    spec: ScenarioSpec, *, replace: bool = False
+) -> ScenarioSpec:
+    """Register a scenario under ``spec.name``; returns it for chaining.
+
+    >>> from repro.chaos import (ScenarioSpec, PoissonMTBF,
+    ...                          register_scenario, scenario_names)
+    >>> _ = register_scenario(ScenarioSpec(
+    ...     name="docs_example", description="for the docs",
+    ...     processes=(PoissonMTBF(median_hours=5.0),)), replace=True)
+    >>> "docs_example" in scenario_names()
+    True
+    """
+    if not replace and spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str | ScenarioSpec) -> ScenarioSpec:
+    """Resolve a scenario by name (specs pass through unchanged).
+
+    >>> from repro.chaos import get_scenario
+    >>> get_scenario("steady_mtbf").rate_per_hour(8) > 0
+    True
+    """
+    if isinstance(name, ScenarioSpec):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of every registered scenario.
+
+    >>> {"steady_mtbf", "rack_burst", "cascading"} <= set(scenario_names())
+    True
+    """
+    return sorted(_REGISTRY)
+
+
+# -- the built-in catalog ---------------------------------------------------
+
+register_scenario(ScenarioSpec(
+    name="steady_mtbf",
+    description=(
+        "The paper's Section 7.3 model: cluster-wide exponential "
+        "inter-failure times with a 17-hour median, the failing machine "
+        "drawn uniformly."
+    ),
+    processes=(PoissonMTBF(median_hours=17.0),),
+))
+
+register_scenario(ScenarioSpec(
+    name="rack_burst",
+    description=(
+        "Correlated rack/switch faults: bursts take down 2+ co-located "
+        "machines within seconds, over a light independent background."
+    ),
+    processes=(
+        RackBurst(burst_rate_per_khour=30.0, rack_size=2),
+        PoissonMTBF(median_hours=70.0),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="flaky_node",
+    description=(
+        "One pathological host (7x the background failure rate) dominating "
+        "the failure log, over the steady background."
+    ),
+    processes=(
+        FlakyNode(median_hours=10.0),
+        PoissonMTBF(median_hours=70.0),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="storage_outage",
+    description=(
+        "Checkpoint-store outages (persists pause; crashes during the "
+        "window lose extra work) plus a moderate crash background."
+    ),
+    processes=(
+        StorageOutage(outage_rate_per_khour=20.0,
+                      duration_hours_min=1.0, duration_hours_max=4.0),
+        PoissonMTBF(median_hours=20.0),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="cascading",
+    description=(
+        "Branching failures: each crash triggers a crash of another "
+        "machine with probability 0.6 after a short delay."
+    ),
+    processes=(
+        Cascade(trigger_median_hours=30.0, cascade_probability=0.6,
+                mid_update_fraction=0.25),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="infant_mortality",
+    description=(
+        "Bathtub hazard: a freshly provisioned cluster fails often in "
+        "its first day, then settles to the steady rate."
+    ),
+    processes=(
+        BathtubMTBF(steady_rate_per_khour=8.0,
+                    infant_rate_per_khour=30.0,
+                    infant_decay_hours=24.0),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="stragglers",
+    description=(
+        "Straggler onsets (synchronous training runs at the slowest "
+        "worker's pace) over the paper's steady MTBF background."
+    ),
+    processes=(
+        StragglerOnset(onset_rate_per_khour=20.0),
+        PoissonMTBF(median_hours=17.0),
+    ),
+))
+
+
+def _drill(iteration: int, machine: int, phase: FailurePhase,
+           after_updates: int = 0) -> ChaosEvent:
+    """Scripted drill event: one hour per iteration for readability."""
+    return ChaosEvent(
+        time_hours=float(iteration), machine_id=machine,
+        iteration=iteration, phase=phase.value,
+        after_updates=after_updates,
+    )
+
+
+register_scenario(ScenarioSpec(
+    name="drill_disjoint",
+    description=(
+        "Appendix-B drill: machines hosting disjoint pipeline portions "
+        "fail at the same iteration; each span recovers independently."
+    ),
+    processes=(ScriptedEvents(script=(
+        _drill(20, 1, FailurePhase.FORWARD),
+        _drill(20, 4, FailurePhase.ITERATION_START),
+    )),),
+    horizon_hours=48.0,
+    default_iters=48,
+))
+
+register_scenario(ScenarioSpec(
+    name="drill_adjacent",
+    description=(
+        "Appendix-B drill: two adjacent pipeline machines fail at once "
+        "and recover jointly as one span."
+    ),
+    processes=(ScriptedEvents(script=(
+        _drill(25, 2, FailurePhase.FORWARD),
+        _drill(25, 3, FailurePhase.ITERATION_START),
+    )),),
+    horizon_hours=48.0,
+    default_iters=48,
+))
+
+register_scenario(ScenarioSpec(
+    name="drill_cascading",
+    description=(
+        "Appendix-B drill: a backward-pass crash, then a second machine "
+        "dies mid-update after the first recovery completed."
+    ),
+    processes=(ScriptedEvents(script=(
+        _drill(15, 0, FailurePhase.BACKWARD),
+        _drill(30, 5, FailurePhase.MID_UPDATE, after_updates=2),
+    )),),
+    horizon_hours=48.0,
+    default_iters=48,
+))
+
+register_scenario(ScenarioSpec(
+    name="demo_fleet_crashes",
+    description=(
+        "The canonical fleet demo's two machine crashes (rounds 4 and "
+        "10), as a named scenario instead of an inline list."
+    ),
+    processes=(ScriptedEvents(script=(
+        _drill(4, 0, FailurePhase.ITERATION_START),
+        _drill(10, 2, FailurePhase.ITERATION_START),
+    )),),
+    horizon_hours=30.0,
+    default_iters=30,
+))

@@ -4,22 +4,47 @@ Usage::
 
     python -m repro.cli table3
     python -m repro.cli table5 [--mtbf 17] [--repeats 10]
-    python -m repro.cli fig8 {wrn|vit|bert}
+    python -m repro.cli fig8 {wrn|vit|bert} [--scenario NAME]
     python -m repro.cli plan --workload bert --budget-gb 200
     python -m repro.cli workloads
     python -m repro.cli fleet [--machines 6] [--devices 4] [--spares 1]
+    python -m repro.cli fleet --scenario rack_burst [--scenario-seed 0]
+    python -m repro.cli chaos --list
+    python -m repro.cli chaos --scenario rack_burst --seeds 5
+    python -m repro.cli chaos --trace traces/rack_burst_seed0.jsonl
 
 Each subcommand prints the same rows the corresponding paper artifact
 reports (the pytest benchmarks under ``benchmarks/`` are the asserted
-versions of the same computations).
+versions of the same computations).  ``chaos`` runs real engines under a
+named :mod:`repro.chaos` failure scenario, one seed per run, and writes
+each run's :class:`~repro.chaos.FailureTrace` as replayable JSONL;
+replaying a trace re-executes the run bitwise (the goodput must match
+the recorded value exactly, and the exit code says whether it did).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.api import FTStrategy, demo_fleet_specs, plan_workload
+from repro.api import (
+    ClusterSpec,
+    DataSpec,
+    Experiment,
+    FaultToleranceSpec,
+    FTStrategy,
+    ModelSpec,
+    ParallelismSpec,
+    demo_fleet_specs,
+    plan_workload,
+)
+from repro.chaos import (
+    FailureTrace,
+    evaluate_scenario,
+    get_scenario,
+    scenario_names,
+)
 from repro.errors import ConfigurationError
 from repro.sim import (
     BERT_128,
@@ -83,6 +108,19 @@ def cmd_table5(args: argparse.Namespace) -> int:
     return 0
 
 
+#: fig8 column -> analytic cost-model method (for --scenario goodput)
+_FIG8_METHODS = {
+    "global_ckpt": "global_checkpoint",
+    "checkfreq": "checkfreq",
+    "elastic_horovod": "elastic_horovod",
+    "swift_replication": "swift_replication",
+    "swift_16groups": "swift_logging",
+    "swift_8groups": "swift_logging",
+    "swift_sync": "swift_logging",
+    "swift_16g_PR": "swift_logging_pr",
+}
+
+
 def cmd_fig8(args: argparse.Namespace) -> int:
     workload = _WORKLOAD_ALIASES[args.workload]
     sim = ThroughputSimulator(workload)
@@ -105,10 +143,32 @@ def cmd_fig8(args: argparse.Namespace) -> int:
             "swift_16g_PR": sim.swift_logging(num_groups=16,
                                               parallel_degree=16),
         }
-    print(f"{'method':<20} {'throughput':>11} {'recovery':>9}")
+    scenario_col = ""
+    goodput_by_method: dict[str, float] = {}
+    if args.scenario:
+        try:
+            # several fig8 columns share one analytic method (the group
+            # count does not change the cost-model pricing): evaluate
+            # each method once
+            for method in {_FIG8_METHODS[n] for n in timelines}:
+                results = evaluate_scenario(
+                    args.scenario, workload, method, seeds=range(args.seeds),
+                )
+                goodput_by_method[method] = (
+                    sum(r.goodput_fraction for r in results) / len(results)
+                )
+        except ConfigurationError as exc:
+            print(f"fig8: {exc}", file=sys.stderr)
+            return 2
+        scenario_col = f" {'goodput@' + args.scenario:>22}"
+    print(f"{'method':<20} {'throughput':>11} {'recovery':>9}{scenario_col}")
     for name, tl in timelines.items():
+        extra = ""
+        if args.scenario:
+            mean = goodput_by_method[_FIG8_METHODS[name]]
+            extra = f" {mean * 100:>21.1f}%"
         print(f"{name:<20} {tl.steady_throughput:>11.1f} "
-              f"{tl.recovery_time:>8.1f}s")
+              f"{tl.recovery_time:>8.1f}s{extra}")
     return 0
 
 
@@ -139,21 +199,178 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     """Multi-tenant fleet demo: mixed DP/PP jobs, preemption, failures."""
     try:
         specs, failures = demo_fleet_specs(args.iterations)
+        trace = _load_trace(args.trace) if args.trace else None
+        if args.scenario or trace is not None:
+            # scenario/trace-driven crashes replace the demo's scripted two
+            failures = []
         sim = FleetSimulator(
             specs,
             num_machines=args.machines,
             devices_per_machine=args.devices,
             num_spares=args.spares,
             failures=failures,
+            scenario=args.scenario,
+            scenario_seed=args.scenario_seed,
+            trace=trace,
         )
         report = sim.run()
     except ConfigurationError as exc:
         print(f"fleet: {exc}", file=sys.stderr)
         return 2
+    injected = (
+        len(sim.chaos_trace.crashes) if sim.chaos_trace is not None
+        else len(failures)
+    )
+    source = (
+        f"scenario {sim.chaos_trace.scenario!r} "
+        f"(seed {sim.chaos_trace.seed})"
+        if sim.chaos_trace is not None else "scripted demo"
+    )
     print(f"fleet: {len(specs)} jobs on {args.machines}x{args.devices} "
           f"shared cluster, {args.spares} spare(s), "
-          f"{len(failures)} injected failures")
+          f"{injected} injected failures [{source}]")
     print(report.format_table())
+    return 0
+
+
+def _load_trace(path: str) -> FailureTrace:
+    """Load a trace file, folding I/O failures into ConfigurationError."""
+    try:
+        return FailureTrace.load(path)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace {path!r}: {exc}")
+
+
+def _chaos_experiment(parallelism: str, machines: int,
+                      checkpoint_interval: int) -> Experiment:
+    """The small deterministic MLP workload `repro chaos` drives."""
+    if parallelism == "pp":
+        # the flat MLP has 2*depth+1 layers; depth >= stages guarantees
+        # every stage holds at least one Linear (same rule as repro.jobs)
+        depth = max(2, machines)
+        par = ParallelismSpec(kind="pp", num_workers=machines,
+                              num_microbatches=4)
+        model = ModelSpec(family="mlp", dim=8, hidden_dim=16, num_classes=4,
+                          depth=depth, seed=11, optimizer="adam", lr=0.01)
+    else:
+        par = ParallelismSpec(kind="dp", num_workers=machines)
+        model = ModelSpec(family="mlp", dim=8, hidden_dim=16, num_classes=4,
+                          depth=2, seed=11, optimizer="sgd_momentum", lr=0.05)
+    return Experiment(
+        name="chaos",
+        model=model,
+        data=DataSpec(kind="classification", batch_size=16, seed=12),
+        cluster=ClusterSpec(num_machines=machines, devices_per_machine=1),
+        parallelism=par,
+        fault_tolerance=FaultToleranceSpec(
+            checkpoint_interval=checkpoint_interval,
+            # multi-failure traces: later crashes must never need the
+            # earlier crash's (dropped) log records
+            checkpoint_after_recovery=True,
+        ),
+    )
+
+
+def _chaos_run(trace, parallelism: str, machines: int, iterations: int,
+               checkpoint_interval: int):
+    """Execute one trace on a real engine; returns (TrainingTrace, batch)."""
+    exp = _chaos_experiment(parallelism, machines, checkpoint_interval)
+    session = exp.build()
+    schedule = trace.to_schedule()
+    run = session.run(
+        iterations,
+        failures=schedule,
+        max_recoveries=len(schedule) + 16,
+    )
+    return run, exp.data.batch_size
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run (or replay) a named failure scenario on real engines."""
+    if args.list:
+        print(f"{'scenario':<20} {'E[fail/100h]':>12}  description")
+        for name in scenario_names():
+            spec = get_scenario(name)
+            rate = spec.rate_per_hour(args.machines) * 100
+            print(f"{name:<20} {rate:>12.1f}  {spec.description}")
+        return 0
+
+    if args.trace:
+        try:
+            trace = _load_trace(args.trace)
+        except ConfigurationError as exc:
+            print(f"chaos: {exc}", file=sys.stderr)
+            return 2
+        meta = trace.meta_dict
+        parallelism = meta.get("parallelism", args.parallelism)
+        machines = int(meta.get("machines", trace.num_machines))
+        iterations = int(meta.get("iterations", trace.horizon_iters or 60))
+        interval = int(meta.get("checkpoint_interval", args.ckpt_interval))
+        run, batch = _chaos_run(
+            trace, parallelism, machines, iterations, interval
+        )
+        goodput = run.goodput(batch)
+        recorded = meta.get("goodput")
+        print(f"replayed {args.trace}: scenario={trace.scenario} "
+              f"seed={trace.seed} crashes={len(trace.crashes)}")
+        print(f"  goodput: {goodput!r} samples/s "
+              f"({len(run.recoveries)} recoveries, "
+              f"final loss {run.losses[-1]!r})")
+        if recorded is None:
+            return 0
+        match = repr(goodput) == recorded
+        print(f"  recorded goodput: {recorded} -> "
+              f"{'bitwise match' if match else 'MISMATCH'}")
+        return 0 if match else 1
+
+    if not args.scenario:
+        print("chaos: pass --scenario NAME, --trace FILE, or --list",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = get_scenario(args.scenario)
+    except ConfigurationError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+
+    out_dir = Path(args.out)
+    print(f"scenario {spec.name!r}: {spec.description}")
+    print(f"  {args.parallelism} on {args.machines} machines, "
+          f"{args.iterations} iterations/run, {args.seeds} seed(s), "
+          f"expected {spec.expected_failures(args.machines):.1f} "
+          "failures per horizon")
+    print(f"{'seed':>4} {'crashes':>7} {'recov':>5} {'lost':>5} "
+          f"{'goodput':>12} {'final_loss':>12}  trace")
+    goodputs = []
+    for seed in range(args.seeds):
+        trace = spec.sample(seed, args.machines,
+                            horizon_iters=args.iterations)
+        run, batch = _chaos_run(
+            trace, args.parallelism, args.machines, args.iterations,
+            args.ckpt_interval,
+        )
+        goodput = run.goodput(batch)
+        goodputs.append(goodput)
+        lost = sum(r.lost_iterations for r in run.recoveries)
+        trace = trace.with_meta(
+            goodput=repr(goodput),
+            final_loss=repr(run.losses[-1]),
+            recoveries=len(run.recoveries),
+            parallelism=args.parallelism,
+            machines=args.machines,
+            iterations=args.iterations,
+            checkpoint_interval=args.ckpt_interval,
+            batch_size=batch,
+        )
+        path = trace.save(out_dir / f"{spec.name}_seed{seed}.jsonl")
+        print(f"{seed:>4} {len(trace.crashes):>7} "
+              f"{len(run.recoveries):>5} {lost:>5} "
+              f"{goodput:>12.4f} {run.losses[-1]:>12.6f}  {path}")
+    mean = sum(goodputs) / len(goodputs)
+    print(f"\nmean goodput over {args.seeds} seed(s): "
+          f"{mean:.4f} samples/s")
+    print(f"replay any run bitwise:  python -m repro.cli chaos "
+          f"--trace {out_dir / (spec.name + '_seed0.jsonl')}")
     return 0
 
 
@@ -178,6 +395,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     f8 = sub.add_parser("fig8", help="macro-benchmark for one workload")
     f8.add_argument("workload", choices=sorted(_WORKLOAD_ALIASES))
+    f8.add_argument("--scenario", default=None,
+                    help="add an analytic goodput column under a named "
+                         "repro.chaos scenario")
+    f8.add_argument("--seeds", type=int, default=3,
+                    help="scenario traces to average over")
     f8.set_defaults(fn=cmd_fig8)
 
     fleet = sub.add_parser(
@@ -187,7 +409,38 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--devices", type=int, default=4)
     fleet.add_argument("--spares", type=int, default=1)
     fleet.add_argument("--iterations", type=int, default=30)
+    fleet.add_argument("--scenario", default=None,
+                       help="draw machine crashes from a named "
+                            "repro.chaos scenario instead of the demo's "
+                            "scripted two")
+    fleet.add_argument("--scenario-seed", type=int, default=0)
+    fleet.add_argument("--trace", default=None,
+                       help="replay crashes from a saved FailureTrace "
+                            "JSONL file")
     fleet.set_defaults(fn=cmd_fleet)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run or replay a named failure scenario on real engines",
+    )
+    chaos.add_argument("--scenario", default=None,
+                       help="registered scenario name (see --list)")
+    chaos.add_argument("--seeds", type=int, default=5,
+                       help="number of independent seeded runs")
+    chaos.add_argument("--iterations", type=int, default=60,
+                       help="training iterations per run (the scenario "
+                            "horizon maps onto them)")
+    chaos.add_argument("--parallelism", choices=["dp", "pp"], default="dp")
+    chaos.add_argument("--machines", type=int, default=4)
+    chaos.add_argument("--ckpt-interval", type=int, default=20)
+    chaos.add_argument("--out", default="traces",
+                       help="directory for emitted trace JSONL files")
+    chaos.add_argument("--trace", default=None,
+                       help="replay a saved trace and verify its "
+                            "recorded goodput bitwise")
+    chaos.add_argument("--list", action="store_true",
+                       help="list registered scenarios and exit")
+    chaos.set_defaults(fn=cmd_chaos)
 
     plan = sub.add_parser("plan", help="selective-logging group planner")
     plan.add_argument("--workload", choices=["vit", "bert"], default="bert")

@@ -6,6 +6,7 @@ from repro.cluster.failures import (
     FailureEvent,
     FailurePhase,
     FailureSchedule,
+    FailureSource,
     MTBFSampler,
 )
 from repro.cluster.kvstore import FAILURE_FLAG, KVStore
@@ -35,5 +36,6 @@ __all__ = [
     "FailureEvent",
     "FailurePhase",
     "FailureSchedule",
+    "FailureSource",
     "MTBFSampler",
 ]

@@ -1,6 +1,6 @@
 """Failure injection: deterministic kill schedules and MTBF sampling.
 
-Two modes cover the paper's experiments:
+Three modes cover the paper's experiments and beyond:
 
 * **Deterministic** — "kill a machine (rank 1) at the beginning of
   iteration 150" (Section 7): a :class:`FailureSchedule` of exact
@@ -10,16 +10,31 @@ Two modes cover the paper's experiments:
   "uniformly randomly during training, assuming a 17-hour
   median-time-between-failure": :class:`MTBFSampler` draws exponential
   inter-failure times with a given median.
+* **Scenario-driven** — :mod:`repro.chaos` samples correlated,
+  distribution-driven failure workloads (rack bursts, flaky nodes,
+  cascades) into replayable traces and lowers them onto the same
+  :class:`FailureSchedule` the engines already consume.
+
+Engines and trainers depend only on the :class:`FailureSource` protocol
+— anything with ``pop_due``/``pending`` — of which
+:class:`FailureSchedule` is the canonical implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["FailurePhase", "FailureEvent", "FailureSchedule", "MTBFSampler"]
+__all__ = [
+    "FailurePhase",
+    "FailureEvent",
+    "FailureSource",
+    "FailureSchedule",
+    "MTBFSampler",
+]
 
 
 class FailurePhase(str, Enum):
@@ -43,6 +58,30 @@ class FailureEvent:
     #: for MID_UPDATE: how many parameters were already updated when the
     #: crash hit (the "some layers updated, others not" state of Figure 4)
     after_updates: int = 0
+
+
+@runtime_checkable
+class FailureSource(Protocol):
+    """What the trainer/engines need from a failure injector.
+
+    A source is *consumed*: ``pop_due(iteration, phase)`` removes and
+    returns the events firing at that logical point, and ``pending()``
+    lists what is still to come.  :class:`FailureSchedule` is the
+    canonical static implementation; :mod:`repro.chaos` produces
+    schedules from sampled scenario traces
+    (:meth:`repro.chaos.FailureTrace.to_schedule`).
+
+    >>> isinstance(FailureSchedule(), FailureSource)
+    True
+    """
+
+    def pop_due(self, iteration: int, phase: "FailurePhase") -> list["FailureEvent"]:
+        """Remove and return all events due at (iteration, phase)."""
+        ...
+
+    def pending(self) -> list["FailureEvent"]:
+        """Events not yet consumed, in firing order."""
+        ...
 
 
 class FailureSchedule:

@@ -73,7 +73,18 @@ class RecoveryBundle:
 
 @runtime_checkable
 class RecoveryPolicy(Protocol):
-    """One fault-tolerance mechanism, pluggable into :class:`SwiftTrainer`."""
+    """One fault-tolerance mechanism, pluggable into :class:`SwiftTrainer`.
+
+    Implement ``name``/``compatible``/``describe_requirements``/``build``
+    and register via :func:`register_recovery_policy`; the strategy name
+    then works everywhere an :class:`FTStrategy` value does.
+
+    >>> policy = get_recovery_policy("replication")
+    >>> isinstance(policy, RecoveryPolicy)
+    True
+    >>> policy.describe_requirements()
+    'a data-parallel engine (full replicas on >= 2 machines)'
+    """
 
     #: registry key; must equal an :class:`FTStrategy` value for the
     #: built-ins, free-form for extensions
@@ -190,7 +201,17 @@ _REGISTRY: dict[str, RecoveryPolicy] = {}
 def register_recovery_policy(
     policy: RecoveryPolicy, *, replace: bool = False
 ) -> RecoveryPolicy:
-    """Register a policy under ``policy.name``; returns it for chaining."""
+    """Register a policy under ``policy.name``; returns it for chaining.
+
+    >>> class NullPolicy:
+    ...     name = "docs_null"
+    ...     def compatible(self, engine): return True
+    ...     def describe_requirements(self): return "anything"
+    ...     def build(self, ctx): raise NotImplementedError
+    >>> _ = register_recovery_policy(NullPolicy(), replace=True)
+    >>> "docs_null" in recovery_policy_names()
+    True
+    """
     if not replace and policy.name in _REGISTRY:
         raise ConfigurationError(
             f"recovery policy {policy.name!r} already registered"
@@ -200,6 +221,11 @@ def register_recovery_policy(
 
 
 def get_recovery_policy(name: str | FTStrategy) -> RecoveryPolicy:
+    """Look up a registered policy by strategy name or enum member.
+
+    >>> get_recovery_policy(FTStrategy.LOGGING).name
+    'logging'
+    """
     key = name.value if isinstance(name, FTStrategy) else name
     try:
         return _REGISTRY[key]
@@ -211,6 +237,12 @@ def get_recovery_policy(name: str | FTStrategy) -> RecoveryPolicy:
 
 
 def recovery_policy_names() -> list[str]:
+    """Sorted names of every registered recovery policy.
+
+    >>> {"replication", "logging", "checkpoint_only"} \
+<= set(recovery_policy_names())
+    True
+    """
     return sorted(_REGISTRY)
 
 

@@ -54,7 +54,25 @@ class ReplaySpec:
 
 
 class LoggingRecovery:
-    """Recovers failed pipeline stages from the tensor log."""
+    """Recovers failed pipeline stages from the tensor log (§5).
+
+    Failed stages rebuild from the last global checkpoint and *replay*
+    their boundary inputs from the sender-side log; disjoint failed
+    spans recover independently, and ``parallel_degree > 1`` splits each
+    span's replay across recovery workers (§5.2).  Built for you by the
+    ``"logging"`` recovery policy:
+
+    >>> from repro.api import (ClusterSpec, Experiment, ModelSpec,
+    ...                        ParallelismSpec)
+    >>> session = Experiment(
+    ...     model=ModelSpec(family="mlp", dim=4, hidden_dim=8, depth=2),
+    ...     cluster=ClusterSpec(num_machines=2, devices_per_machine=1),
+    ...     parallelism=ParallelismSpec(kind="pp", num_workers=2,
+    ...                                 num_microbatches=2),
+    ... ).build()
+    >>> type(session.recovery).__name__
+    'LoggingRecovery'
+    """
 
     def __init__(
         self,

@@ -60,7 +60,23 @@ class RecoveryReport:
 
 
 class ReplicationRecovery:
-    """Recovers a data-parallel job from surviving replicas."""
+    """Recovers a data-parallel job from surviving replicas (§4).
+
+    Survivors undo any partial update (invertible optimizers), a
+    replacement joins on the failed machine's slot, and one surviving
+    replica broadcasts its state — zero recomputation.  Built for you by
+    the ``"replication"`` recovery policy:
+
+    >>> from repro.api import (ClusterSpec, Experiment, ModelSpec,
+    ...                        ParallelismSpec)
+    >>> session = Experiment(
+    ...     model=ModelSpec(family="mlp", dim=4, hidden_dim=8),
+    ...     cluster=ClusterSpec(num_machines=2, devices_per_machine=1),
+    ...     parallelism=ParallelismSpec(kind="dp", num_workers=2),
+    ... ).build()
+    >>> type(session.recovery).__name__
+    'ReplicationRecovery'
+    """
 
     def __init__(
         self,

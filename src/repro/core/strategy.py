@@ -36,6 +36,19 @@ __all__ = [
 
 
 class FTStrategy(str, Enum):
+    """The paper's three fault-tolerance mechanisms (Section 3).
+
+    One shared vocabulary across :class:`TrainerConfig`,
+    :class:`~repro.api.FaultToleranceSpec`, and
+    :class:`~repro.jobs.JobSpec`; the registry of
+    :mod:`repro.core.policies` resolves each value to its mechanism.
+
+    >>> FTStrategy("logging") is FTStrategy.LOGGING
+    True
+    >>> [s.value for s in FTStrategy]
+    ['replication', 'logging', 'checkpoint_only']
+    """
+
     REPLICATION = "replication"
     LOGGING = "logging"
     CHECKPOINT_ONLY = "checkpoint_only"
@@ -114,6 +127,14 @@ def choose_strategy(
     replication-based recovery needs an invertible optimizer to resolve
     crash consistency without snapshots; if the optimizer is not
     invertible, Swift falls back to the next option.
+
+    >>> from repro.parallel.hybrid import ParallelLayout, StagePlacement
+    >>> replicated = ParallelLayout(                   # one stage, two
+    ...     stages=[StagePlacement(0, ((0,), (1,)))])  # machine replicas
+    >>> choose_strategy(replicated).value
+    'replication'
+    >>> choose_strategy(replicated, optimizer_name="AMSGrad").value
+    'checkpoint_only'
     """
     undo_ok = optimizer_name is None or optimizer_invertible(optimizer_name)
     if layout.replication_covers_all_failures() and undo_ok:

@@ -38,6 +38,16 @@ __all__ = ["LoggingMode", "LogRecord", "GroupingPlan", "TensorLog"]
 
 
 class LoggingMode(str, Enum):
+    """When the GPU->CPU log copy runs relative to the pipeline (§5.1).
+
+    ``SYNC`` blocks the iteration, ``ASYNC`` overlaps at an
+    interference cost, ``BUBBLE`` hides the copy inside pipeline
+    bubbles (the paper's default when the §5.4 calculus allows it).
+
+    >>> LoggingMode("bubble") is LoggingMode.BUBBLE
+    True
+    """
+
     SYNC = "sync"
     ASYNC = "async"
     BUBBLE = "bubble"
@@ -74,6 +84,12 @@ class GroupingPlan:
     Only messages crossing a *group* boundary are logged; with singleton
     groups (the default) this degenerates to logging all inter-machine
     traffic.
+
+    >>> plan = GroupingPlan.singletons([0, 1, 2])
+    >>> plan.groups
+    ((0,), (1,), (2,))
+    >>> GroupingPlan(((0, 1), (2,))).group_of(1)
+    0
     """
 
     groups: tuple[tuple[int, ...], ...]

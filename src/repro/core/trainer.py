@@ -40,7 +40,15 @@ __all__ = ["TrainerConfig", "TrainingTrace", "SwiftTrainer"]
 
 @dataclass
 class TrainerConfig:
-    """Fault-tolerance configuration for a training run."""
+    """Fault-tolerance configuration for a training run.
+
+    >>> TrainerConfig(checkpoint_interval=25, strategy="logging").strategy
+    'logging'
+    >>> TrainerConfig(strategy="teleportation")  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: unknown strategy 'teleportation'; ...
+    """
 
     #: global checkpoint every N iterations (the catastrophic-failure net)
     checkpoint_interval: int = 100
@@ -64,6 +72,12 @@ class TrainerConfig:
     #: pool message buffers so the send+log path performs one copy into a
     #: recycled arena instead of two fresh allocations (pipeline engines)
     pooled_messaging: bool = True
+    #: take a fresh global checkpoint right after every logging recovery,
+    #: re-baselining the tensor log: records that lived only on the
+    #: crashed machine are unrecoverable, so a *later* failure in the same
+    #: checkpoint window must not need them.  Required for multi-failure
+    #: scenario runs (repro.chaos); the fleet layer does the same per job.
+    checkpoint_after_recovery: bool = False
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval < 1:
@@ -83,7 +97,15 @@ class TrainerConfig:
 
 @dataclass
 class TrainingTrace:
-    """Everything a benchmark needs to redraw the paper's plots."""
+    """Everything a benchmark needs to redraw the paper's plots.
+
+    >>> trace = TrainingTrace(losses=[0.5, 0.4], iteration_times=[0.1, 0.1],
+    ...                       iteration_numbers=[0, 1], wall_times=[0.1, 0.2])
+    >>> trace.goodput(samples_per_iteration=16)
+    160.0
+    >>> trace.recovery_time_total
+    0
+    """
 
     losses: list[float] = field(default_factory=list)
     iteration_times: list[float] = field(default_factory=list)
@@ -116,18 +138,34 @@ class TrainingTrace:
         Unlike :meth:`throughput` this includes every stall — checkpoints,
         detection, and recovery — so it is the number benchmarks should
         report instead of recomputing ``iterations * batch / total_time``
-        ad hoc.
+        ad hoc.  Useful work is the *span* of completed iterations:
+        iterations recomputed after a checkpoint rollback count once
+        (redone work is exactly what goodput must not credit), and an
+        iteration completed *through* recovery replay rather than a
+        successful step (a mid-update pipeline crash resolves forward)
+        still counts, even though no loss row was recorded for it.
         """
-        if self.total_time <= 0:
+        if self.total_time <= 0 or not self.iteration_numbers:
             return 0.0
-        return (
-            len(self.iteration_times) * samples_per_iteration
-            / self.total_time
-        )
+        useful = max(self.iteration_numbers) - min(self.iteration_numbers) + 1
+        return useful * samples_per_iteration / self.total_time
 
 
 class SwiftTrainer:
-    """Drives an engine to completion through checkpoints and failures."""
+    """Drives an engine to completion through checkpoints and failures.
+
+    >>> from repro.api import (ClusterSpec, Experiment, ModelSpec,
+    ...                        ParallelismSpec)
+    >>> session = Experiment(
+    ...     model=ModelSpec(family="mlp", dim=4, hidden_dim=8, seed=0),
+    ...     cluster=ClusterSpec(num_machines=2, devices_per_machine=1),
+    ...     parallelism=ParallelismSpec(kind="dp", num_workers=2),
+    ... ).build()
+    >>> trainer = session.trainer          # a wired SwiftTrainer
+    >>> trace = trainer.train(2)
+    >>> (len(trace.losses), trainer.strategy.value)
+    (2, 'replication')
+    """
 
     def __init__(
         self,
@@ -282,6 +320,11 @@ class SwiftTrainer:
                 raise RecoveryError("too many recoveries; giving up")
             report = self.recovery.recover()
             self.trace.recoveries.append(report)
+            if self.config.checkpoint_after_recovery and self.tlog is not None:
+                # close the failure window: the crashed machine's log
+                # records are gone, so re-baseline before training resumes
+                stall = self.take_checkpoint()
+                self.trace.checkpoints.append((self.engine.iteration, stall))
             return result  # the interrupted iteration re-runs next step
 
         self.trace.losses.append(result.loss)

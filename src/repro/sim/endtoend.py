@@ -18,7 +18,67 @@ from repro.core.checkpoint import checkfreq_interval
 from repro.sim.costmodel import CostModel
 from repro.sim.workloads import Workload
 
-__all__ = ["EndToEndResult", "EndToEndSimulator"]
+__all__ = [
+    "EndToEndResult",
+    "EndToEndSimulator",
+    "per_iteration_overhead",
+    "recovery_seconds",
+]
+
+
+def per_iteration_overhead(
+    cost: CostModel, workload: Workload, method: str, interval: int
+) -> float:
+    """Amortized failure-free overhead added to every iteration.
+
+    Shared between :class:`EndToEndSimulator` and the scenario-driven
+    goodput evaluation in :mod:`repro.chaos.evaluate`, so the two always
+    price a method's steady-state cost identically.
+    """
+    if method == "global_checkpoint":
+        return cost.global_checkpoint_stall() / interval
+    if method in ("checkfreq", "elastic_horovod"):
+        stall = cost.snapshot_stall()
+        per = stall / interval
+        if method == "checkfreq":
+            per += cost.checkfreq_persist_interference() / interval
+        return per
+    if method == "swift_replication":
+        # zero failure-free overhead; only the safety-net checkpoints
+        return cost.global_checkpoint_stall() / max(
+            workload.checkpoint_interval_iters, interval
+        )
+    if method in ("swift_logging", "swift_logging_pr"):
+        return (
+            cost.logging_overhead("bubble")
+            + cost.global_checkpoint_stall() / interval
+        )
+    raise ValueError(f"unknown method {method!r}")
+
+
+def recovery_seconds(
+    cost: CostModel,
+    method: str,
+    lost_iterations: int,
+    parallel_degree: int = 16,
+) -> float:
+    """Seconds one failure costs ``method``, including re-computation."""
+    hw = cost.hw
+    base = hw.detection_time + hw.replacement_join_time
+    if method == "global_checkpoint":
+        return base + cost.recovery_global_checkpoint(
+            lost_iterations).recovery_time
+    if method in ("checkfreq", "elastic_horovod"):
+        return base + cost.recovery_snapshot(
+            lost_iterations, method).recovery_time
+    if method == "swift_replication":
+        return base + cost.recovery_replication().recovery_time
+    if method in ("swift_logging", "swift_logging_pr"):
+        degree = parallel_degree if method.endswith("_pr") else 1
+        return base + cost.recovery_logging(
+            lost_iterations, machines_per_group=1,
+            parallel_degree=degree).recovery_time
+    raise ValueError(f"unknown method {method!r}")
 
 
 @dataclass(frozen=True)
@@ -49,45 +109,12 @@ class EndToEndSimulator:
 
     # -- per-method per-iteration overheads and recovery -----------------------
     def _per_iteration_overhead(self, method: str, interval: int) -> float:
-        """Amortized failure-free overhead added to every iteration."""
-        if method == "global_checkpoint":
-            return self.cost.global_checkpoint_stall() / interval
-        if method in ("checkfreq", "elastic_horovod"):
-            stall = self.cost.snapshot_stall()
-            per = stall / interval
-            if method == "checkfreq":
-                per += self.cost.checkfreq_persist_interference() / interval
-            return per
-        if method == "swift_replication":
-            # zero failure-free overhead; only the safety-net checkpoints
-            return self.cost.global_checkpoint_stall() / max(
-                self.w.checkpoint_interval_iters, interval
-            )
-        if method in ("swift_logging", "swift_logging_pr"):
-            return (
-                self.cost.logging_overhead("bubble")
-                + self.cost.global_checkpoint_stall() / interval
-            )
-        raise ValueError(f"unknown method {method!r}")
+        return per_iteration_overhead(self.cost, self.w, method, interval)
 
     def _recovery_seconds(self, method: str, lost_iterations: int,
                           parallel_degree: int = 16) -> float:
-        hw = self.cost.hw
-        base = hw.detection_time + hw.replacement_join_time
-        if method == "global_checkpoint":
-            return base + self.cost.recovery_global_checkpoint(
-                lost_iterations).recovery_time
-        if method in ("checkfreq", "elastic_horovod"):
-            return base + self.cost.recovery_snapshot(
-                lost_iterations, method).recovery_time
-        if method == "swift_replication":
-            return base + self.cost.recovery_replication().recovery_time
-        if method in ("swift_logging", "swift_logging_pr"):
-            degree = parallel_degree if method.endswith("_pr") else 1
-            return base + self.cost.recovery_logging(
-                lost_iterations, machines_per_group=1,
-                parallel_degree=degree).recovery_time
-        raise ValueError(f"unknown method {method!r}")
+        return recovery_seconds(self.cost, method, lost_iterations,
+                                parallel_degree)
 
     # -- the simulation ------------------------------------------------------------
     def simulate(
@@ -155,6 +182,39 @@ class EndToEndSimulator:
             std_hours=float(np.std(hours)),
             mean_failures=float(np.mean(failures)),
             failure_free_hours=failure_free_hours,
+        )
+
+    def simulate_scenario(
+        self,
+        method: str,
+        scenario,
+        seeds: int | None = None,
+        interval: int | None = None,
+    ) -> EndToEndResult:
+        """Average end-to-end hours under a named chaos scenario.
+
+        Replaces the uniform-exponential failure model with machine-level
+        events drawn from :mod:`repro.chaos`: correlated rack bursts,
+        flaky nodes, storage outages, stragglers.  ``scenario`` is a
+        scenario name or :class:`~repro.chaos.ScenarioSpec`; one trace is
+        sampled per seed (``seeds`` defaults to ``self.repeats``, seeded
+        from ``self.seed``) and evaluated by
+        :func:`repro.chaos.evaluate.evaluate_trace`.
+        """
+        from repro.chaos.evaluate import evaluate_scenario
+
+        results = evaluate_scenario(
+            scenario, self.w, method,
+            seeds=range(self.seed, self.seed + (seeds or self.repeats)),
+            interval=interval,
+        )
+        hours = [r.hours for r in results]
+        return EndToEndResult(
+            method=method,
+            mean_hours=float(np.mean(hours)),
+            std_hours=float(np.std(hours)),
+            mean_failures=float(np.mean([r.num_crashes for r in results])),
+            failure_free_hours=results[0].failure_free_hours,
         )
 
     def sweep_interval(self, method: str, intervals: list[int]

@@ -131,9 +131,33 @@ class FleetSimulator:
         failures: list[FleetFailure] | None = None,
         max_rounds: int = 10_000,
         idle_time: float = 0.05,
+        scenario: object | None = None,
+        scenario_seed: int = 0,
+        trace: object | None = None,
     ):
         if not specs:
             raise ConfigurationError("fleet needs at least one job spec")
+        if scenario is not None and trace is not None:
+            raise ConfigurationError(
+                "pass either scenario= or trace=, not both"
+            )
+        #: the sampled/replayed chaos trace driving this fleet (if any)
+        self.chaos_trace = None
+        if scenario is not None:
+            from repro.chaos import get_scenario
+
+            spec = get_scenario(scenario)
+            # one fleet round == one training iteration per running job,
+            # so the scenario horizon maps onto the busiest job's span
+            horizon = max(s.arrival + s.iterations for s in specs)
+            self.chaos_trace = spec.sample(
+                scenario_seed, num_machines, horizon_iters=horizon
+            )
+        elif trace is not None:
+            self.chaos_trace = trace
+        if self.chaos_trace is not None:
+            failures = list(failures or [])
+            failures.extend(self.chaos_trace.to_fleet_failures())
         if num_spares >= num_machines:
             raise ConfigurationError("spares must leave schedulable machines")
         capacity = (num_machines - num_spares) * devices_per_machine

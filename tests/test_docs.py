@@ -1,0 +1,95 @@
+"""The documentation site must build clean (warnings are errors).
+
+Runs the zero-dependency builder (``docs/build.py``) in-process against
+a temp output directory: every hand-written page renders, every API
+reference page generates from the live package, and zero warnings are
+raised — the same gate CI runs via ``python docs/build.py --strict``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+DOCS_DIR = Path(__file__).resolve().parent.parent / "docs"
+
+
+@pytest.fixture(scope="module")
+def builder():
+    spec = importlib.util.spec_from_file_location(
+        "docs_build", DOCS_DIR / "build.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["docs_build"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsBuild:
+    def test_builds_with_zero_warnings(self, builder, tmp_path):
+        log = builder.BuildLog()
+        pages = builder.build(tmp_path / "site", log)
+        assert log.warnings == []
+        # every guide page and every API page rendered
+        for source, _ in builder.PAGES:
+            assert builder.page_name(source) in pages
+        for module_name in builder.API_MODULES:
+            assert builder.api_page_name(module_name) in pages
+        for name in pages:
+            assert (tmp_path / "site" / name).exists()
+
+    def test_api_pages_document_key_exports(self, builder, tmp_path):
+        log = builder.BuildLog()
+        pages = builder.build(tmp_path / "site", log)
+        api = pages[builder.api_page_name("repro.api")]
+        assert "Experiment" in api and "FaultToleranceSpec" in api
+        chaos = pages[builder.api_page_name("repro.chaos")]
+        assert "ScenarioSpec" in chaos and "FailureTrace" in chaos
+        jobs = pages[builder.api_page_name("repro.jobs")]
+        assert "JobSpec" in jobs
+
+    def test_broken_internal_link_is_a_warning(self, builder):
+        log = builder.BuildLog()
+        pages = {"a.html": '<a href="missing.html">x</a>'}
+        builder.check_links(pages, log)
+        assert any("broken internal link" in w for w in log.warnings)
+
+    def test_external_links_are_not_warnings(self, builder):
+        log = builder.BuildLog()
+        pages = {"a.html": '<a href="https://arxiv.org/abs/2302.06173">x</a>'}
+        builder.check_links(pages, log)
+        assert log.warnings == []
+
+    def test_missing_docstring_is_a_warning(self, builder):
+        log = builder.BuildLog()
+        class Undocumented:  # noqa: empty on purpose
+            pass
+        Undocumented.__doc__ = None
+        html = builder._docstring_html(Undocumented, log, "x.Undocumented")
+        assert "Undocumented" in html
+        assert any("no docstring" in w for w in log.warnings)
+
+
+class TestMarkdownRenderer:
+    def test_headings_code_and_emphasis(self, builder):
+        out = builder.render_markdown(
+            "# Title\n\nSome `code` and **bold** text.\n"
+        )
+        assert '<h1 id="title">Title</h1>' in out
+        assert "<code>code</code>" in out and "<strong>bold</strong>" in out
+
+    def test_fenced_code_block_escapes(self, builder):
+        out = builder.render_markdown("```\nx = a < b\n```\n")
+        assert "<pre><code>x = a &lt; b</code></pre>" in out
+
+    def test_table(self, builder):
+        out = builder.render_markdown("| a | b |\n|---|---|\n| 1 | 2 |\n")
+        assert "<table>" in out and "<th>a</th>" in out
+        assert "<td>1</td>" in out
+        assert "---" not in out  # separator row consumed
+
+    def test_lists(self, builder):
+        out = builder.render_markdown("- one\n- two\n\n1. first\n2. second\n")
+        assert out.count("<li>") == 4
+        assert "<ul>" in out and "<ol>" in out
