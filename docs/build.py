@@ -44,12 +44,13 @@ PAGES = [
     ("architecture.md", "Architecture"),
     ("recovery-policies.md", "Recovery policies"),
     ("scenarios.md", "Failure scenarios"),
+    ("observability.md", "Observability"),
     ("benchmarks.md", "Benchmark trajectory"),
     ("migration.md", "Migration guide"),
 ]
 
 #: modules whose public surface gets an auto-generated reference page
-API_MODULES = ["repro.api", "repro.jobs", "repro.chaos"]
+API_MODULES = ["repro.api", "repro.jobs", "repro.chaos", "repro.obs"]
 
 CSS = """
 body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;

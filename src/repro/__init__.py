@@ -22,7 +22,11 @@ is layered:
 * :mod:`repro.chaos` -- trace- and distribution-driven failure
   scenarios: seeded failure processes, a registry of named scenarios,
   and the :class:`~repro.chaos.FailureTrace` record/replay format that
-  makes any stochastic run bitwise-reproducible.
+  makes any stochastic run bitwise-reproducible;
+* :mod:`repro.obs` -- the observability layer: zero-overhead-when-
+  disabled spans/counters/gauges across trainer, engines, and fleet,
+  captured into a versioned :class:`~repro.obs.TelemetryTrace` with
+  Chrome-trace (Perfetto), CSV, and terminal exporters.
 """
 
 from repro import (
@@ -35,9 +39,16 @@ from repro import (
     jobs,
     models,
     nn,
+    obs,
     optim,
     parallel,
     sim,
+)
+from repro.obs import (
+    NullRecorder,
+    TelemetryTrace,
+    TraceRecorder,
+    record_recovery_phases,
 )
 from repro.chaos import FailureTrace, ScenarioSpec, get_scenario
 from repro.api import (
@@ -76,6 +87,11 @@ __all__ = [
     "jobs",
     "api",
     "chaos",
+    "obs",
+    "TelemetryTrace",
+    "TraceRecorder",
+    "NullRecorder",
+    "record_recovery_phases",
     "FailureTrace",
     "ScenarioSpec",
     "get_scenario",

@@ -142,6 +142,8 @@ class ExecutionPlan:
             f"iterations under {self.checkpoint_prefix!r}"
             + (" (incremental)" if self.incremental_checkpoints else ""),
             f"  model state:     {self.model_state_bytes / GB:.3g} GB",
+            "  instrumentation: repro.obs spans on trainer + engine "
+            "hot paths (attach via Session.run(recorder=...))",
         ]
         if self.feasibility is not None:
             f = self.feasibility

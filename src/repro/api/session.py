@@ -22,8 +22,14 @@ from repro.core.detector import FailureDetector
 from repro.core.sharded_recovery import ShardedReplicationRecovery
 from repro.core.strategy import FTStrategy
 from repro.core.trainer import SwiftTrainer, TrainingTrace
-from repro.errors import RecoveryError
+from repro.errors import ConfigurationError, RecoveryError
 from repro.jobs.spec import Job, JobSpec
+from repro.obs import (
+    NULL_RECORDER,
+    Recorder,
+    TelemetryTrace,
+    record_recovery_phases,
+)
 from repro.parallel.results import IterationResult
 
 __all__ = ["Session"]
@@ -60,6 +66,9 @@ class Session:
         )
         self.clock = clock or SimClock()
         self.engine = build_engine(plan, self.cluster, self.clock)
+        #: instrumentation sink; attach one via run(recorder=...) or
+        #: :meth:`attach_recorder`
+        self._recorder: Recorder = NULL_RECORDER
         #: the last scenario trace sampled by :meth:`run` (if any)
         self.chaos_trace = None
         ft = experiment.fault_tolerance
@@ -103,6 +112,53 @@ class Session:
             return self.trainer.trace
         return self._trace
 
+    @property
+    def recorder(self) -> Recorder:
+        """The attached instrumentation sink (NULL_RECORDER by default)."""
+        return self._recorder
+
+    def attach_recorder(self, recorder: Recorder) -> None:
+        """Route this session's instrumentation through ``recorder``.
+
+        Binds the session's sim clock to the recorder (unless it already
+        has one) and threads the recorder through the trainer and engine
+        so every iteration phase, recovery phase, counter, and gauge
+        lands in the same telemetry stream.
+        """
+        self._recorder = recorder
+        if recorder.enabled and getattr(recorder, "clock", None) is None:
+            recorder.clock = self.clock
+        if self.trainer is not None:
+            self.trainer.recorder = recorder
+        self.engine.recorder = recorder
+
+    @property
+    def telemetry(self) -> TelemetryTrace:
+        """Telemetry of this session's recorded runs, metadata-stamped.
+
+        Requires a :class:`~repro.obs.TraceRecorder` attached via
+        ``run(recorder=...)`` or :meth:`attach_recorder`.
+        """
+        rec = self._recorder
+        if not rec.enabled or not hasattr(rec, "trace"):
+            raise ConfigurationError(
+                "no TraceRecorder attached; pass recorder= to run() "
+                "or call attach_recorder() first"
+            )
+        ft = self.experiment.fault_tolerance
+        meta = {
+            "experiment": self.experiment.name,
+            "engine": self.plan.engine_kind,
+            "strategy": str(
+                getattr(self.plan.strategy, "value", self.plan.strategy)
+            ),
+            "batch_size": self.experiment.data.batch_size,
+        }
+        if ft.scenario is not None:
+            meta["scenario"] = ft.scenario
+            meta["scenario_seed"] = ft.scenario_seed
+        return rec.trace(source=f"session:{self.experiment.name}", **meta)
+
     def describe(self) -> str:
         lines = [self.plan.describe()]
         lines.append(
@@ -118,6 +174,7 @@ class Session:
         iterations: int,
         failures: FailureSchedule | None = None,
         max_recoveries: int | None = None,
+        recorder: Recorder | None = None,
     ) -> TrainingTrace:
         """Train to ``iterations``, recovering from scheduled failures.
 
@@ -129,7 +186,15 @@ class Session:
         passed, the scenario is sampled (seeded by ``scenario_seed``)
         over this run's iteration horizon; the sampled trace is kept on
         :attr:`chaos_trace` for saving/replay.
+
+        Pass ``recorder=`` (e.g. a :class:`~repro.obs.TraceRecorder`) to
+        capture per-phase telemetry; it stays attached for later calls
+        and :attr:`telemetry` freezes the stream.  The default null
+        recorder keeps the run bitwise-identical to an uninstrumented
+        one.
         """
+        if recorder is not None:
+            self.attach_recorder(recorder)
         ft = self.experiment.fault_tolerance
         if failures is None and ft.scenario is not None:
             # the scenario describes the [0, iterations) timeline; a
@@ -162,15 +227,34 @@ class Session:
 
     # -- fsdp driving (no SwiftTrainer exists for sharded engines) --------
     def _step_fsdp(self, failures: FailureSchedule) -> IterationResult:
-        failure = SwiftTrainer._due_failure(failures, self.engine.iteration)
-        result = self.engine.run_iteration(failure=failure)
+        rec = self._recorder
+        it = self.engine.iteration
+        failure = SwiftTrainer._due_failure(failures, it)
+        with rec.span("trainer/iteration") as sp:
+            result = self.engine.run_iteration(failure=failure)
+            if result.failed:
+                sp.set(iteration=it, failed=True)
+            else:
+                sp.set(iteration=result.iteration, loss=result.loss)
         if result.failed:
+            rec.count("trainer/failures")
             self._recoveries += 1
             if self._recoveries > self._max_recoveries:
                 raise RecoveryError("too many recoveries; giving up")
-            report = self.recovery.recover()
+            with rec.span("trainer/recovery") as sp:
+                report = self.recovery.recover()
+                sp.set(strategy=report.strategy,
+                       lost_iterations=report.lost_iterations)
             self._trace.recoveries.append(report)
+            rec.count("trainer/recoveries")
+            record_recovery_phases(
+                rec, report, sim_end=self.clock.now,
+                resume_iteration=report.resume_iteration,
+            )
             return result
+        rec.count("trainer/iterations")
+        if rec.enabled:
+            rec.gauge("trainer/loss", result.loss)
         self._trace.losses.append(result.loss)
         self._trace.iteration_times.append(result.sim_time)
         self._trace.iteration_numbers.append(result.iteration)

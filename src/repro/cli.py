@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli chaos --list
     python -m repro.cli chaos --scenario rack_burst --seeds 5
     python -m repro.cli chaos --trace traces/rack_burst_seed0.jsonl
+    python -m repro.cli obs traces/telemetry.jsonl [--chrome out.json]
+    python -m repro.cli obs traces/live.jsonl --follow
 
 Each subcommand prints the same rows the corresponding paper artifact
 reports (the pytest benchmarks under ``benchmarks/`` are the asserted
@@ -46,6 +48,15 @@ from repro.chaos import (
     scenario_names,
 )
 from repro.errors import ConfigurationError
+from repro.obs import (
+    JsonlSink,
+    TelemetryEvent,
+    TelemetryTrace,
+    TraceRecorder,
+    summarize_telemetry,
+    telemetry_to_csv,
+    to_chrome_trace,
+)
 from repro.sim import (
     BERT_128,
     VIT_128_32,
@@ -197,12 +208,23 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Multi-tenant fleet demo: mixed DP/PP jobs, preemption, failures."""
+    recorder = sink = None
     try:
         specs, failures = demo_fleet_specs(args.iterations)
         trace = _load_trace(args.trace) if args.trace else None
         if args.scenario or trace is not None:
             # scenario/trace-driven crashes replace the demo's scripted two
             failures = []
+        if args.telemetry:
+            # stream events to disk as they happen so another terminal
+            # can `repro obs FILE --follow` the run live
+            recorder = TraceRecorder()
+            sink = JsonlSink(
+                args.telemetry, source="fleet",
+                machines=args.machines, devices=args.devices,
+                spares=args.spares,
+            )
+            recorder.subscribe(sink)
         sim = FleetSimulator(
             specs,
             num_machines=args.machines,
@@ -212,11 +234,15 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             scenario=args.scenario,
             scenario_seed=args.scenario_seed,
             trace=trace,
+            recorder=recorder,
         )
         report = sim.run()
     except ConfigurationError as exc:
         print(f"fleet: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if sink is not None:
+            sink.close()
     injected = (
         len(sim.chaos_trace.crashes) if sim.chaos_trace is not None
         else len(failures)
@@ -230,6 +256,9 @@ def cmd_fleet(args: argparse.Namespace) -> int:
           f"shared cluster, {args.spares} spare(s), "
           f"{injected} injected failures [{source}]")
     print(report.format_table())
+    if args.telemetry:
+        print(f"telemetry streamed to {args.telemetry} "
+              f"(summarize: python -m repro.cli obs {args.telemetry})")
     return 0
 
 
@@ -272,8 +301,13 @@ def _chaos_experiment(parallelism: str, machines: int,
 
 
 def _chaos_run(trace, parallelism: str, machines: int, iterations: int,
-               checkpoint_interval: int):
-    """Execute one trace on a real engine; returns (TrainingTrace, batch)."""
+               checkpoint_interval: int, recorder=None):
+    """Execute one trace on a real engine.
+
+    Returns ``(TrainingTrace, batch_size, Session)``; pass a
+    :class:`~repro.obs.TraceRecorder` to capture telemetry
+    (``session.telemetry`` afterwards).
+    """
     exp = _chaos_experiment(parallelism, machines, checkpoint_interval)
     session = exp.build()
     schedule = trace.to_schedule()
@@ -281,8 +315,15 @@ def _chaos_run(trace, parallelism: str, machines: int, iterations: int,
         iterations,
         failures=schedule,
         max_recoveries=len(schedule) + 16,
+        recorder=recorder,
     )
-    return run, exp.data.batch_size
+    return run, exp.data.batch_size, session
+
+
+def _telemetry_seed_path(base: str, seed: int) -> Path:
+    """Per-seed telemetry file: insert ``_seedN`` before the suffix."""
+    p = Path(base)
+    return p.with_name(f"{p.stem}_seed{seed}{p.suffix or '.jsonl'}")
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -306,8 +347,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         machines = int(meta.get("machines", trace.num_machines))
         iterations = int(meta.get("iterations", trace.horizon_iters or 60))
         interval = int(meta.get("checkpoint_interval", args.ckpt_interval))
-        run, batch = _chaos_run(
-            trace, parallelism, machines, iterations, interval
+        recorder = TraceRecorder() if args.telemetry else None
+        run, batch, session = _chaos_run(
+            trace, parallelism, machines, iterations, interval,
+            recorder=recorder,
         )
         goodput = run.goodput(batch)
         recorded = meta.get("goodput")
@@ -316,6 +359,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"  goodput: {goodput!r} samples/s "
               f"({len(run.recoveries)} recoveries, "
               f"final loss {run.losses[-1]!r})")
+        if recorder is not None:
+            telemetry = session.telemetry.with_meta(
+                scenario=trace.scenario, scenario_seed=trace.seed,
+            )
+            path = telemetry.save(args.telemetry)
+            print(f"  telemetry: {path} "
+                  f"(summarize: python -m repro.cli obs {path})")
         if recorded is None:
             return 0
         match = repr(goodput) == recorded
@@ -345,10 +395,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     for seed in range(args.seeds):
         trace = spec.sample(seed, args.machines,
                             horizon_iters=args.iterations)
-        run, batch = _chaos_run(
+        recorder = TraceRecorder() if args.telemetry else None
+        run, batch, session = _chaos_run(
             trace, args.parallelism, args.machines, args.iterations,
-            args.ckpt_interval,
+            args.ckpt_interval, recorder=recorder,
         )
+        if recorder is not None:
+            session.telemetry.with_meta(
+                scenario=spec.name, scenario_seed=seed,
+            ).save(_telemetry_seed_path(args.telemetry, seed))
         goodput = run.goodput(batch)
         goodputs.append(goodput)
         lost = sum(r.lost_iterations for r in run.recoveries)
@@ -371,6 +426,102 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"{mean:.4f} samples/s")
     print(f"replay any run bitwise:  python -m repro.cli chaos "
           f"--trace {out_dir / (spec.name + '_seed0.jsonl')}")
+    if args.telemetry:
+        print(f"telemetry per seed:      "
+              f"{_telemetry_seed_path(args.telemetry, 0)} ...")
+    return 0
+
+
+def _format_event(e: TelemetryEvent) -> str:
+    """One human-readable line per event (the --follow stream format)."""
+    sim = f"{e.sim:12.4f}" if e.sim is not None else " " * 12
+    if e.kind == "span":
+        dur = e.sim_dur if e.sim_dur is not None else e.wall_dur
+        return f"{sim} span    {e.name:<28} {dur:.6f}s"
+    if e.kind in ("count", "gauge"):
+        return f"{sim} {e.kind:<7} {e.name:<28} {e.value:g}"
+    return f"{sim} instant {e.name}"
+
+
+def _obs_follow(path: Path, idle_timeout: float) -> int:
+    """Tail a live telemetry JSONL (a JsonlSink stream) until it idles."""
+    import time as _time
+
+    start = _time.monotonic()
+    while not path.exists():
+        if _time.monotonic() - start > idle_timeout:
+            print(f"obs: {path} never appeared "
+                  f"(waited {idle_timeout:g}s)", file=sys.stderr)
+            return 2
+        _time.sleep(0.1)
+    try:
+        return _obs_follow_loop(path, idle_timeout)
+    except BrokenPipeError:
+        return 0  # reader (e.g. `| head`) went away; not an error
+
+
+def _obs_follow_loop(path: Path, idle_timeout: float) -> int:
+    import json
+    import time as _time
+
+    header = None
+    last_data = _time.monotonic()
+    with path.open("rb") as fh:
+        buf = b""
+        while True:
+            chunk = fh.readline()
+            if chunk:
+                buf += chunk
+                if not buf.endswith(b"\n"):
+                    continue  # partial line: wait for the writer's flush
+                line, buf = buf.decode(), b""
+                last_data = _time.monotonic()
+                if header is None:
+                    header = json.loads(line)
+                    print(f"following {path} "
+                          f"(source {header.get('source')!r}, "
+                          f"v{header.get('version')})")
+                    continue
+                print(_format_event(TelemetryEvent.from_json(line)))
+            else:
+                if _time.monotonic() - last_data > idle_timeout:
+                    break
+                _time.sleep(0.1)
+    print(f"obs: stream idle for {idle_timeout:g}s; stopped following")
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Summarize, export, or tail a telemetry JSONL stream."""
+    path = Path(args.file)
+    if args.follow:
+        return _obs_follow(path, args.idle_timeout)
+    try:
+        trace = TelemetryTrace.load(path)
+    except (OSError, ConfigurationError) as exc:
+        print(f"obs: cannot read telemetry {args.file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    exported = False
+    if args.chrome:
+        out = Path(args.chrome)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(to_chrome_trace(trace, timeline=args.timeline))
+        print(f"wrote Chrome trace ({args.timeline} timeline) to {out} "
+              f"-- load it at https://ui.perfetto.dev")
+        exported = True
+    if args.csv:
+        text = telemetry_to_csv(trace)
+        if args.csv == "-":
+            sys.stdout.write(text)
+        else:
+            out = Path(args.csv)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(text)
+            print(f"wrote per-iteration CSV to {out}")
+        exported = True
+    if not exported:
+        print(summarize_telemetry(trace))
     return 0
 
 
@@ -417,6 +568,9 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--trace", default=None,
                        help="replay crashes from a saved FailureTrace "
                             "JSONL file")
+    fleet.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="stream live telemetry JSONL to FILE "
+                            "(tail it with: repro obs FILE --follow)")
     fleet.set_defaults(fn=cmd_fleet)
 
     chaos = sub.add_parser(
@@ -440,7 +594,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "recorded goodput bitwise")
     chaos.add_argument("--list", action="store_true",
                        help="list registered scenarios and exit")
+    chaos.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="record per-phase telemetry; scenario runs "
+                            "write one FILE per seed (_seedN suffix)")
     chaos.set_defaults(fn=cmd_chaos)
+
+    obs = sub.add_parser(
+        "obs", help="summarize, export, or tail a telemetry JSONL stream"
+    )
+    obs.add_argument("file", help="telemetry JSONL (from --telemetry, "
+                                  "session.telemetry.save(), or a JsonlSink)")
+    obs.add_argument("--chrome", default=None, metavar="OUT",
+                     help="export Chrome trace-event JSON for Perfetto / "
+                          "chrome://tracing")
+    obs.add_argument("--timeline", choices=["wall", "sim"], default="wall",
+                     help="clock driving the Chrome trace axis "
+                          "(default: wall)")
+    obs.add_argument("--csv", default=None, metavar="OUT",
+                     help="export per-iteration CSV rows ('-' for stdout)")
+    obs.add_argument("--follow", action="store_true",
+                     help="tail a live stream (e.g. fleet --telemetry) "
+                          "until it idles")
+    obs.add_argument("--idle-timeout", type=float, default=5.0,
+                     help="seconds of silence before --follow stops")
+    obs.set_defaults(fn=cmd_obs)
 
     plan = sub.add_parser("plan", help="selective-logging group planner")
     plan.add_argument("--workload", choices=["vit", "bert"], default="bert")

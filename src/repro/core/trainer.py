@@ -31,6 +31,7 @@ from repro.core.replication import RecoveryReport
 from repro.core.strategy import FTStrategy
 from repro.core.tlog import GroupingPlan, LoggingMode
 from repro.errors import ConfigurationError, RecoveryError
+from repro.obs import NULL_RECORDER, Recorder, record_recovery_phases
 from repro.parallel.data_parallel import DataParallelEngine
 from repro.parallel.pipeline import PipelineEngine
 from repro.parallel.results import IterationResult
@@ -177,11 +178,18 @@ class SwiftTrainer:
         snapshots: SnapshotManager | None = None,
         snapshot_interval: int | None = None,
         checkpoint_prefix: str = "ckpt",
+        recorder: Recorder | None = None,
     ):
         self.engine = engine
         self.config = config
         self.clock = clock or engine.clock
         self.cluster = engine.cluster
+        #: instrumentation sink; the default NULL_RECORDER records nothing
+        #: and keeps every path bitwise-identical to an uninstrumented run
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        if self.recorder.enabled and getattr(self.recorder, "clock", None) is None:
+            self.recorder.clock = self.clock
+        engine.recorder = self.recorder
         #: distinct prefixes let several jobs share one global store
         #: without clobbering each other's checkpoints (repro.jobs)
         self.checkpoints = CheckpointManager(
@@ -238,23 +246,30 @@ class SwiftTrainer:
         reports select the leaves to persist; the reports are cleared only
         after the save succeeds.
         """
+        rec = self.recorder
         dirty = None
-        shards = self._engine_shards()
-        if self.config.incremental_checkpoints:
-            dirty = {
-                (s.stage_id if self.is_pipeline else s.rank):
-                    s.dirty_full_state_keys()
-                for s in shards
-            }
-        stall = self.checkpoints.save_global(
-            self._engine_states(),
-            self.engine.iteration,
-            pipelined=self.is_pipeline,
-            dirty=dirty,
-        )
+        with rec.span("checkpoint/capture", iteration=self.engine.iteration):
+            shards = self._engine_shards()
+            if self.config.incremental_checkpoints:
+                dirty = {
+                    (s.stage_id if self.is_pipeline else s.rank):
+                        s.dirty_full_state_keys()
+                    for s in shards
+                }
+            states = self._engine_states()
+        with rec.span("checkpoint/persist",
+                      iteration=self.engine.iteration) as sp:
+            stall = self.checkpoints.save_global(
+                states,
+                self.engine.iteration,
+                pipelined=self.is_pipeline,
+                dirty=dirty,
+            )
+            sp.set(stall_s=stall)
         if dirty is not None:
             for s in shards:
                 s.clear_dirty()
+        rec.count("trainer/checkpoints")
         return stall
 
     def take_snapshot(self) -> None:
@@ -305,10 +320,17 @@ class SwiftTrainer:
         ):
             self.take_snapshot()
 
+        rec = self.recorder
         failure = self._due_failure(failures, it)
-        result: IterationResult = self.engine.run_iteration(failure=failure)
+        with rec.span("trainer/iteration") as sp:
+            result: IterationResult = self.engine.run_iteration(failure=failure)
+            if result.failed:
+                sp.set(iteration=it, failed=True)
+            else:
+                sp.set(iteration=result.iteration, loss=result.loss)
 
         if result.failed:
+            rec.count("trainer/failures")
             # multiple simultaneous failures: fail the co-scheduled
             # machines before recovery so it handles them jointly
             # (Appendix B)
@@ -318,8 +340,7 @@ class SwiftTrainer:
             self._recoveries += 1
             if self._recoveries > self.max_recoveries:
                 raise RecoveryError("too many recoveries; giving up")
-            report = self.recovery.recover()
-            self.trace.recoveries.append(report)
+            report = self._recover_instrumented()
             if self.config.checkpoint_after_recovery and self.tlog is not None:
                 # close the failure window: the crashed machine's log
                 # records are gone, so re-baseline before training resumes
@@ -327,6 +348,11 @@ class SwiftTrainer:
                 self.trace.checkpoints.append((self.engine.iteration, stall))
             return result  # the interrupted iteration re-runs next step
 
+        rec.count("trainer/iterations")
+        if rec.enabled:
+            rec.gauge("trainer/loss", result.loss)
+            if self.tlog is not None:
+                rec.gauge("tlog/bytes", self.tlog.total_bytes())
         self.trace.losses.append(result.loss)
         self.trace.iteration_times.append(result.sim_time)
         self.trace.iteration_numbers.append(result.iteration)
@@ -343,8 +369,22 @@ class SwiftTrainer:
         self._recoveries += 1
         if self._recoveries > self.max_recoveries:
             raise RecoveryError("too many recoveries; giving up")
-        report = self.recovery.recover()
+        return self._recover_instrumented()
+
+    def _recover_instrumented(self) -> RecoveryReport:
+        """Run recovery, record the report and its telemetry decomposition."""
+        with self.recorder.span("trainer/recovery") as sp:
+            report = self.recovery.recover()
+            sp.set(strategy=report.strategy,
+                   lost_iterations=report.lost_iterations)
         self.trace.recoveries.append(report)
+        self.recorder.count("trainer/recoveries")
+        # recovery advanced the sim clock through detect -> rollback ->
+        # rejoin -> replay; decompose it into per-phase telemetry spans
+        record_recovery_phases(
+            self.recorder, report, sim_end=self.clock.now,
+            resume_iteration=report.resume_iteration,
+        )
         return report
 
     def train(

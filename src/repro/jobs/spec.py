@@ -314,6 +314,16 @@ class Job:
         return self.trainer.trace.recoveries if self.trainer else []
 
     @property
+    def recovery_time(self) -> float:
+        """Simulated seconds this job spent inside recovery paths."""
+        return self.trainer.trace.recovery_time_total if self.trainer else 0.0
+
+    @property
+    def lost_iterations(self) -> int:
+        """Iterations of work recovery had to recompute (0 for replication)."""
+        return sum(rep.lost_iterations for rep in self.recoveries)
+
+    @property
     def queueing_delay(self) -> float:
         """Fleet seconds spent waiting between submission and placement."""
         if self.start_time is None:

@@ -1,0 +1,420 @@
+"""Recorders: zero-overhead-when-disabled instrumentation.
+
+The instrumented code (trainer, engines, fleet) holds a
+:class:`Recorder` and calls ``recorder.span(...)`` / ``count`` /
+``gauge`` unconditionally.  The default :data:`NULL_RECORDER` makes
+every call a cheap no-op returning a shared inert context manager —
+no event objects, no string formatting, no timestamps — so the hot
+paths stay bitwise-identical and within the <2% overhead budget
+(gated by ``benchmarks/bench_obs_overhead.py``).  Attaching a
+:class:`TraceRecorder` turns the same call sites into a
+:class:`~repro.obs.telemetry.TelemetryTrace` stream.
+
+Expensive attribute computation should be guarded on
+``recorder.enabled`` so the null path never pays for it::
+
+    if recorder.enabled:
+        recorder.gauge("tlog/bytes", tlog.total_bytes())
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import TelemetryEvent, TelemetryTrace
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceRecorder",
+    "Span",
+    "JsonlSink",
+    "record_recovery_phases",
+]
+
+
+class _NullSpan:
+    """Shared inert context manager returned by disabled recorders."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """No-op base recorder; the protocol every instrumented site uses.
+
+    Subclass and override to capture events.  The base class *is* the
+    null implementation so that call sites never branch: ``span`` hands
+    back a shared inert context manager, ``count``/``gauge``/``instant``
+    return immediately.
+
+    >>> r = Recorder()
+    >>> r.enabled
+    False
+    >>> with r.span("engine/allreduce", bytes=1024) as s:
+    ...     _ = s.set(workers=8)    # no-op
+    >>> r.count("iterations")       # no-op
+    """
+
+    #: gate for expensive attribute computation at call sites
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> object:
+        """Open a named interval; use as a context manager."""
+        return _NULL_SPAN
+
+    def span_at(
+        self,
+        name: str,
+        *,
+        sim: float,
+        sim_dur: float,
+        wall: float | None = None,
+        wall_dur: float = 0.0,
+        track: str | None = None,
+        **attrs: object,
+    ) -> None:
+        """Record a synthetic span at explicit sim-time coordinates.
+
+        For phases whose timing is known only after the fact (the
+        recovery reports decompose detection/rollback/replay times once
+        recovery has already finished).
+        """
+
+    def count(self, name: str, value: float = 1.0, **attrs: object) -> None:
+        """Increment a monotonic counter."""
+
+    def gauge(self, name: str, value: float, **attrs: object) -> None:
+        """Sample the current level of a quantity."""
+
+    def instant(self, name: str, **attrs: object) -> None:
+        """Record a point event."""
+
+    def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        """Attach a live event callback (no-op when disabled)."""
+
+    def unsubscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        """Detach a previously attached callback."""
+
+
+class NullRecorder(Recorder):
+    """The explicit do-nothing recorder (identical to the base class).
+
+    >>> NullRecorder().enabled
+    False
+    """
+
+
+#: process-wide default recorder: always safe to call, never records
+NULL_RECORDER = NullRecorder()
+
+
+class Span:
+    """A live interval being recorded by a :class:`TraceRecorder`.
+
+    Captures wall time (``perf_counter``) and sim time (when the
+    recorder has a clock bound) at ``__enter__``, emits one ``span``
+    event at ``__exit__``.  ``set(**attrs)`` adds attributes any time
+    before exit.
+    """
+
+    __slots__ = ("_recorder", "name", "track", "_attrs",
+                 "_wall0", "_sim0", "_done")
+
+    def __init__(self, recorder: "TraceRecorder", name: str,
+                 track: str, attrs: dict):
+        self._recorder = recorder
+        self.name = name
+        self.track = track
+        self._attrs = attrs
+        self._wall0 = 0.0
+        self._sim0: float | None = None
+        self._done = False
+
+    def set(self, **attrs: object) -> "Span":
+        self._attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._wall0 = time.perf_counter()
+        clock = self._recorder.clock
+        self._sim0 = clock.now if clock is not None else None
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._done:  # idempotent: re-exit records nothing
+            return False
+        self._done = True
+        rec = self._recorder
+        wall1 = time.perf_counter()
+        clock = rec.clock
+        sim1 = clock.now if clock is not None else None
+        rec._emit(TelemetryEvent(
+            seq=rec._next_seq(),
+            kind="span",
+            name=self.name,
+            track=self.track,
+            wall=self._wall0 - rec._epoch,
+            wall_dur=max(0.0, wall1 - self._wall0),
+            sim=self._sim0,
+            sim_dur=(
+                max(0.0, sim1 - self._sim0)
+                if sim1 is not None and self._sim0 is not None
+                else None
+            ),
+            attrs=tuple(
+                (str(k), str(v)) for k, v in self._attrs.items()
+            ),
+        ))
+        return False
+
+
+class TraceRecorder(Recorder):
+    """Recorder that captures every event into a telemetry stream.
+
+    Bind a sim clock (any object with a ``.now`` float attribute, e.g.
+    :class:`~repro.cluster.clock.SimClock`) to timestamp events on the
+    simulated timeline too; ``repro.api.Session.run(recorder=...)`` and
+    ``SwiftTrainer`` do this automatically.
+
+    >>> r = TraceRecorder()
+    >>> with r.span("demo/work", detail="x"):
+    ...     r.count("items", 3)
+    >>> t = r.trace("doctest")
+    >>> [e.kind for e in t.events]
+    ['count', 'span']
+    >>> t.counter_totals()
+    {'items': 3.0}
+    """
+
+    enabled = True
+
+    def __init__(self, clock: object | None = None, track: str = "main"):
+        #: object with a ``.now`` attribute giving simulated seconds
+        self.clock = clock
+        self.track = track
+        self._epoch = time.perf_counter()
+        self._events: list[TelemetryEvent] = []
+        self._seq = 0
+        #: running counter totals, live-readable during a run
+        self.counters: dict[str, float] = {}
+        #: last-seen gauge levels, live-readable during a run
+        self.gauges: dict[str, float] = {}
+        self._subscribers: list[Callable[[TelemetryEvent], None]] = []
+
+    # -- internals --------------------------------------------------------
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _emit(self, event: TelemetryEvent) -> None:
+        self._events.append(event)
+        for cb in self._subscribers:
+            cb(event)
+
+    def _now(self) -> tuple[float, float | None]:
+        wall = time.perf_counter() - self._epoch
+        sim = self.clock.now if self.clock is not None else None
+        return wall, sim
+
+    @staticmethod
+    def _attrs(attrs: dict) -> tuple[tuple[str, str], ...]:
+        return tuple((str(k), str(v)) for k, v in attrs.items())
+
+    # -- recording API ----------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        return Span(self, name, self.track, dict(attrs))
+
+    def span_at(
+        self,
+        name: str,
+        *,
+        sim: float,
+        sim_dur: float,
+        wall: float | None = None,
+        wall_dur: float = 0.0,
+        track: str | None = None,
+        **attrs: object,
+    ) -> None:
+        if wall is None:
+            wall = time.perf_counter() - self._epoch
+        self._emit(TelemetryEvent(
+            seq=self._next_seq(), kind="span", name=name,
+            track=track if track is not None else self.track,
+            wall=wall, wall_dur=wall_dur, sim=sim, sim_dur=sim_dur,
+            attrs=self._attrs(attrs),
+        ))
+
+    def count(self, name: str, value: float = 1.0, **attrs: object) -> None:
+        wall, sim = self._now()
+        self.counters[name] = self.counters.get(name, 0.0) + value
+        self._emit(TelemetryEvent(
+            seq=self._next_seq(), kind="count", name=name, track=self.track,
+            wall=wall, sim=sim, value=float(value),
+            attrs=self._attrs(attrs),
+        ))
+
+    def gauge(self, name: str, value: float, **attrs: object) -> None:
+        wall, sim = self._now()
+        self.gauges[name] = float(value)
+        self._emit(TelemetryEvent(
+            seq=self._next_seq(), kind="gauge", name=name, track=self.track,
+            wall=wall, sim=sim, value=float(value),
+            attrs=self._attrs(attrs),
+        ))
+
+    def instant(self, name: str, **attrs: object) -> None:
+        wall, sim = self._now()
+        self._emit(TelemetryEvent(
+            seq=self._next_seq(), kind="instant", name=name, track=self.track,
+            wall=wall, sim=sim,
+            attrs=self._attrs(attrs),
+        ))
+
+    # -- subscribers ------------------------------------------------------
+    def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    # -- export -----------------------------------------------------------
+    @property
+    def events(self) -> tuple[TelemetryEvent, ...]:
+        return tuple(self._events)
+
+    def trace(self, source: str = "run", **meta: object) -> TelemetryTrace:
+        """Freeze the recorded stream into a :class:`TelemetryTrace`."""
+        return TelemetryTrace(
+            source=source,
+            events=tuple(self._events),
+            meta=tuple(sorted(
+                (str(k), str(v)) for k, v in meta.items()
+            )),
+        )
+
+    def clear(self) -> None:
+        """Drop all recorded events (counters and gauges included)."""
+        self._events.clear()
+        self._seq = 0
+        self.counters.clear()
+        self.gauges.clear()
+
+
+class JsonlSink:
+    """Subscriber that streams events to a JSONL file as they happen.
+
+    Writes the versioned header up front and flushes after every event,
+    so ``repro obs --follow`` (or any ``tail -f``) can watch a live run.
+    The file is a valid :class:`TelemetryTrace` JSONL at every instant.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "live.jsonl")
+    >>> r = TraceRecorder()
+    >>> sink = JsonlSink(path, source="doctest")
+    >>> r.subscribe(sink)
+    >>> r.count("iterations")
+    >>> sink.close()
+    >>> TelemetryTrace.load(path).counter_totals()
+    {'iterations': 1.0}
+    """
+
+    def __init__(self, path: str | Path, source: str = "live",
+                 **meta: object):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = TelemetryTrace(
+            source=source,
+            meta=tuple(sorted((str(k), str(v)) for k, v in meta.items())),
+        ).to_jsonl()
+        self._fh = self.path.open("w")
+        self._fh.write(header)
+        self._fh.flush()
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        if self._fh.closed:
+            raise ConfigurationError(
+                f"JsonlSink {self.path} already closed"
+            )
+        self._fh.write(event.to_json() + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+#: recovery phases in the order the recovery paths advance the clock,
+#: mapped to their RecoveryReport field
+RECOVERY_PHASES = (
+    ("detect", "detection_time"),
+    ("rollback", "undo_time"),
+    ("rejoin", "init_time"),
+    ("replay", "restore_time"),
+)
+
+
+def record_recovery_phases(recorder: Recorder, report: object,
+                           sim_end: float, **attrs: object) -> None:
+    """Decompose one finished recovery into per-phase telemetry spans.
+
+    The recovery paths advance the sim clock internally (detect →
+    rollback → rejoin → replay), so their phase boundaries are known
+    only from the :class:`~repro.core.replication.RecoveryReport`.  This
+    reconstructs ``recovery/<phase>`` spans ending at ``sim_end`` (the
+    clock reading when recovery returned); their durations sum to
+    ``report.total_time``, the paper's recovery-time decomposition.
+
+    >>> from types import SimpleNamespace
+    >>> rep = SimpleNamespace(detection_time=1.0, undo_time=0.5,
+    ...                       init_time=0.25, restore_time=2.0,
+    ...                       strategy="logging")
+    >>> r = TraceRecorder()
+    >>> record_recovery_phases(r, rep, sim_end=10.0)
+    >>> r.trace("x").recovery_breakdown() == {
+    ...     'detect': 1.0, 'rollback': 0.5, 'rejoin': 0.25, 'replay': 2.0}
+    True
+    """
+    if not recorder.enabled:
+        return
+    start = sim_end - (
+        report.detection_time + report.undo_time
+        + report.init_time + report.restore_time
+    )
+    attrs = dict(attrs)
+    attrs.setdefault("strategy", getattr(report, "strategy", "?"))
+    for phase, field_name in RECOVERY_PHASES:
+        dur = getattr(report, field_name)
+        if dur < 0:
+            raise ConfigurationError(
+                f"recovery report has negative {field_name}: {dur}"
+            )
+        recorder.span_at(
+            f"recovery/{phase}", sim=start, sim_dur=dur, **attrs
+        )
+        start += dur

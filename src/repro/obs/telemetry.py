@@ -1,0 +1,280 @@
+"""TelemetryTrace: a versioned JSONL event stream of one observed run.
+
+The observability counterpart of :class:`repro.chaos.FailureTrace`: one
+header line (schema version + source + free-form metadata), one line per
+:class:`TelemetryEvent`, serialized with ``json.dumps(sort_keys=True)``
+and repr-round-tripping floats so ``to_jsonl -> from_jsonl -> to_jsonl``
+is byte-stable.  Traces can be checked into version control
+(``tests/traces/``), diffed, tailed live (``repro obs --follow``), and
+exported to Chrome trace-event JSON, CSV, or a terminal summary
+(:mod:`repro.obs.export`).
+
+Every event carries *two* timelines:
+
+* **wall** — ``time.perf_counter()`` seconds since the recorder's epoch:
+  where the real CPU time of this reproduction goes;
+* **sim** — :class:`~repro.cluster.clock.SimClock` seconds (``None``
+  when the recorder has no clock bound): where the paper's modeled time
+  goes — detection, rollback, replay, checkpoint stalls, communication.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TELEMETRY_VERSION", "TelemetryEvent", "TelemetryTrace"]
+
+#: bump when the JSONL schema changes; readers reject newer versions
+TELEMETRY_VERSION = 1
+
+#: event kinds understood by this telemetry version
+EVENT_KINDS = ("span", "count", "gauge", "instant")
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One recorded observation.
+
+    ``kind`` selects the meaning:
+
+    * ``"span"`` — a named interval (wall + sim start/duration);
+    * ``"count"`` — a monotonic counter increment of ``value``;
+    * ``"gauge"`` — a sampled level set to ``value``;
+    * ``"instant"`` — a point event (no duration, no value).
+
+    >>> e = TelemetryEvent(seq=0, kind="span", name="iteration",
+    ...                    wall=0.5, wall_dur=0.01, sim=3.0, sim_dur=0.2)
+    >>> TelemetryEvent.from_json(e.to_json()) == e
+    True
+    """
+
+    seq: int
+    kind: str
+    name: str
+    track: str = "main"
+    #: wall-clock start, seconds since the recorder's epoch
+    wall: float = 0.0
+    wall_dur: float = 0.0
+    #: simulated-clock start (``None`` when no sim clock was bound)
+    sim: float | None = None
+    sim_dur: float | None = None
+    #: counter increment / gauge level (``None`` for spans and instants)
+    value: float | None = None
+    #: free-form attributes as sorted ``(key, value-string)`` pairs so
+    #: events stay hashable and serialization stays order-independent
+    attrs: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown telemetry event kind {self.kind!r}; "
+                f"known: {EVENT_KINDS}"
+            )
+        if self.seq < 0:
+            raise ConfigurationError("seq must be >= 0")
+        if self.wall_dur < 0 or (self.sim_dur is not None and self.sim_dur < 0):
+            raise ConfigurationError("durations must be >= 0")
+        object.__setattr__(
+            self, "attrs",
+            tuple(sorted((str(k), str(v)) for k, v in self.attrs)),
+        )
+
+    @property
+    def attrs_dict(self) -> dict[str, str]:
+        return dict(self.attrs)
+
+    def to_json(self) -> str:
+        payload = {
+            "seq": self.seq,
+            "k": self.kind,
+            "name": self.name,
+            "track": self.track,
+            "w": self.wall,
+            "wd": self.wall_dur,
+            "s": self.sim,
+            "sd": self.sim_dur,
+            "v": self.value,
+            "attrs": dict(self.attrs),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TelemetryEvent":
+        d = json.loads(line)
+        return cls(
+            seq=int(d["seq"]),
+            kind=str(d["k"]),
+            name=str(d["name"]),
+            track=str(d.get("track", "main")),
+            wall=float(d.get("w", 0.0)),
+            wall_dur=float(d.get("wd", 0.0)),
+            sim=None if d.get("s") is None else float(d["s"]),
+            sim_dur=None if d.get("sd") is None else float(d["sd"]),
+            value=None if d.get("v") is None else float(d["v"]),
+            attrs=tuple(sorted(
+                (str(k), str(v))
+                for k, v in dict(d.get("attrs", {})).items()
+            )),
+        )
+
+
+@dataclass(frozen=True)
+class TelemetryTrace:
+    """The full event stream of one observed run.
+
+    >>> e = TelemetryEvent(seq=0, kind="count", name="iterations", value=1.0)
+    >>> trace = TelemetryTrace(source="demo", events=(e,))
+    >>> restored = TelemetryTrace.from_jsonl(trace.to_jsonl())
+    >>> restored == trace                    # byte-stable round trip
+    True
+    >>> restored.counter_totals()
+    {'iterations': 1.0}
+    """
+
+    source: str
+    events: tuple[TelemetryEvent, ...] = ()
+    version: int = TELEMETRY_VERSION
+    #: free-form run metadata (experiment name, batch size, scenario, ...)
+    meta: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.version > TELEMETRY_VERSION:
+            raise ConfigurationError(
+                f"telemetry version {self.version} is newer than supported "
+                f"version {TELEMETRY_VERSION}"
+            )
+        object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(
+            self, "meta",
+            tuple(sorted((str(k), str(v)) for k, v in self.meta)),
+        )
+
+    # -- views ------------------------------------------------------------
+    @property
+    def meta_dict(self) -> dict[str, str]:
+        return dict(self.meta)
+
+    @property
+    def spans(self) -> tuple[TelemetryEvent, ...]:
+        return tuple(e for e in self.events if e.kind == "span")
+
+    @property
+    def counts(self) -> tuple[TelemetryEvent, ...]:
+        return tuple(e for e in self.events if e.kind == "count")
+
+    @property
+    def gauges(self) -> tuple[TelemetryEvent, ...]:
+        return tuple(e for e in self.events if e.kind == "gauge")
+
+    @property
+    def instants(self) -> tuple[TelemetryEvent, ...]:
+        return tuple(e for e in self.events if e.kind == "instant")
+
+    def spans_named(self, name: str) -> tuple[TelemetryEvent, ...]:
+        return tuple(e for e in self.spans if e.name == name)
+
+    def span_names(self) -> list[str]:
+        """Distinct span names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for e in self.spans:
+            seen.setdefault(e.name, None)
+        return list(seen)
+
+    def total(self, name: str, timeline: str = "sim") -> float:
+        """Summed duration of all spans named ``name`` on a timeline."""
+        if timeline not in ("sim", "wall"):
+            raise ConfigurationError(
+                f"timeline must be 'sim' or 'wall', got {timeline!r}"
+            )
+        total = 0.0
+        for e in self.spans_named(name):
+            dur = e.sim_dur if timeline == "sim" else e.wall_dur
+            if dur is not None:
+                total += dur
+        return total
+
+    def counter_totals(self) -> dict[str, float]:
+        """Final value of every counter (sum of recorded increments)."""
+        totals: dict[str, float] = {}
+        for e in self.counts:
+            totals[e.name] = totals.get(e.name, 0.0) + (e.value or 0.0)
+        return totals
+
+    def last_gauges(self) -> dict[str, float]:
+        """Most recent level of every gauge."""
+        last: dict[str, float] = {}
+        for e in self.gauges:
+            if e.value is not None:
+                last[e.name] = e.value
+        return last
+
+    def gauge_series(self, name: str) -> list[tuple[float | None, float]]:
+        """``(sim_time, value)`` samples of one gauge, in record order."""
+        return [
+            (e.sim, e.value) for e in self.gauges
+            if e.name == name and e.value is not None
+        ]
+
+    def recovery_breakdown(self) -> dict[str, float]:
+        """Per-phase simulated seconds spent inside recovery paths.
+
+        Sums the ``recovery/<phase>`` spans (detect, rollback, rejoin,
+        replay) the trainer emits for every recovery; the totals add up
+        to the run's ``TrainingTrace.recovery_time_total`` — the paper's
+        recovery-time decomposition, straight from telemetry.
+        """
+        breakdown: dict[str, float] = {}
+        for e in self.spans:
+            if e.name.startswith("recovery/") and e.sim_dur is not None:
+                phase = e.name[len("recovery/"):]
+                breakdown[phase] = breakdown.get(phase, 0.0) + e.sim_dur
+        return breakdown
+
+    def with_meta(self, **kv: object) -> "TelemetryTrace":
+        """Return a copy with extra metadata entries recorded."""
+        merged = dict(self.meta)
+        merged.update({str(k): str(v) for k, v in kv.items()})
+        return replace(self, meta=tuple(sorted(merged.items())))
+
+    # -- serialization ----------------------------------------------------
+    def to_jsonl(self) -> str:
+        header = {
+            "version": self.version,
+            "source": self.source,
+            "meta": dict(self.meta),
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        lines.extend(e.to_json() for e in self.events)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TelemetryTrace":
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise ConfigurationError("empty telemetry trace")
+        header = json.loads(lines[0])
+        if "version" not in header:
+            raise ConfigurationError("telemetry header missing 'version'")
+        return cls(
+            source=str(header.get("source", "unknown")),
+            version=int(header["version"]),
+            meta=tuple(sorted(
+                (str(k), str(v))
+                for k, v in dict(header.get("meta", {})).items()
+            )),
+            events=tuple(TelemetryEvent.from_json(ln) for ln in lines[1:]),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TelemetryTrace":
+        return cls.from_jsonl(Path(path).read_text())

@@ -42,6 +42,7 @@ from repro.comm.collectives import CollectiveGroup
 from repro.errors import ConfigurationError, MachineFailure
 from repro.nn.module import Module
 from repro.nn.sequential import Sequential
+from repro.obs import NULL_RECORDER
 from repro.optim.base import Optimizer
 from repro.parallel.results import IterationResult
 from repro.utils.flat import FlatBuffer
@@ -151,6 +152,10 @@ class DataParallelEngine:
         self.loss_factory = loss_factory
         self.task = task
         self.clock = clock or SimClock()
+        #: instrumentation sink (replaced by the trainer/session when a
+        #: TraceRecorder is attached); the null default keeps the fused hot
+        #: path bitwise-identical and within the bench_obs_overhead budget
+        self.recorder = NULL_RECORDER
         self.compute_time_fn = compute_time_fn or (lambda n: 1e-3 * max(n, 1))
         self.workers: list[DPWorker] = []
         for rank, (machine_id, dev_idx) in enumerate(placement):
@@ -225,20 +230,21 @@ class DataParallelEngine:
         use_fused = self.fused and self._fusable
         losses = []
         t_compute = 0.0
-        for w, idx in zip(live, shards):
-            if use_fused:
-                # accumulate gradients straight into the flat arena so the
-                # reduce needs no per-parameter gather (covers every
-                # parameter, so no separate zero_grad pass is needed)
-                self._seed_grads(w)
-            else:
-                w.model.zero_grad()
-            w.updated_params = []
-            loss_fn = self.loss_factory()
-            out = w.model(x[idx])
-            losses.append(loss_fn(out, y[idx]))
-            w.model.backward(loss_fn.backward())
-            t_compute = max(t_compute, self.compute_time_fn(len(idx)))
+        with self.recorder.span("engine/forward_backward"):
+            for w, idx in zip(live, shards):
+                if use_fused:
+                    # accumulate gradients straight into the flat arena so
+                    # the reduce needs no per-parameter gather (covers every
+                    # parameter, so no separate zero_grad pass is needed)
+                    self._seed_grads(w)
+                else:
+                    w.model.zero_grad()
+                w.updated_params = []
+                loss_fn = self.loss_factory()
+                out = w.model(x[idx])
+                losses.append(loss_fn(out, y[idx]))
+                w.model.backward(loss_fn.backward())
+                t_compute = max(t_compute, self.compute_time_fn(len(idx)))
 
         if failure is not None and failure.phase in (
             FailurePhase.FORWARD,
@@ -256,34 +262,37 @@ class DataParallelEngine:
         # gradient synchronization (per-parameter ring all-reduce)
         grad_bytes = 0
         params_by_rank = [dict(w.model.named_parameters()) for w in self.workers]
-        for name in self.update_order:
-            buffers = {w.rank: params_by_rank[w.rank][name].grad for w in live}
-            reduced = self.group.allreduce_mean(buffers)
-            grad_bytes += int(reduced.nbytes)
-            for w in live:
-                params_by_rank[w.rank][name].grad = np.array(reduced, copy=True)
+        with self.recorder.span("engine/allreduce") as sp:
+            for name in self.update_order:
+                buffers = {w.rank: params_by_rank[w.rank][name].grad for w in live}
+                reduced = self.group.allreduce_mean(buffers)
+                grad_bytes += int(reduced.nbytes)
+                for w in live:
+                    params_by_rank[w.rank][name].grad = np.array(reduced, copy=True)
+            sp.set(bytes=grad_bytes)
         t_comm = self.group.allreduce_time(grad_bytes)
 
         # wait-free layer-wise update
         mid_update = (
             failure is not None and failure.phase == FailurePhase.MID_UPDATE
         )
-        for w in live:
-            budget = len(self.update_order)
-            if mid_update:
-                if w.machine_id == failure.machine_id:
-                    budget = failure.after_updates
-                else:
-                    budget = (survivor_progress or {}).get(
-                        w.rank, failure.after_updates
-                    )
-                budget = min(budget, len(self.update_order))
-            for name in self.update_order[:budget]:
-                w.optimizer.step_param(name)
-                w.updated_params.append(name)
-            if not mid_update:
-                w.iteration += 1
-                w.updated_params = []
+        with self.recorder.span("engine/optimizer"):
+            for w in live:
+                budget = len(self.update_order)
+                if mid_update:
+                    if w.machine_id == failure.machine_id:
+                        budget = failure.after_updates
+                    else:
+                        budget = (survivor_progress or {}).get(
+                            w.rank, failure.after_updates
+                        )
+                    budget = min(budget, len(self.update_order))
+                for name in self.update_order[:budget]:
+                    w.optimizer.step_param(name)
+                    w.updated_params.append(name)
+                if not mid_update:
+                    w.iteration += 1
+                    w.updated_params = []
 
         if mid_update:
             return self._fail(failure, sim_time=t_compute + t_comm)
@@ -319,23 +328,25 @@ class DataParallelEngine:
             self._reduced = FlatBuffer(
                 {n: opt0.params[n].data.shape for n in order}, order
             )
-        buffers = {
-            w.rank: w.optimizer.flat_arena(order).grads.data for w in live
-        }
-        self.group.allreduce_mean(buffers, out=self._reduced.data)
-        grad_bytes = self._reduced.nbytes
-        # every replica reads the same reduced gradients (undo consumes
-        # them); read-only views make accidental in-place writes loud
-        for w in live:
-            cache = w._grad_pairs
-            if cache is None or cache[0] is not self._reduced:
-                gviews = self._reduced.frozen_views()
-                w._grad_pairs = (self._reduced, [
-                    (w.optimizer.params[name], gviews[name]) for name in order
-                ])
+        with self.recorder.span("engine/allreduce") as sp:
+            buffers = {
+                w.rank: w.optimizer.flat_arena(order).grads.data for w in live
+            }
+            self.group.allreduce_mean(buffers, out=self._reduced.data)
+            grad_bytes = self._reduced.nbytes
+            sp.set(bytes=grad_bytes)
+            # every replica reads the same reduced gradients (undo consumes
+            # them); read-only views make accidental in-place writes loud
+            for w in live:
                 cache = w._grad_pairs
-            for param, view in cache[1]:
-                param.grad = view
+                if cache is None or cache[0] is not self._reduced:
+                    gviews = self._reduced.frozen_views()
+                    w._grad_pairs = (self._reduced, [
+                        (w.optimizer.params[name], gviews[name]) for name in order
+                    ])
+                    cache = w._grad_pairs
+                for param, view in cache[1]:
+                    param.grad = view
         t_comm = self.group.allreduce_time(grad_bytes)
 
         if failure is not None and failure.phase == FailurePhase.MID_UPDATE:
@@ -362,30 +373,33 @@ class DataParallelEngine:
             return self._fail(failure, sim_time=t_compute + t_comm)
 
         canon = live[0]
-        if self._sharing_valid(live, canon):
-            # replicas are bit-identical and share the canonical arena:
-            # compute the update once; followers see it through their views
-            canon.optimizer.step_flat(order=order, grads=self._reduced.data)
-            for w in live:
-                if w is not canon:
-                    self._sync_follower_scalars(w, canon)
-        else:
-            # divergent/unverified replicas: fused compute on every one,
-            # then re-establish canonical sharing once they provably agree
-            for w in sorted(live, key=lambda w: w is self._canonical):
-                w.optimizer.bind_flat(order)
-            for w in live:
-                w.optimizer.step_flat(order=order, grads=self._reduced.data)
-            if self._replicas_arena_equal(live, canon):
+        with self.recorder.span("engine/optimizer"):
+            if self._sharing_valid(live, canon):
+                # replicas are bit-identical and share the canonical arena:
+                # compute the update once; followers see it through their
+                # views
+                canon.optimizer.step_flat(order=order, grads=self._reduced.data)
                 for w in live:
                     if w is not canon:
-                        self._share_follower(w, canon)
-                self._canonical = canon
+                        self._sync_follower_scalars(w, canon)
             else:
-                self._canonical = None
-        for w in live:
-            w.iteration += 1
-            w.updated_params = []
+                # divergent/unverified replicas: fused compute on every one,
+                # then re-establish canonical sharing once they provably
+                # agree
+                for w in sorted(live, key=lambda w: w is self._canonical):
+                    w.optimizer.bind_flat(order)
+                for w in live:
+                    w.optimizer.step_flat(order=order, grads=self._reduced.data)
+                if self._replicas_arena_equal(live, canon):
+                    for w in live:
+                        if w is not canon:
+                            self._share_follower(w, canon)
+                    self._canonical = canon
+                else:
+                    self._canonical = None
+            for w in live:
+                w.iteration += 1
+                w.updated_params = []
 
         self.iteration += 1
         self.clock.advance(t_compute + t_comm, "iteration", iteration=self.iteration)

@@ -36,6 +36,7 @@ from repro.cluster.topology import Cluster
 from repro.comm.collectives import CollectiveGroup
 from repro.errors import ConfigurationError, MachineFailure, RecoveryError
 from repro.nn.module import Module
+from repro.obs import NULL_RECORDER
 from repro.optim.base import Optimizer
 from repro.parallel.results import IterationResult
 
@@ -166,6 +167,9 @@ class FSDPEngine:
         self.task = task
         self.clock = clock or SimClock()
         self.compute_time_fn = compute_time_fn or (lambda n: 1e-3 * max(n, 1))
+        #: instrumentation sink (replaced by the session when a
+        #: TraceRecorder is attached)
+        self.recorder = NULL_RECORDER
 
         self.workers: list[FSDPWorker] = []
         for rank, (machine_id, dev_idx) in enumerate(placement):
@@ -261,12 +265,13 @@ class FSDPEngine:
 
         # 2. local forward/backward on the data shard
         losses, t_compute = [], 0.0
-        for w, idx in zip(live, shards):
-            w.model.zero_grad()
-            loss_fn = self.loss_factory()
-            losses.append(loss_fn(w.model(x[idx]), y[idx]))
-            w.model.backward(loss_fn.backward())
-            t_compute = max(t_compute, self.compute_time_fn(len(idx)))
+        with self.recorder.span("engine/forward_backward"):
+            for w, idx in zip(live, shards):
+                w.model.zero_grad()
+                loss_fn = self.loss_factory()
+                losses.append(loss_fn(w.model(x[idx]), y[idx]))
+                w.model.backward(loss_fn.backward())
+                t_compute = max(t_compute, self.compute_time_fn(len(idx)))
 
         if failure is not None and failure.phase in (
             FailurePhase.FORWARD, FailurePhase.BACKWARD
@@ -275,11 +280,13 @@ class FSDPEngine:
 
         # 3. reduce-scatter gradients to owners
         reduced_bytes = 0
-        for name, owner_rank in self.plan.owner.items():
-            buffers = {w.rank: w._params[name].grad for w in live}
-            reduced = self.group.allreduce_mean(buffers)
-            reduced_bytes += int(reduced.nbytes)
-            self.workers[owner_rank]._params[name].grad = reduced
+        with self.recorder.span("engine/allreduce") as sp:
+            for name, owner_rank in self.plan.owner.items():
+                buffers = {w.rank: w._params[name].grad for w in live}
+                reduced = self.group.allreduce_mean(buffers)
+                reduced_bytes += int(reduced.nbytes)
+                self.workers[owner_rank]._params[name].grad = reduced
+            sp.set(bytes=reduced_bytes)
 
         # 4. owners update their shards (wait-free), then re-mirror
         mid_update = (
@@ -291,15 +298,16 @@ class FSDPEngine:
         updates_done = 0
         for w in live:
             w.updated_params = []
-        for name in update_order:
-            if mid_update and updates_done >= failure.after_updates:
-                return self._fail(failure)
-            owner = self.workers[self.plan.owner[name]]
-            owner.optimizer.step_param(name)
-            owner.updated_params.append(name)
-            updates_done += 1
-        mirror_bytes = self._sync_mirrors(update_order)
-        gathered_bytes = self._gather_full_params()
+        with self.recorder.span("engine/optimizer"):
+            for name in update_order:
+                if mid_update and updates_done >= failure.after_updates:
+                    return self._fail(failure)
+                owner = self.workers[self.plan.owner[name]]
+                owner.optimizer.step_param(name)
+                owner.updated_params.append(name)
+                updates_done += 1
+            mirror_bytes = self._sync_mirrors(update_order)
+            gathered_bytes = self._gather_full_params()
 
         for w in live:
             w.iteration += 1

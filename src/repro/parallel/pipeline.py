@@ -33,6 +33,7 @@ from repro.cluster.topology import Cluster
 from repro.comm.p2p import Transport
 from repro.errors import ConfigurationError, MachineFailure
 from repro.nn.sequential import Sequential
+from repro.obs import NULL_RECORDER
 from repro.optim.base import Optimizer
 from repro.parallel.partition import partition_by_sizes
 from repro.parallel.results import IterationResult
@@ -209,6 +210,9 @@ class PipelineEngine:
             cluster, {s.stage_id: s.device for s in self.stages}
         )
         self.iteration = 0
+        #: instrumentation sink (replaced by the trainer/session when a
+        #: TraceRecorder is attached)
+        self.recorder = NULL_RECORDER
         self._timing_cache: ScheduleTiming | None = None
         #: per-iteration extra time charged by fault-tolerance machinery
         #: (logging spills, checkpoint stalls); callables appended by FT
@@ -291,20 +295,21 @@ class PipelineEngine:
         fail_on_phase = (
             failure.phase.value if failure is not None else None
         )
-        for op in ops:
-            stage = self.stages[op.stage]
-            if (
-                failure is not None
-                and fail_on_phase in ("forward", "backward")
-                and op.kind == ("F" if fail_on_phase == "forward" else "B")
-                and stage.machine_id == failure.machine_id
-                and op.microbatch >= failure.after_updates
-            ):
-                return self._fail(failure)
-            if op.kind == "F":
-                self._exec_forward(op, xs)
-            else:
-                losses.extend(self._exec_backward(op, ys))
+        with self.recorder.span("engine/schedule", ops=len(ops)):
+            for op in ops:
+                stage = self.stages[op.stage]
+                if (
+                    failure is not None
+                    and fail_on_phase in ("forward", "backward")
+                    and op.kind == ("F" if fail_on_phase == "forward" else "B")
+                    and stage.machine_id == failure.machine_id
+                    and op.microbatch >= failure.after_updates
+                ):
+                    return self._fail(failure)
+                if op.kind == "F":
+                    self._exec_forward(op, xs)
+                else:
+                    losses.extend(self._exec_backward(op, ys))
 
         # wait-free per-stage updates in completion-time order (last stage
         # finishes its backwards first — Figure 1a)
@@ -312,15 +317,16 @@ class PipelineEngine:
             range(self.num_stages), key=lambda i: timing.stage_finish[i]
         )
         updates_done = 0
-        for sid in update_order:
-            if (
-                failure is not None
-                and failure.phase == FailurePhase.MID_UPDATE
-                and updates_done >= failure.after_updates
-            ):
-                return self._fail(failure)
-            self.stages[sid].step()
-            updates_done += 1
+        with self.recorder.span("engine/optimizer"):
+            for sid in update_order:
+                if (
+                    failure is not None
+                    and failure.phase == FailurePhase.MID_UPDATE
+                    and updates_done >= failure.after_updates
+                ):
+                    return self._fail(failure)
+                self.stages[sid].step()
+                updates_done += 1
 
         self.iteration += 1
         overheads: dict[str, float] = {}

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.cluster.topology import Cluster
 from repro.errors import ConfigurationError
 from repro.jobs import Job, JobSpec, JobState, Scheduler, SparePool
+from repro.obs import NULL_RECORDER, Recorder
 
 __all__ = [
     "FleetFailure",
@@ -118,6 +119,21 @@ class FleetReport:
         return "\n".join(lines)
 
 
+class _FleetClock:
+    """Adapter exposing fleet wall-clock as a ``.now`` sim clock.
+
+    Lets a :class:`~repro.obs.TraceRecorder` timestamp fleet events on
+    the fleet's own simulated timeline (``FleetSimulator.fleet_time``).
+    """
+
+    def __init__(self, fleet: "FleetSimulator"):
+        self._fleet = fleet
+
+    @property
+    def now(self) -> float:
+        return self._fleet.fleet_time
+
+
 class FleetSimulator:
     """Round-based driver for a job fleet on one shared cluster."""
 
@@ -134,6 +150,7 @@ class FleetSimulator:
         scenario: object | None = None,
         scenario_seed: int = 0,
         trace: object | None = None,
+        recorder: Recorder | None = None,
     ):
         if not specs:
             raise ConfigurationError("fleet needs at least one job spec")
@@ -199,6 +216,11 @@ class FleetSimulator:
         self.idle_time = idle_time
         self.fleet_time = 0.0
         self.rounds = 0
+        #: instrumentation sink: queue/running/spare gauges and a
+        #: ``fleet/round`` span every round when a TraceRecorder attaches
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        if self.recorder.enabled and getattr(self.recorder, "clock", None) is None:
+            self.recorder.clock = _FleetClock(self)
 
     # -- the round loop -----------------------------------------------------
     def _all_terminal(self) -> bool:
@@ -214,8 +236,10 @@ class FleetSimulator:
         pending_specs = deque(self.specs)
         pending_failures = deque(self.failures)
 
+        rec = self.recorder
         while self.rounds < self.max_rounds and not self._all_terminal():
             r = self.rounds
+            round_start = self.fleet_time
             # fleet time advances by the slowest job's clock progress over
             # the WHOLE round — recovery, preemption resizes, and the
             # training step all advance a job's own clock
@@ -228,6 +252,7 @@ class FleetSimulator:
             while pending_specs and pending_specs[0].arrival <= r:
                 spec = pending_specs.popleft()
                 self.scheduler.submit(Job(spec), now=self.fleet_time)
+                rec.count("fleet/arrivals", job=spec.name)
             # 2. repairs complete -> blocked jobs may resume
             if self.spares is not None and self.spares.tick():
                 self.scheduler.unblock()
@@ -235,6 +260,7 @@ class FleetSimulator:
             while pending_failures and pending_failures[0].round <= r:
                 event = pending_failures.popleft()
                 self.scheduler.handle_machine_failure(event.machine_id)
+                rec.count("fleet/failures", machine=event.machine_id)
             # 4. placement (may preempt), then restoration of preemptees
             self.scheduler.schedule(now=self.fleet_time)
             self.scheduler.restore()
@@ -256,8 +282,31 @@ class FleetSimulator:
                 if job.done:
                     self.scheduler.finish(job, now=self.fleet_time)
             self.rounds += 1
+            if rec.enabled:
+                self._record_round(r, round_start)
 
         return self._report()
+
+    def _record_round(self, r: int, round_start: float) -> None:
+        """Per-round telemetry: the fleet gauges and the round span."""
+        rec = self.recorder
+        rec.span_at(
+            "fleet/round", sim=round_start,
+            sim_dur=self.fleet_time - round_start, round=r,
+        )
+        rec.gauge("fleet/queue_depth", len(self.scheduler.queue))
+        rec.gauge("fleet/running_jobs", len(self.scheduler.running))
+        rec.gauge("fleet/preempted_workers", self.scheduler.preempted_workers)
+        if self.spares is not None:
+            rec.gauge("fleet/spares_available", self.spares.available)
+            rec.gauge("fleet/spares_repairing", self.spares.repairing)
+        for name, job in self.scheduler.jobs.items():
+            end = (
+                job.finish_time if job.finish_time is not None
+                else self.fleet_time
+            )
+            span = max(end - job.submit_time, 1e-12)
+            rec.gauge(f"job/{name}/goodput", job.samples_done / span)
 
     # -- reporting ----------------------------------------------------------
     def _report(self) -> FleetReport:
@@ -273,10 +322,6 @@ class FleetSimulator:
                 if job.start_time is not None
                 else None
             )
-            recovery_time = (
-                job.trainer.trace.recovery_time_total if job.trainer else 0.0
-            )
-            lost = sum(rep.lost_iterations for rep in job.recoveries)
             stats = JobStats(
                 name=job.name,
                 parallelism=job.spec.parallelism,
@@ -292,8 +337,8 @@ class FleetSimulator:
                 preemptions=job.preemptions,
                 machine_failures=job.machine_failures,
                 recoveries=len(job.recoveries),
-                recovery_time=recovery_time,
-                lost_iterations=lost,
+                recovery_time=job.recovery_time,
+                lost_iterations=job.lost_iterations,
                 goodput=job.samples_done / span,
                 throughput=(
                     job.samples_done / run_span if run_span else 0.0

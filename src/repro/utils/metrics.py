@@ -33,17 +33,29 @@ class TraceSummary:
 
     @property
     def overhead_fraction(self) -> float:
-        """Share of wall time not spent on useful iterations."""
-        if self.total_sim_time <= 0:
+        """Share of wall time not spent on useful iterations.
+
+        Well-defined (0.0) for empty and zero-iteration traces — never
+        NaN, never a ZeroDivisionError.
+        """
+        if not np.isfinite(self.total_sim_time) or self.total_sim_time <= 0:
             return 0.0
         useful = self.iterations * self.median_iteration_time
+        if not np.isfinite(useful):
+            return 0.0
         return max(0.0, 1.0 - useful / self.total_sim_time)
 
 
 def summarize_trace(trace, samples_per_iteration: int) -> TraceSummary:
-    """Reduce a TrainingTrace to headline numbers."""
+    """Reduce a TrainingTrace to headline numbers.
+
+    Safe on empty and degenerate traces: zero iterations, zero or
+    non-finite iteration times all reduce to well-defined zeros.
+    """
     times = np.asarray(trace.iteration_times, dtype=float)
     median_time = float(np.median(times)) if times.size else 0.0
+    if not np.isfinite(median_time):
+        median_time = 0.0
     recovery_time = trace.recovery_time_total
     checkpoint_time = sum(t for _, t in trace.checkpoints)
     return TraceSummary(
@@ -65,9 +77,11 @@ def goodput(trace, samples_per_iteration: int) -> float:
     """Samples per simulated second over the whole run, stalls included.
 
     Thin alias of :meth:`TrainingTrace.goodput`, kept for callers holding
-    trace-like objects.
+    trace-like objects.  Empty and zero-time traces yield 0.0 (never NaN
+    or a ZeroDivisionError).
     """
-    return trace.goodput(samples_per_iteration)
+    value = trace.goodput(samples_per_iteration)
+    return value if np.isfinite(value) else 0.0
 
 
 def loss_curve_distance(a: list[float], b: list[float]) -> float:

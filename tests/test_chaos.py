@@ -49,6 +49,13 @@ from repro.sim.fleet import FleetFailure
 
 TRACES_DIR = Path(__file__).parent / "traces"
 
+#: checked-in FailureTrace goldens (telemetry goldens live alongside but
+#: belong to tests/test_obs.py)
+FAILURE_TRACES = sorted(
+    p for p in TRACES_DIR.glob("*.jsonl")
+    if not p.stem.startswith("telemetry")
+)
+
 ISSUE_SCENARIOS = ("steady_mtbf", "rack_burst", "flaky_node",
                    "storage_outage", "cascading")
 
@@ -275,18 +282,18 @@ class TestSeedDeterminism:
     @pytest.mark.parametrize("parallelism", ["dp", "pp"])
     def test_same_seed_identical_goodput(self, parallelism):
         trace = get_scenario("rack_burst").sample(1, 4, horizon_iters=30)
-        run1, batch = _chaos_run(trace, parallelism, 4, 30, 10)
-        run2, _ = _chaos_run(trace, parallelism, 4, 30, 10)
+        run1, batch, _ = _chaos_run(trace, parallelism, 4, 30, 10)
+        run2, _, _ = _chaos_run(trace, parallelism, 4, 30, 10)
         assert run1.losses == run2.losses
         assert run1.goodput(batch) == run2.goodput(batch)
         assert run1.recovery_time_total == run2.recovery_time_total
 
     def test_replayed_trace_bitwise_equal_run(self, tmp_path):
         trace = get_scenario("cascading").sample(2, 4, horizon_iters=30)
-        run1, batch = _chaos_run(trace, "pp", 4, 30, 10)
+        run1, batch, _ = _chaos_run(trace, "pp", 4, 30, 10)
         path = trace.save(tmp_path / "c.jsonl")
         replayed = FailureTrace.load(path)
-        run2, _ = _chaos_run(replayed, "pp", 4, 30, 10)
+        run2, _, _ = _chaos_run(replayed, "pp", 4, 30, 10)
         assert run1.losses == run2.losses  # bitwise, not approx
         assert run1.iteration_times == run2.iteration_times
         assert run1.goodput(batch) == run2.goodput(batch)
@@ -346,7 +353,7 @@ class TestSeedDeterminism:
 class TestGoldenTraces:
     """Checked-in traces: distribution stability + bitwise replay."""
 
-    @pytest.mark.parametrize("path", sorted(TRACES_DIR.glob("*.jsonl")),
+    @pytest.mark.parametrize("path", FAILURE_TRACES,
                              ids=lambda p: p.stem)
     def test_golden_trace_resamples_identically(self, path):
         golden = FailureTrace.load(path)
@@ -359,12 +366,12 @@ class TestGoldenTraces:
             **golden.__dict__, "meta": (),
         })
 
-    @pytest.mark.parametrize("path", sorted(TRACES_DIR.glob("*.jsonl")),
+    @pytest.mark.parametrize("path", FAILURE_TRACES,
                              ids=lambda p: p.stem)
     def test_golden_trace_replays_recorded_goodput(self, path):
         golden = FailureTrace.load(path)
         meta = golden.meta_dict
-        run, batch = _chaos_run(
+        run, batch, _ = _chaos_run(
             golden, meta["parallelism"], int(meta["machines"]),
             int(meta["iterations"]), int(meta["checkpoint_interval"]),
         )

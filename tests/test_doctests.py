@@ -38,6 +38,9 @@ DOCTEST_MODULES = [
     "repro.core.strategy",
     "repro.core.tlog",
     "repro.core.trainer",
+    "repro.obs.export",
+    "repro.obs.recorder",
+    "repro.obs.telemetry",
     "repro.utils.seeding",
 ]
 

@@ -52,6 +52,66 @@ class TestSummary:
         assert goodput(trace, 16) <= s.steady_throughput
 
 
+class TestDegenerateTraces:
+    """Empty and zero-iteration traces reduce to well-defined zeros.
+
+    Regression tests for the NaN / ZeroDivisionError family: summarizing
+    a trace before any iteration ran (or after a run that recorded no
+    useful work) must be safe — telemetry and dashboards summarize live,
+    possibly-empty runs.
+    """
+
+    def empty(self):
+        from repro.core.trainer import TrainingTrace
+
+        return TrainingTrace()
+
+    def test_empty_trace_summary_is_all_zeros(self):
+        s = summarize_trace(self.empty(), samples_per_iteration=16)
+        assert s.iterations == 0
+        assert s.total_sim_time == 0.0
+        assert s.median_iteration_time == 0.0
+        assert s.steady_throughput == 0.0
+        assert s.num_checkpoints == 0 and s.checkpoint_time == 0.0
+        assert s.num_recoveries == 0 and s.recovery_time == 0
+        assert s.final_loss is None
+        assert s.overhead_fraction == 0.0
+
+    def test_empty_trace_goodput_zero(self):
+        assert goodput(self.empty(), 16) == 0.0
+
+    def test_zero_iteration_times_never_nan(self):
+        from repro.core.trainer import TrainingTrace
+
+        trace = TrainingTrace(
+            losses=[1.0, 0.9], iteration_times=[0.0, 0.0],
+            iteration_numbers=[0, 1], wall_times=[0.0, 0.0],
+        )
+        s = summarize_trace(trace, 16)
+        assert s.median_iteration_time == 0.0
+        assert s.steady_throughput == 0.0
+        assert s.overhead_fraction == 0.0
+        assert goodput(trace, 16) == 0.0
+        assert not np.isnan(s.overhead_fraction)
+
+    def test_nonfinite_iteration_times_guarded(self):
+        from repro.core.trainer import TrainingTrace
+
+        trace = TrainingTrace(
+            losses=[1.0], iteration_times=[float("inf")],
+            iteration_numbers=[0], wall_times=[float("inf")],
+        )
+        s = summarize_trace(trace, 16)
+        assert s.median_iteration_time == 0.0
+        assert s.overhead_fraction == 0.0
+        assert goodput(trace, 16) == 0.0
+
+    def test_empty_trace_csv_is_header_only(self):
+        assert trace_to_csv(self.empty(), 16).strip() == (
+            "iteration,loss,sim_time_s,throughput"
+        )
+
+
 class TestLossCurveDistance:
     def test_identical_curves(self):
         assert loss_curve_distance([1.0, 0.5], [1.0, 0.5]) == 0.0
