@@ -1,0 +1,182 @@
+"""Control-plane benchmark: traffic profiles, replay speed, crash drills.
+
+Three measurements of :mod:`repro.serve`, the WAL-backed multi-tenant
+control plane:
+
+1. **traffic** — drive the server with deterministic synthetic tenant
+   traffic (bursty, diurnal, priority-mixed — the arrival shapes real
+   training fleets see) and report events logged, rounds, goodput, and
+   scheduling churn (preemptions, crashes ridden through);
+2. **replay throughput** — fold a large WAL through
+   :meth:`repro.serve.ServeState.apply` and report events/second; this
+   is the recovery-latency currency (a restarted control plane is back
+   when the fold finishes), gated in CI at ``--min-replay-eps``;
+3. **crash drills** — run :func:`repro.serve.control_plane_drill`
+   against each traffic profile and count acknowledged submissions lost
+   across every kill point.  Gated at exactly zero — the ISSUE's
+   headline robustness claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from _common import emit, fmt_table, write_bench_json
+from repro.serve import (
+    ServeConfig,
+    ServeServer,
+    ServeState,
+    WriteAheadLog,
+    control_plane_drill,
+    run_script,
+    synthetic_traffic,
+)
+
+PROFILES = ("bursty", "diurnal", "priority-mixed")
+
+
+def bench_config() -> ServeConfig:
+    return ServeConfig(num_machines=8, devices_per_machine=4,
+                       num_spares=1, repair_ticks=3,
+                       snapshot_interval=20)
+
+
+def run_profile(profile: str, num_jobs: int, seed: int,
+                tmpdir: str) -> dict:
+    """One uninterrupted run of a synthetic traffic profile."""
+    script = synthetic_traffic(profile, num_jobs=num_jobs, seed=seed)
+    path = f"{tmpdir}/{profile}-{seed}.jsonl"
+    with ServeServer(path, bench_config(), fsync=False) as server:
+        start = time.perf_counter()
+        run_script(server, script)
+        wall = time.perf_counter() - start
+        state = server.state
+        kinds: dict[str, int] = {}
+        for event in server.wal.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        return {
+            "profile": profile,
+            "seed": seed,
+            "jobs": num_jobs,
+            "events": len(server.wal.events),
+            "rounds": state.round,
+            "goodput": state.goodput(),
+            "completed": sum(1 for j in state.jobs.values()
+                             if j["status"] == "completed"),
+            "rejected": kinds.get("reject", 0),
+            "preemptions": kinds.get("preempt", 0),
+            "crashes": kinds.get("crash", 0),
+            "wall_seconds": wall,
+            "wal_path": path,
+        }
+
+
+def bench_replay(wal_path: str, repeats: int) -> dict:
+    """Fold the same WAL repeatedly; report sustained events/second."""
+    events = WriteAheadLog.load_events(wal_path)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        state = ServeState.replay(events)
+        elapsed = time.perf_counter() - start
+        best = max(best, len(events) / elapsed)
+    assert state.last_seq == len(events) - 1
+    return {"events": len(events), "best_eps": best}
+
+
+def bench_drill(profile: str, num_jobs: int, kill_points: int,
+                seed: int) -> dict:
+    """Crash the control plane under one profile; count acked losses."""
+    script = synthetic_traffic(profile, num_jobs=num_jobs, seed=seed)
+    report = control_plane_drill(bench_config(), script,
+                                 kill_points=kill_points)
+    return {
+        "profile": profile,
+        "kill_points": len(report.results),
+        "baseline_events": report.baseline_events,
+        "acked_jobs_lost": report.acked_jobs_lost,
+        "passed": report.passed,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer jobs and kill points")
+    parser.add_argument("--min-replay-eps", type=float, default=10_000,
+                        help="gate: WAL replay must sustain at least "
+                             "this many events/second")
+    parser.add_argument("--max-acked-loss", type=int, default=0,
+                        help="gate: acknowledged submissions lost "
+                             "across all drills (the contract is 0)")
+    args = parser.parse_args(argv)
+    num_jobs = 12 if args.quick else 30
+    kill_points = 3 if args.quick else 5
+    repeats = 3 if args.quick else 5
+
+    import tempfile
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+
+    traffic = [run_profile(p, num_jobs, seed=0, tmpdir=tmpdir)
+               for p in PROFILES]
+    emit("serve_traffic", fmt_table(
+        ["profile", "jobs", "events", "rounds", "completed", "rejected",
+         "preempt", "crashes", "goodput smp/s"],
+        [[t["profile"], t["jobs"], t["events"], t["rounds"],
+          t["completed"], t["rejected"], t["preemptions"], t["crashes"],
+          f"{t['goodput']:.1f}"] for t in traffic],
+    ))
+
+    # replay the busiest profile's WAL (recovery-latency currency)
+    busiest = max(traffic, key=lambda t: t["events"])
+    replay = bench_replay(busiest["wal_path"], repeats)
+    drills = [bench_drill(p, num_jobs, kill_points, seed=0)
+              for p in PROFILES]
+    emit("serve_drills", fmt_table(
+        ["profile", "kill points", "baseline events", "acked lost",
+         "passed"],
+        [[d["profile"], d["kill_points"], d["baseline_events"],
+          d["acked_jobs_lost"], d["passed"]] for d in drills],
+    ))
+    print(f"replay: {replay['events']} events at "
+          f"{replay['best_eps']:.0f} events/s (best of {repeats})")
+
+    total_lost = sum(d["acked_jobs_lost"] for d in drills)
+    write_bench_json("serve", {
+        "traffic": [{k: v for k, v in t.items() if k != "wal_path"}
+                    for t in traffic],
+        "replay": replay,
+        "drills": drills,
+        "gates": {
+            "min_replay_eps": args.min_replay_eps,
+            "max_acked_loss": args.max_acked_loss,
+            "acked_jobs_lost": total_lost,
+        },
+    })
+
+    failed = []
+    if replay["best_eps"] < args.min_replay_eps:
+        failed.append(
+            f"replay sustained {replay['best_eps']:.0f} events/s "
+            f"< gate {args.min_replay_eps:.0f}"
+        )
+    if total_lost > args.max_acked_loss:
+        failed.append(
+            f"{total_lost} acknowledged submission(s) lost "
+            f"(gate: {args.max_acked_loss})"
+        )
+    if any(not d["passed"] for d in drills):
+        failed.append("a crash drill diverged from its baseline")
+    if failed:
+        for line in failed:
+            print(f"[bench] GATE FAILED: {line}", file=sys.stderr)
+        return 1
+    print("[bench] all serve gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

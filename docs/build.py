@@ -45,12 +45,14 @@ PAGES = [
     ("recovery-policies.md", "Recovery policies"),
     ("scenarios.md", "Failure scenarios"),
     ("observability.md", "Observability"),
+    ("serve.md", "Serve control plane"),
     ("benchmarks.md", "Benchmark trajectory"),
     ("migration.md", "Migration guide"),
 ]
 
 #: modules whose public surface gets an auto-generated reference page
-API_MODULES = ["repro.api", "repro.jobs", "repro.chaos", "repro.obs"]
+API_MODULES = ["repro.api", "repro.jobs", "repro.chaos", "repro.obs",
+               "repro.serve"]
 
 CSS = """
 body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;

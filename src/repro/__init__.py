@@ -26,7 +26,12 @@ is layered:
 * :mod:`repro.obs` -- the observability layer: zero-overhead-when-
   disabled spans/counters/gauges across trainer, engines, and fleet,
   captured into a versioned :class:`~repro.obs.TelemetryTrace` with
-  Chrome-trace (Perfetto), CSV, and terminal exporters.
+  Chrome-trace (Perfetto), CSV, and terminal exporters;
+* :mod:`repro.serve` -- the crash-recoverable multi-tenant control
+  plane: a WAL-backed long-running service (recovery is replay, applied
+  to the scheduler itself), admission control and fair share across
+  tenants, bounded retries through storage outages, and chaos drills
+  that SIGKILL the control plane at arbitrary WAL offsets.
 """
 
 from repro import (
@@ -42,6 +47,7 @@ from repro import (
     obs,
     optim,
     parallel,
+    serve,
     sim,
 )
 from repro.obs import (
@@ -88,6 +94,7 @@ __all__ = [
     "api",
     "chaos",
     "obs",
+    "serve",
     "TelemetryTrace",
     "TraceRecorder",
     "NullRecorder",

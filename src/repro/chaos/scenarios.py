@@ -22,6 +22,7 @@ The built-in catalog:
 ``drill_disjoint``        scripted: two disjoint machines at one iteration
 ``drill_adjacent``        scripted: two adjacent pipeline machines at once
 ``drill_cascading``       scripted: a crash, then a mid-update crash later
+``drill_control_plane``   scripted: the serve drill's two mid-run crashes
 ``demo_fleet_crashes``    scripted: the fleet demo's two machine crashes
 ========================  ====================================================
 
@@ -331,6 +332,22 @@ register_scenario(ScenarioSpec(
     )),),
     horizon_hours=48.0,
     default_iters=48,
+))
+
+register_scenario(ScenarioSpec(
+    name="drill_control_plane",
+    description=(
+        "The control-plane chaos drill's machine-failure component: two "
+        "crashes landing while repro.serve's control_plane_drill kills "
+        "and restarts the scheduler itself at successive WAL offsets "
+        "(run `repro serve --drill`)."
+    ),
+    processes=(ScriptedEvents(script=(
+        _drill(4, 1, FailurePhase.ITERATION_START),
+        _drill(9, 2, FailurePhase.ITERATION_START),
+    )),),
+    horizon_hours=40.0,
+    default_iters=40,
 ))
 
 register_scenario(ScenarioSpec(

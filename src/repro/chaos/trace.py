@@ -23,11 +23,13 @@ stored in the trace so replay never has to recompute it.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.cluster.failures import FailureEvent, FailurePhase, FailureSchedule
 from repro.errors import ConfigurationError
+from repro.utils.jsonl import salvage_jsonl
 
 __all__ = ["TRACE_VERSION", "ChaosEvent", "FailureTrace"]
 
@@ -290,8 +292,14 @@ class FailureTrace:
         lines = [ln for ln in text.splitlines() if ln.strip()]
         if not lines:
             raise ConfigurationError("empty failure trace")
-        header = json.loads(lines[0])
-        if "version" not in header:
+        try:
+            header = json.loads(lines[0])
+            events = tuple(ChaosEvent.from_json(ln) for ln in lines[1:])
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"failure trace is not valid JSONL: {exc}"
+            ) from exc
+        if not isinstance(header, dict) or "version" not in header:
             raise ConfigurationError("trace header missing 'version'")
         return cls(
             scenario=str(header["scenario"]),
@@ -307,7 +315,7 @@ class FailureTrace:
                 (str(k), str(v))
                 for k, v in dict(header.get("meta", {})).items()
             )),
-            events=tuple(ChaosEvent.from_json(ln) for ln in lines[1:]),
+            events=events,
         )
 
     def save(self, path: str | Path) -> Path:
@@ -318,4 +326,21 @@ class FailureTrace:
 
     @classmethod
     def load(cls, path: str | Path) -> "FailureTrace":
-        return cls.from_jsonl(Path(path).read_text())
+        """Load a trace file, tolerating a torn final line.
+
+        A process killed mid-write (crash, ``kill -9``) can leave the
+        last JSONL line truncated; the valid prefix is still a complete
+        trace, so it is recovered with a :class:`UserWarning` instead of
+        raising.  Corruption anywhere *before* the final line still
+        raises :class:`~repro.errors.ConfigurationError`.
+        """
+        path = Path(path)
+        good, torn = salvage_jsonl(path.read_text())
+        if torn is not None:
+            warnings.warn(
+                f"{path}: dropped torn final line "
+                f"({len(torn)} bytes, crash mid-write?)",
+                UserWarning,
+                stacklevel=2,
+            )
+        return cls.from_jsonl("\n".join(good) + "\n" if good else "")

@@ -14,6 +14,11 @@ Usage::
     python -m repro.cli chaos --trace traces/rack_burst_seed0.jsonl
     python -m repro.cli obs traces/telemetry.jsonl [--chrome out.json]
     python -m repro.cli obs traces/live.jsonl --follow
+    python -m repro.cli serve --demo [--wal serve.jsonl]
+    python -m repro.cli serve --drill [--kill-points 5]
+    python -m repro.cli serve --stdio --wal serve.jsonl
+    python -m repro.cli serve --replay serve.jsonl
+    python -m repro.cli serve --fleet-demo [--wal fleet-wal.jsonl]
 
 Each subcommand prints the same rows the corresponding paper artifact
 reports (the pytest benchmarks under ``benchmarks/`` are the asserted
@@ -22,11 +27,19 @@ named :mod:`repro.chaos` failure scenario, one seed per run, and writes
 each run's :class:`~repro.chaos.FailureTrace` as replayable JSONL;
 replaying a trace re-executes the run bitwise (the goodput must match
 the recorded value exactly, and the exit code says whether it did).
+``serve`` runs the crash-recoverable control plane of
+:mod:`repro.serve`.
+
+Exit codes: 0 success, 1 data problem (unreadable/corrupt trace or WAL,
+failed verification), 2 usage error (bad flags, unknown names).  A bad
+input file never produces a bare traceback — always a one-line
+diagnostic on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -56,6 +69,18 @@ from repro.obs import (
     summarize_telemetry,
     telemetry_to_csv,
     to_chrome_trace,
+)
+from repro.serve import (
+    ServeConfig,
+    ServeServer,
+    ServeState,
+    WriteAheadLog,
+    control_plane_drill,
+    demo_config,
+    demo_traffic,
+    run_script,
+    serve_stdio,
+    serve_tcp,
 )
 from repro.sim import (
     BERT_128,
@@ -209,9 +234,16 @@ def cmd_plan(args: argparse.Namespace) -> int:
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Multi-tenant fleet demo: mixed DP/PP jobs, preemption, failures."""
     recorder = sink = None
+    if args.trace:
+        try:
+            trace = _load_trace(args.trace)
+        except ConfigurationError as exc:
+            print(f"fleet: {exc}", file=sys.stderr)
+            return 1
+    else:
+        trace = None
     try:
         specs, failures = demo_fleet_specs(args.iterations)
-        trace = _load_trace(args.trace) if args.trace else None
         if args.scenario or trace is not None:
             # scenario/trace-driven crashes replace the demo's scripted two
             failures = []
@@ -263,10 +295,14 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def _load_trace(path: str) -> FailureTrace:
-    """Load a trace file, folding I/O failures into ConfigurationError."""
+    """Load a trace file, folding I/O and parse failures into one error.
+
+    Unreadable or corrupt trace files are *data* problems (exit 1 at
+    the CLI), never bare tracebacks.
+    """
     try:
         return FailureTrace.load(path)
-    except OSError as exc:
+    except (OSError, ValueError, KeyError, ConfigurationError) as exc:
         raise ConfigurationError(f"cannot read trace {path!r}: {exc}")
 
 
@@ -341,7 +377,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             trace = _load_trace(args.trace)
         except ConfigurationError as exc:
             print(f"chaos: {exc}", file=sys.stderr)
-            return 2
+            return 1
         meta = trace.meta_dict
         parallelism = meta.get("parallelism", args.parallelism)
         machines = int(meta.get("machines", trace.num_machines))
@@ -498,10 +534,10 @@ def cmd_obs(args: argparse.Namespace) -> int:
         return _obs_follow(path, args.idle_timeout)
     try:
         trace = TelemetryTrace.load(path)
-    except (OSError, ConfigurationError) as exc:
+    except (OSError, ValueError, KeyError, ConfigurationError) as exc:
         print(f"obs: cannot read telemetry {args.file!r}: {exc}",
               file=sys.stderr)
-        return 2
+        return 1
     exported = False
     if args.chrome:
         out = Path(args.chrome)
@@ -523,6 +559,179 @@ def cmd_obs(args: argparse.Namespace) -> int:
     if not exported:
         print(summarize_telemetry(trace))
     return 0
+
+
+def _serve_config(args: argparse.Namespace,
+                  wal_path: Path) -> ServeConfig | None:
+    """Geometry for a ServeServer: explicit for a fresh WAL, None (derive
+    from the log) when resuming an existing one."""
+    if wal_path.exists() and wal_path.stat().st_size > 0:
+        return None
+    return ServeConfig(
+        num_machines=args.machines if args.machines else 5,
+        devices_per_machine=args.devices if args.devices else 2,
+        num_spares=args.spares,
+        repair_ticks=demo_config().repair_ticks,
+        snapshot_interval=demo_config().snapshot_interval,
+    )
+
+
+def _serve_replay(path: str) -> int:
+    """Fold a serve WAL into state and print its summary."""
+    import json
+
+    try:
+        events = WriteAheadLog.load_events(path)
+        state = ServeState.replay(events)
+    except (OSError, ValueError, KeyError, ConfigurationError) as exc:
+        print(f"serve: cannot replay WAL {path!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"replayed {len(events)} events from {path}")
+    print(json.dumps(state.summary(), indent=2, sort_keys=True))
+    return 0
+
+
+def _serve_demo(args: argparse.Namespace) -> int:
+    """Run (or crash-resume) the canonical three-tenant demo workload."""
+    wal = Path(args.wal) if args.wal else Path("serve-demo.jsonl")
+    try:
+        server = ServeServer(wal, demo_config(), fsync=not args.no_fsync)
+    except (OSError, ConfigurationError) as exc:
+        print(f"serve: cannot open WAL {str(wal)!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    with server:
+        if server.recovered:
+            print(f"recovered from {wal}: "
+                  f"{len(server.wal.events)} events replayed, "
+                  f"resuming at round {server.state.round}")
+        run_script(server, demo_traffic())
+        state = server.state
+        print(f"{'job':<14} {'tenant':<9} {'status':>9} {'iters':>5} "
+              f"{'fails':>5} {'recov':>5} {'preempt':>7}")
+        for job in state.jobs_with_status(*(
+                "completed", "failed", "rejected", "shed")):
+            print(f"{job['name']:<14} {job['tenant']:<9} "
+                  f"{job['status']:>9} {job['iterations_done']:>5} "
+                  f"{job['failures']:>5} {job['recoveries']:>5} "
+                  f"{job['preemptions']:>7}")
+        print(f"\n{len(server.wal.events)} WAL events, "
+              f"{state.round} rounds, "
+              f"fleet time {state.fleet_time:.1f} s, "
+              f"goodput {state.goodput():.1f} samples/s")
+    print(f"WAL: {wal}  (kill this process at any point and re-run "
+          f"with the same --wal: recovery is replay)")
+    return 0
+
+
+def _serve_fleet_demo(args: argparse.Namespace) -> int:
+    """Mirror a real fleet run into a serve WAL and audit the replay."""
+    path = Path(args.wal) if args.wal else Path("fleet-wal.jsonl")
+    machines = args.machines if args.machines else 6
+    devices = args.devices if args.devices else 4
+    specs, failures = demo_fleet_specs(args.iterations)
+    wal = WriteAheadLog(path, fsync=not args.no_fsync,
+                        meta={"service": "repro.serve.mirror"})
+    try:
+        sim = FleetSimulator(
+            specs,
+            num_machines=machines,
+            devices_per_machine=devices,
+            num_spares=args.spares,
+            failures=failures,
+            wal=wal,
+        )
+        report = sim.run()
+    finally:
+        wal.close()
+    state = ServeState.replay(WriteAheadLog.load_events(path))
+    mismatches = []
+    if state.round != report.rounds:
+        mismatches.append(
+            f"rounds: wal {state.round} != fleet {report.rounds}")
+    if state.fleet_time != report.makespan:
+        mismatches.append(
+            f"makespan: wal {state.fleet_time!r} != "
+            f"fleet {report.makespan!r}")
+    by_name = {j.name: j for j in report.jobs}
+    for name, job in sorted(state.jobs.items()):
+        fleet_job = by_name[name]
+        if job["iterations_done"] != fleet_job.iterations:
+            mismatches.append(
+                f"{name}: wal iters {job['iterations_done']} != "
+                f"fleet {fleet_job.iterations}")
+        if job["status"] != fleet_job.state:
+            mismatches.append(
+                f"{name}: wal status {job['status']} != "
+                f"fleet {fleet_job.state}")
+    print(f"mirrored {len(WriteAheadLog.load_events(path))} WAL events "
+          f"from a real {machines}x{devices} fleet run to {path}")
+    print(report.format_table())
+    if mismatches:
+        print("\nreplay audit: MISMATCH", file=sys.stderr)
+        for line in mismatches:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nreplay audit: ServeState.replay(WAL) reproduces the "
+          f"fleet accounting exactly ({len(state.jobs)} jobs, "
+          f"round {state.round}, makespan {state.fleet_time:.2f} s)")
+    return 0
+
+
+def _serve_listen(args: argparse.Namespace) -> int:
+    """Serve the NDJSON protocol over stdio or TCP against one WAL."""
+    if not args.wal:
+        print("serve: --stdio/--tcp need --wal FILE (the WAL is what "
+              "makes a SIGKILL survivable)", file=sys.stderr)
+        return 2
+    wal = Path(args.wal)
+    try:
+        server = ServeServer(wal, _serve_config(args, wal),
+                             fsync=not args.no_fsync)
+    except (OSError, ConfigurationError) as exc:
+        print(f"serve: cannot open WAL {str(wal)!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    with server:
+        if args.tcp is not None:
+            def announce(port: int) -> None:
+                # the crash-restart harness parses this line
+                print(f"serve: listening on 127.0.0.1:{port} "
+                      f"(wal {wal})", flush=True)
+            serve_tcp(server, port=args.tcp, ready_callback=announce)
+        else:
+            serve_stdio(server)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The crash-recoverable multi-tenant control plane (repro.serve)."""
+    modes = [bool(args.demo), bool(args.drill), bool(args.stdio),
+             args.tcp is not None, bool(args.replay),
+             bool(args.fleet_demo)]
+    if sum(modes) > 1:
+        print("serve: pick one of --demo, --drill, --stdio, --tcp, "
+              "--replay, --fleet-demo", file=sys.stderr)
+        return 2
+    if args.replay:
+        return _serve_replay(args.replay)
+    if args.drill:
+        try:
+            report = control_plane_drill(kill_points=args.kill_points)
+        except ConfigurationError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
+        print(f"control-plane crash drill: SIGKILL at "
+              f"{len(report.results)} WAL offsets "
+              f"(every other one torn mid-line)")
+        print(report.format_table())
+        return 0 if report.passed else 1
+    if args.stdio or args.tcp is not None:
+        return _serve_listen(args)
+    if args.fleet_demo:
+        return _serve_fleet_demo(args)
+    return _serve_demo(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -619,6 +828,46 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seconds of silence before --follow stops")
     obs.set_defaults(fn=cmd_obs)
 
+    serve = sub.add_parser(
+        "serve",
+        help="crash-recoverable multi-tenant control plane (repro.serve)",
+    )
+    serve.add_argument("--wal", default=None, metavar="FILE",
+                       help="write-ahead log path; an existing WAL is "
+                            "resumed (crash recovery is replay)")
+    serve.add_argument("--demo", action="store_true",
+                       help="run the three-tenant demo workload to "
+                            "completion (the default mode)")
+    serve.add_argument("--drill", action="store_true",
+                       help="SIGKILL the control plane at N WAL offsets "
+                            "and prove zero acknowledged-job loss")
+    serve.add_argument("--kill-points", type=int, default=5,
+                       help="WAL cut points the drill exercises")
+    serve.add_argument("--stdio", action="store_true",
+                       help="serve the NDJSON protocol on stdin/stdout")
+    serve.add_argument("--tcp", type=int, default=None, metavar="PORT",
+                       help="serve the NDJSON protocol on TCP "
+                            "(0 picks a free port)")
+    serve.add_argument("--replay", default=None, metavar="WAL",
+                       help="fold an existing WAL into state and print "
+                            "its summary")
+    serve.add_argument("--fleet-demo", action="store_true",
+                       help="mirror a real FleetSimulator run into a "
+                            "serve WAL and audit that replay reproduces "
+                            "its accounting")
+    serve.add_argument("--machines", type=int, default=None,
+                       help="cluster machines (default: 5, or 6 for "
+                            "--fleet-demo)")
+    serve.add_argument("--devices", type=int, default=None,
+                       help="devices per machine (default: 2, or 4 for "
+                            "--fleet-demo)")
+    serve.add_argument("--spares", type=int, default=1)
+    serve.add_argument("--iterations", type=int, default=30,
+                       help="per-job iterations for --fleet-demo")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip fsync on WAL appends (tests/demos)")
+    serve.set_defaults(fn=cmd_serve)
+
     plan = sub.add_parser("plan", help="selective-logging group planner")
     plan.add_argument("--workload", choices=["vit", "bert"], default="bert")
     plan.add_argument("--budget-gb", type=float, required=True)
@@ -633,4 +882,12 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # stdout was a pipe whose reader quit (`repro serve ... | head`);
+        # the conventional exit for a SIGPIPE'd writer, not a traceback
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 141
+    raise SystemExit(code)

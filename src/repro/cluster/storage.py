@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import StorageError
+
 __all__ = ["Blob", "LocalDisk", "GlobalStore", "pipelined_transfer_time"]
 
 GB = 1e9
@@ -70,12 +72,45 @@ class GlobalStore:
     def __init__(self, network_bw: float = 5.0 * GB):
         self.network_bw = float(network_bw)
         self._blobs: dict[str, Blob] = {}
+        # [start, end) simulated-time windows during which the store is
+        # unreachable (repro.chaos storage_outage events land here)
+        self.outages: list[tuple[float, float]] = []
 
-    def upload(self, key: str, nbytes: int, payload: object = None) -> float:
+    def add_outage(self, start: float, end: float) -> None:
+        """Declare an [start, end) window during which requests fail.
+
+        Timestamps are in the caller's simulated-time domain; operations
+        that pass ``now`` inside any declared window raise
+        :class:`~repro.errors.StorageError`.  Operations that omit
+        ``now`` keep the legacy always-available behaviour.
+        """
+        if end <= start:
+            raise ValueError(f"empty outage window [{start}, {end})")
+        self.outages.append((float(start), float(end)))
+
+    def in_outage(self, now: float) -> bool:
+        """True when ``now`` falls inside any declared outage window."""
+        return any(start <= now < end for start, end in self.outages)
+
+    def _check_available(self, op: str, key: str, now: float | None) -> None:
+        if now is not None and self.in_outage(now):
+            raise StorageError(
+                f"global store unavailable at t={now:g}: {op} {key!r} "
+                "hit an outage window"
+            )
+
+    def upload(
+        self, key: str, nbytes: int, payload: object = None,
+        now: float | None = None,
+    ) -> float:
+        self._check_available("upload", key, now)
         self._blobs[key] = Blob(key, int(nbytes), payload)
         return nbytes / self.network_bw
 
-    def download(self, key: str) -> tuple[Blob, float]:
+    def download(
+        self, key: str, now: float | None = None
+    ) -> tuple[Blob, float]:
+        self._check_available("download", key, now)
         blob = self._blobs[key]
         return blob, blob.nbytes / self.network_bw
 

@@ -17,6 +17,7 @@ __all__ = [
     "MachineFailure",
     "CommunicationError",
     "CheckpointError",
+    "StorageError",
     "LogIntegrityError",
     "RecoveryError",
     "StateInconsistencyError",
@@ -69,6 +70,16 @@ class CommunicationError(ReproError):
 
 class CheckpointError(ReproError):
     """Checkpoint could not be written, read, or validated."""
+
+
+class StorageError(ReproError):
+    """A storage operation failed transiently (e.g. an outage window).
+
+    Raised by :class:`repro.cluster.GlobalStore` while an injected outage
+    window is active.  Transient by design: callers are expected to wrap
+    storage writes in :func:`repro.serve.retry_call` rather than treat
+    this as fatal.
+    """
 
 
 class LogIntegrityError(ReproError):

@@ -21,7 +21,7 @@ and *which* hardware it holds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from enum import Enum
 
 from repro.cluster.clock import SimClock
@@ -100,6 +100,9 @@ class JobSpec:
     optimizer: str | None = None
     lr: float | None = None
     momentum: float = 0.9
+    #: owning tenant on a multi-tenant control plane (:mod:`repro.serve`);
+    #: ``None`` for single-tenant fleet runs
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.parallelism not in ("dp", "pp"):
@@ -136,6 +139,31 @@ class JobSpec:
     def samples(self) -> int:
         """Total useful samples the job produces when it completes."""
         return self.iterations * self.batch_size
+
+    def to_payload(self) -> dict:
+        """Plain-JSON form of the spec (WAL events, wire protocol).
+
+        >>> spec = JobSpec(name="j", parallelism="dp", num_workers=2,
+        ...                iterations=10)
+        >>> JobSpec.from_payload(spec.to_payload()) == spec
+        True
+        """
+        return dict(asdict(self))
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobSpec":
+        """Rebuild a spec from :meth:`to_payload` output.
+
+        Unknown keys are ignored so older servers can read specs written
+        by newer clients (the WAL analogue of trace version tolerance).
+
+        >>> JobSpec.from_payload({"name": "j", "parallelism": "pp",
+        ...                       "num_workers": 2, "iterations": 5,
+        ...                       "future_knob": 1}).num_workers
+        2
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
 
 
 class Job:

@@ -25,6 +25,7 @@ from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.obs.telemetry import TelemetryEvent, TelemetryTrace
+from repro.utils.jsonl import JsonlWriter
 
 __all__ = [
     "Recorder",
@@ -325,11 +326,17 @@ class JsonlSink:
     Writes the versioned header up front and flushes after every event,
     so ``repro obs --follow`` (or any ``tail -f``) can watch a live run.
     The file is a valid :class:`TelemetryTrace` JSONL at every instant.
+    With ``fsync=True`` every event is forced to stable storage before
+    the call returns, so the file survives a ``kill -9`` mid-run; either
+    way ``close()`` flushes first, so no buffered event is ever dropped
+    by an orderly shutdown.  The underlying primitive is
+    :class:`repro.utils.jsonl.JsonlWriter` — the same one the
+    :mod:`repro.serve` write-ahead log is built on.
 
     >>> import tempfile, os
     >>> path = os.path.join(tempfile.mkdtemp(), "live.jsonl")
     >>> r = TraceRecorder()
-    >>> sink = JsonlSink(path, source="doctest")
+    >>> sink = JsonlSink(path, source="doctest", fsync=True)
     >>> r.subscribe(sink)
     >>> r.count("iterations")
     >>> sink.close()
@@ -338,28 +345,24 @@ class JsonlSink:
     """
 
     def __init__(self, path: str | Path, source: str = "live",
-                 **meta: object):
+                 fsync: bool = False, **meta: object):
         self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         header = TelemetryTrace(
             source=source,
             meta=tuple(sorted((str(k), str(v)) for k, v in meta.items())),
         ).to_jsonl()
-        self._fh = self.path.open("w")
-        self._fh.write(header)
-        self._fh.flush()
+        self._writer = JsonlWriter(self.path, fsync=fsync)
+        self._writer.write_line(header.rstrip("\n"))
 
     def __call__(self, event: TelemetryEvent) -> None:
-        if self._fh.closed:
+        if self._writer.closed:
             raise ConfigurationError(
                 f"JsonlSink {self.path} already closed"
             )
-        self._fh.write(event.to_json() + "\n")
-        self._fh.flush()
+        self._writer.write_line(event.to_json())
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        self._writer.close()
 
     def __enter__(self) -> "JsonlSink":
         return self

@@ -21,10 +21,12 @@ Every event carries *two* timelines:
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.utils.jsonl import salvage_jsonl
 
 __all__ = ["TELEMETRY_VERSION", "TelemetryEvent", "TelemetryTrace"]
 
@@ -256,8 +258,14 @@ class TelemetryTrace:
         lines = [ln for ln in text.splitlines() if ln.strip()]
         if not lines:
             raise ConfigurationError("empty telemetry trace")
-        header = json.loads(lines[0])
-        if "version" not in header:
+        try:
+            header = json.loads(lines[0])
+            events = tuple(TelemetryEvent.from_json(ln) for ln in lines[1:])
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"telemetry trace is not valid JSONL: {exc}"
+            ) from exc
+        if not isinstance(header, dict) or "version" not in header:
             raise ConfigurationError("telemetry header missing 'version'")
         return cls(
             source=str(header.get("source", "unknown")),
@@ -266,7 +274,7 @@ class TelemetryTrace:
                 (str(k), str(v))
                 for k, v in dict(header.get("meta", {})).items()
             )),
-            events=tuple(TelemetryEvent.from_json(ln) for ln in lines[1:]),
+            events=events,
         )
 
     def save(self, path: str | Path) -> Path:
@@ -277,4 +285,21 @@ class TelemetryTrace:
 
     @classmethod
     def load(cls, path: str | Path) -> "TelemetryTrace":
-        return cls.from_jsonl(Path(path).read_text())
+        """Load a trace file, tolerating a torn final line.
+
+        A recorder killed mid-write (crash, ``kill -9``) can leave the
+        last JSONL line truncated; the valid prefix is still a complete
+        trace, so it is recovered with a :class:`UserWarning` instead of
+        raising.  Corruption anywhere *before* the final line still
+        raises :class:`~repro.errors.ConfigurationError`.
+        """
+        path = Path(path)
+        good, torn = salvage_jsonl(path.read_text())
+        if torn is not None:
+            warnings.warn(
+                f"{path}: dropped torn final line "
+                f"({len(torn)} bytes, crash mid-write?)",
+                UserWarning,
+                stacklevel=2,
+            )
+        return cls.from_jsonl("\n".join(good) + "\n" if good else "")

@@ -1,0 +1,219 @@
+"""Newline-delimited JSON protocol for the control plane.
+
+One request per line, one response per line, both JSON objects — the
+simplest protocol that a shell script, ``nc``, or a test harness can
+speak.  Requests carry an ``op``; responses always carry ``ok`` and,
+on failure, a one-line ``error``.  The fault envelope is part of the
+contract:
+
+* malformed JSON, unknown ops, and handler errors come back as
+  ``{"ok": false, "error": ...}`` — the connection (and the server)
+  never dies on a bad request;
+* requests longer than ``max_line_bytes`` are refused without reading
+  them into memory-boundless buffers;
+* TCP connections carry an idle timeout; a stalled client is
+  disconnected, not awaited forever.
+
+Ops (v1): ``hello``, ``register_tenant``, ``submit``, ``status``,
+``job``, ``tick``, ``run``, ``inject_failure``, ``shrink``,
+``snapshot``, ``shutdown``.  A ``submit`` response is only sent after
+the verdict is durable in the WAL — the acknowledgment rule the crash
+drills verify.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+
+from repro.errors import ReproError
+from repro.jobs.spec import JobSpec
+from repro.serve.server import ServeServer, TenantSpec
+from repro.utils.jsonl import canonical_json
+
+__all__ = ["handle_request", "serve_stdio", "serve_tcp"]
+
+#: refuse request lines longer than this (1 MiB)
+MAX_LINE_BYTES = 1 << 20
+
+#: disconnect a TCP client idle longer than this (seconds)
+REQUEST_TIMEOUT = 30.0
+
+
+def handle_request(server: ServeServer, request: dict) -> dict:
+    """Execute one protocol request; never raises.
+
+    >>> import tempfile, os
+    >>> from repro.serve.server import ServeConfig
+    >>> path = os.path.join(tempfile.mkdtemp(), "wal.jsonl")
+    >>> s = ServeServer(path, ServeConfig(num_machines=4,
+    ...                                   devices_per_machine=2))
+    >>> handle_request(s, {"op": "hello"})["ok"]
+    True
+    >>> handle_request(s, {"op": "no-such-op"})["ok"]
+    False
+    >>> s.close()
+    """
+    try:
+        op = str(request.get("op", ""))
+        if op == "hello":
+            return {"ok": True, "service": "repro.serve", "version": 1,
+                    "round": server.state.round,
+                    "recovered": server.recovered}
+        if op == "register_tenant":
+            name = server.register_tenant(
+                TenantSpec(**dict(request["tenant"]))
+            )
+            return {"ok": True, "tenant": name}
+        if op == "submit":
+            spec = JobSpec.from_payload(dict(request["spec"]))
+            verdict, name = server.submit(str(request["tenant"]), spec)
+            response = {"ok": True, "job": name, "verdict": verdict}
+            if verdict == "rejected":
+                response["reason"] = server.state.jobs[name]["reason"]
+            return response
+        if op == "status":
+            return {"ok": True, "status": server.state.summary()}
+        if op == "job":
+            name = str(request["name"])
+            if name not in server.state.jobs:
+                return {"ok": False, "error": f"unknown job {name!r}"}
+            return {"ok": True, "job": server.state.jobs[name]}
+        if op == "tick":
+            rounds = int(request.get("rounds", 1))
+            for _ in range(max(1, rounds)):
+                server.tick()
+            return {"ok": True, "round": server.state.round}
+        if op == "run":
+            server.run(max_rounds=int(request.get("max_rounds", 10_000)))
+            return {"ok": True, "round": server.state.round,
+                    "goodput": server.state.goodput()}
+        if op == "inject_failure":
+            hit = server.inject_failure(int(request["machine"]),
+                                        tag=str(request.get("tag", "")))
+            return {"ok": True, "failed": hit}
+        if op == "shrink":
+            retired = server.shrink_cluster(
+                [int(m) for m in request["machines"]]
+            )
+            return {"ok": True, "retired": retired}
+        if op == "snapshot":
+            return {"ok": True, "snapshot": server.state.snapshot(),
+                    "last_seq": server.state.last_seq}
+        if op == "shutdown":
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _handle_line(server: ServeServer, line: str) -> tuple[dict, bool]:
+    """(response, keep_going) for one raw request line."""
+    if len(line) > MAX_LINE_BYTES:
+        return ({"ok": False,
+                 "error": f"request exceeds {MAX_LINE_BYTES} bytes"},
+                True)
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return ({"ok": False, "error": f"bad JSON: {exc}"}, True)
+    if not isinstance(request, dict):
+        return ({"ok": False, "error": "request must be a JSON object"},
+                True)
+    response = handle_request(server, request)
+    return response, not response.get("bye", False)
+
+
+def serve_stdio(server: ServeServer, rfile=None, wfile=None) -> int:
+    """Serve NDJSON requests over stdin/stdout; returns requests served.
+
+    The workhorse behind ``repro serve --stdio`` — and behind the
+    crash-restart example, which SIGKILLs this loop mid-conversation
+    and restarts it against the same WAL.
+
+    >>> import io, tempfile, os
+    >>> from repro.serve.server import ServeConfig, ServeServer
+    >>> path = os.path.join(tempfile.mkdtemp(), "wal.jsonl")
+    >>> server = ServeServer(path, ServeConfig(num_machines=2,
+    ...                                        devices_per_machine=1))
+    >>> out = io.StringIO()
+    >>> serve_stdio(server, rfile=io.StringIO('{"op": "hello"}\\n'),
+    ...             wfile=out)
+    1
+    >>> '"ok":true' in out.getvalue()
+    True
+    >>> server.close()
+    """
+    rfile = rfile if rfile is not None else sys.stdin
+    wfile = wfile if wfile is not None else sys.stdout
+    served = 0
+    for line in rfile:
+        if not line.strip():
+            continue
+        response, keep_going = _handle_line(server, line)
+        wfile.write(canonical_json(response) + "\n")
+        wfile.flush()
+        served += 1
+        if not keep_going:
+            break
+    return served
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP test
+        self.connection.settimeout(self.server.request_timeout)
+        try:
+            while True:
+                raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+                if not raw:
+                    return
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    continue
+                response, keep_going = _handle_line(
+                    self.server.serve_server, line
+                )
+                self.wfile.write(
+                    (canonical_json(response) + "\n").encode()
+                )
+                self.wfile.flush()
+                if not keep_going:
+                    self.server.shutdown_requested = True
+                    return
+        except (TimeoutError, OSError):
+            return  # stalled or vanished client: drop the connection
+
+
+class _TCPServer(socketserver.TCPServer):
+    allow_reuse_address = True
+
+
+def serve_tcp(
+    server: ServeServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    request_timeout: float = REQUEST_TIMEOUT,
+    ready_callback=None,
+) -> int:
+    """Serve NDJSON requests over TCP until a client sends ``shutdown``.
+
+    Binds (``port=0`` picks a free port), reports the bound port through
+    ``ready_callback(port)``, then handles one connection at a time —
+    the control plane is single-threaded on purpose: every mutation goes
+    through the WAL in one total order.  Returns the bound port.
+
+    >>> callable(serve_tcp)
+    True
+    """
+    with _TCPServer((host, port), _Handler) as tcp:
+        tcp.serve_server = server
+        tcp.request_timeout = request_timeout
+        tcp.shutdown_requested = False
+        bound_port = tcp.server_address[1]
+        if ready_callback is not None:
+            ready_callback(bound_port)
+        while not tcp.shutdown_requested:
+            tcp.handle_request()
+        return bound_port

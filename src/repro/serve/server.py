@@ -1,0 +1,525 @@
+"""ServeServer: the crash-recoverable multi-tenant control plane.
+
+The server is deliberately boring: it is a **pure decision function**
+over :class:`~repro.serve.state.ServeState`.  Every transition follows
+the same three-step discipline::
+
+    event = decide(state)          # pure function of current state
+    wal.append(event)              # durable (fsync) BEFORE anything else
+    state.apply(event)             # state = fold(log), always
+
+Because decisions read only the state and the state is a fold over the
+log, a server restarted from any WAL prefix re-derives *exactly* the
+events the dead process would have written next — crash recovery is
+replay, never reconciliation.  That is the paper's thesis applied to the
+scheduler itself.
+
+Scheduling semantics mirror the fleet layer: gang placement with
+failure-aware spread (:meth:`ServeState.pick_slots`), priority
+preemption of elastic jobs, spare-machine leases with repair delays, and
+weighted fair-share ordering across tenants.  Admission control enforces
+per-tenant worker quotas and pending caps; when the cluster shrinks
+(``retire``) the queue is gracefully degraded by shedding jobs that can
+never fit — lowest tenant priority first — instead of deadlocking the
+head of the queue.
+
+Checkpoint-storage writes (periodic state snapshots to the
+:class:`~repro.cluster.GlobalStore`) ride through outage windows via
+bounded :func:`~repro.serve.retry.retry_call` with deterministic
+backoff; the snapshot is a fast-path optimization, the WAL is the truth,
+so exhausted retries degrade to a telemetry event rather than an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster.storage import GlobalStore
+from repro.errors import ConfigurationError, StorageError
+from repro.jobs.spec import JobSpec
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.serve.retry import BackoffPolicy, retry_call
+from repro.serve.state import ServeState
+from repro.serve.wal import ServeEvent, WriteAheadLog
+
+__all__ = ["TenantSpec", "ServeConfig", "ServeServer"]
+
+#: event kinds only ever emitted inside :meth:`ServeServer.tick` —
+#: disjoint from the client-op kinds (tenant/submit/reject/crash/retire),
+#: so a WAL ending on one of these means the writer died mid-tick
+_TICK_KINDS = frozenset({
+    "complete", "reclaim", "lease", "recover",
+    "shed", "place", "preempt", "restore",
+})
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Admission-control contract for one tenant.
+
+    ``share`` weighs fair-share ordering (2.0 gets twice the cluster of
+    1.0 under contention); ``quota`` caps the tenant's total requested
+    workers across active jobs; ``max_pending`` caps its queue depth;
+    ``priority`` breaks shedding order when the cluster shrinks (lower
+    priority sheds first).
+
+    >>> TenantSpec(name="prod", share=2.0, quota=12).name
+    'prod'
+    """
+
+    name: str
+    share: float = 1.0
+    quota: int = 1 << 30
+    max_pending: int = 1 << 30
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.share <= 0:
+            raise ConfigurationError("share must be > 0")
+        if self.quota < 1 or self.max_pending < 1:
+            raise ConfigurationError("quota and max_pending must be >= 1")
+
+    def to_payload(self) -> dict:
+        return {"name": self.name, "share": self.share,
+                "quota": self.quota, "max_pending": self.max_pending,
+                "priority": self.priority}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Cluster geometry and timing knobs of one control plane.
+
+    >>> ServeConfig(num_machines=8, num_spares=1).schedulable_machines
+    7
+    """
+
+    num_machines: int = 8
+    devices_per_machine: int = 4
+    num_spares: int = 1
+    repair_ticks: int = 5
+    #: simulated seconds one scheduling round takes when jobs stepped
+    iteration_time: float = 1.0
+    #: simulated seconds charged when a round steps nothing
+    idle_time: float = 0.1
+    #: upload a state snapshot to the global store every N rounds
+    snapshot_interval: int = 25
+    #: retry budget for those snapshot uploads
+    storage_policy: BackoffPolicy = field(default_factory=BackoffPolicy)
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1:
+            raise ConfigurationError("num_machines must be >= 1")
+        if self.num_spares >= self.num_machines:
+            raise ConfigurationError("num_spares must leave machines over")
+        if self.snapshot_interval < 1:
+            raise ConfigurationError("snapshot_interval must be >= 1")
+
+    @property
+    def schedulable_machines(self) -> int:
+        return self.num_machines - self.num_spares
+
+    @property
+    def spare_ids(self) -> list[int]:
+        """Spares take the highest machine ids, like the fleet layer."""
+        return list(range(self.num_machines - self.num_spares,
+                          self.num_machines))
+
+
+class ServeServer:
+    """The control plane: WAL-backed, multi-tenant, crash-recoverable.
+
+    Opening a path whose WAL already has events *resumes* the dead
+    server: the log is replayed (torn tail tolerated) and the next
+    decision picks up exactly where the old process died.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "wal.jsonl")
+    >>> server = ServeServer(path, ServeConfig(num_machines=4,
+    ...                                        devices_per_machine=2))
+    >>> server.register_tenant(TenantSpec(name="team-a"))
+    'team-a'
+    >>> from repro.jobs import JobSpec
+    >>> server.submit("team-a", JobSpec(name="j0", parallelism="dp",
+    ...                                 num_workers=2, iterations=3))
+    ('accepted', 'j0')
+    >>> server.run()                    # tick until every job settles
+    >>> server.state.jobs["j0"]["status"]
+    'completed'
+    >>> server.close()
+    """
+
+    def __init__(
+        self,
+        wal_path: str | Path,
+        config: ServeConfig | None = None,
+        *,
+        storage: GlobalStore | None = None,
+        recorder: Recorder = NULL_RECORDER,
+        fsync: bool = True,
+    ):
+        self.recorder = recorder
+        self.storage = storage if storage is not None else GlobalStore()
+        self.wal = WriteAheadLog(wal_path, fsync=fsync,
+                                 meta={"service": "repro.serve"})
+        self.state = ServeState.replay(self.wal.events)
+        self.recovered = bool(self.wal.events)
+        self.snapshot_failures = 0
+        if self.recovered:
+            cfg = self.state.config
+            self.config = ServeConfig(
+                num_machines=cfg["num_machines"],
+                devices_per_machine=cfg["devices_per_machine"],
+                num_spares=len(self.state.spares)
+                + len(self.state.repairing),
+                repair_ticks=cfg["repair_ticks"],
+                iteration_time=cfg["iteration_time"],
+                idle_time=cfg["idle_time"],
+            ) if config is None else config
+            self.recorder.instant("serve/recovered", track="serve")
+            self.recorder.count("serve/replayed_events",
+                                len(self.wal.events), track="serve")
+        else:
+            self.config = config or ServeConfig()
+            self._log("init", {
+                "num_machines": self.config.num_machines,
+                "devices_per_machine": self.config.devices_per_machine,
+                "spares": self.config.spare_ids,
+                "repair_ticks": self.config.repair_ticks,
+                "iteration_time": self.config.iteration_time,
+                "idle_time": self.config.idle_time,
+            })
+
+    # -- the one write path ------------------------------------------------
+    def _log(self, kind: str, payload: dict) -> ServeEvent:
+        """Durably append, then apply: log-before-acknowledge."""
+        event = ServeEvent(seq=self.wal.next_seq, kind=kind,
+                           payload=payload)
+        self.wal.append(event)
+        self.state.apply(event)
+        return event
+
+    # -- client-facing operations (each acknowledged after the WAL) --------
+    def register_tenant(self, tenant: TenantSpec) -> str:
+        """Register (or re-register) a tenant; returns its name."""
+        self._log("tenant", tenant.to_payload())
+        return tenant.name
+
+    def submit(self, tenant: str, spec: JobSpec) -> tuple[str, str]:
+        """Admission-control a submission; returns (verdict, job name).
+
+        The verdict — ``"accepted"`` or ``"rejected"`` — is durable in
+        the WAL *before* this method returns, so an acknowledged
+        submission can never be lost to a control-plane crash.
+        """
+        name = spec.name
+        if tenant not in self.state.tenants:
+            raise ConfigurationError(f"unknown tenant {tenant!r}")
+        if name in self.state.jobs:
+            raise ConfigurationError(f"duplicate job name {name!r}")
+        trec = self.state.tenants[tenant]
+        payload = spec.to_payload()
+        payload["tenant"] = tenant
+        reason = None
+        total_devices = (self.config.num_machines
+                         * self.config.devices_per_machine)
+        if spec.num_workers > total_devices:
+            reason = (f"gang of {spec.num_workers} exceeds cluster "
+                      f"capacity {total_devices}")
+        elif self.state.tenant_demand(tenant) + spec.num_workers \
+                > trec["quota"]:
+            reason = (f"tenant quota {trec['quota']} exceeded "
+                      f"(active demand "
+                      f"{self.state.tenant_demand(tenant)})")
+        elif self.state.pending_count(tenant) >= trec["max_pending"]:
+            reason = f"tenant pending cap {trec['max_pending']} reached"
+        if reason is not None:
+            self._log("reject", {"name": name, "tenant": tenant,
+                                 "spec": payload, "reason": reason})
+            self.recorder.count("serve/rejected", track="serve")
+            return ("rejected", name)
+        self._log("submit", {"name": name, "tenant": tenant,
+                             "spec": payload})
+        self.recorder.count("serve/submitted", track="serve")
+        return ("accepted", name)
+
+    def inject_failure(self, machine: int, tag: str = "") -> bool:
+        """Fail-stop one machine (chaos drills); False if already dead."""
+        if machine not in self.state.machines:
+            raise ConfigurationError(f"unknown machine {machine}")
+        in_repair = any(m == machine for m, _ in self.state.repairing)
+        if not self.state.machines[machine]["alive"] and not in_repair:
+            return False
+        is_spare = machine in self.state.spares or in_repair
+        hit = [] if is_spare else sorted(
+            job["name"] for job in self.state.jobs.values()
+            if job["status"] in ("running", "blocked")
+            and any(m == machine for m, _ in job["slots"])
+        )
+        self._log("crash", {"machine": machine, "jobs": hit,
+                            "tag": tag, "spare": is_spare})
+        self.recorder.count("serve/machine_failures", track="serve")
+        return True
+
+    def shrink_cluster(self, machines: list[int]) -> list[int]:
+        """Permanently retire machines (capacity loss); returns retired.
+
+        Machines currently holding job slots are skipped — shrink is for
+        capacity decommission, crashes go through
+        :meth:`inject_failure`.  Queued jobs that can no longer ever fit
+        are shed on the next tick (graceful degradation).
+        """
+        occupied = {m for m, _ in self.state.occupied_slots()}
+        retired = []
+        for machine in sorted(set(int(m) for m in machines)):
+            if machine not in self.state.machines:
+                raise ConfigurationError(f"unknown machine {machine}")
+            if machine in occupied:
+                continue
+            if self.state.machines[machine]["retired"]:
+                continue
+            self._log("retire", {"machine": machine})
+            retired.append(machine)
+        return retired
+
+    # -- the scheduling round ----------------------------------------------
+    def tick(self) -> int:
+        """Run one scheduling round; returns the round number it ran.
+
+        Phase order is crash-safety by construction: every phase's
+        decision is *disabled by its own event's application*, so a
+        server killed between any two appends re-runs the tick and
+        emits exactly the remaining events.  The closing ``round`` event
+        is the commit point that advances time.
+        """
+        state = self.state
+        rnd = state.round
+        with self.recorder.span("serve/tick", track="serve"):
+            # settle AFTER recovery: a recover event re-enables the
+            # completion check for a blocked-at-target job, so settling
+            # first would make a crash-resumed tick (which re-runs all
+            # phases) complete jobs the uninterrupted tick stepped once
+            # more — the drill catches exactly this divergence
+            self._reclaim_repairs()
+            self._recover_blocked()
+            self._settle_completions()
+            self._shed_impossible()
+            self._place_queue()
+            self._restore_preempted()
+            stepped = sorted(
+                job["name"] for job in state.jobs.values()
+                if job["status"] == "running"
+            )
+            dt = (self.config.iteration_time if stepped
+                  else self.config.idle_time)
+            self._log("round", {"round": rnd, "dt": dt,
+                                "stepped": stepped})
+        if self.recorder.enabled:
+            self.recorder.gauge("serve/free_slots",
+                                len(state.free_slots()), track="serve")
+            self.recorder.gauge("serve/queued", len(state.queue),
+                                track="serve")
+            self.recorder.gauge("serve/goodput", state.goodput(),
+                                track="serve")
+        if state.round % self.config.snapshot_interval == 0:
+            self._upload_snapshot()
+        return rnd
+
+    @property
+    def mid_tick(self) -> bool:
+        """True when the WAL ends inside an uncommitted tick.
+
+        The closing ``round`` event is a tick's commit point; a log whose
+        last event is a tick-phase kind means the old process died
+        mid-tick, and the resumed server must finish that tick (one more
+        :meth:`tick`, whose already-applied phases no-op) before the run
+        can be considered settled.
+        """
+        return bool(self.wal.events) \
+            and self.wal.events[-1].kind in _TICK_KINDS
+
+    def run(self, max_rounds: int = 10_000) -> None:
+        """Tick until every job settles (or the round budget runs out)."""
+        for _ in range(max_rounds):
+            if self.state.all_done() and not self.mid_tick:
+                return
+            self.tick()
+        if not self.state.all_done():
+            raise ConfigurationError(
+                f"run did not settle within {max_rounds} rounds"
+            )
+
+    # -- tick phases (each one: decide from state, log, apply) -------------
+    def _settle_completions(self) -> None:
+        for job in self.state.jobs_with_status("running"):
+            if job["iterations_done"] >= int(job["spec"]["iterations"]):
+                self._log("complete", {"name": job["name"]})
+                self.recorder.count("serve/completed", track="serve")
+
+    def _reclaim_repairs(self) -> None:
+        for machine, ticks in list(self.state.repairing):
+            if ticks <= 0:
+                self._log("reclaim", {"machine": machine})
+
+    def _recover_blocked(self) -> None:
+        for job in self.state.jobs_with_status("blocked"):
+            for dead in list(job["pending_machines"]):
+                if not self.state.spares:
+                    break
+                spare = self.state.spares[0]
+                self._log("lease", {"machine": dead, "spare": spare})
+            if not job["pending_machines"]:
+                self._log("recover", {"name": job["name"]})
+                self.recorder.count("serve/recoveries", track="serve")
+
+    def _shed_impossible(self) -> None:
+        state = self.state
+        capacity = state.capacity()
+        doomed = [
+            state.jobs[name] for name in state.queue
+            if int(state.jobs[name]["spec"]["num_workers"]) > capacity
+        ]
+        # graceful degradation: lowest tenant priority sheds first
+        doomed.sort(key=lambda job: (
+            state.tenants[job["tenant"]]["priority"],
+            int(job["spec"].get("priority", 0)),
+            job["submitted_seq"],
+        ))
+        for job in doomed:
+            self._log("shed", {
+                "name": job["name"],
+                "reason": (f"needs {job['spec']['num_workers']} workers, "
+                           f"cluster capacity is {capacity}"),
+            })
+            self.recorder.count("serve/shed", track="serve")
+
+    def _queue_order(self) -> list[dict]:
+        """Weighted fair-share order over the queued jobs.
+
+        Tenants furthest below their share go first; job priority then
+        submission order break ties.  Pure function of the state.
+        """
+        state = self.state
+        return sorted(
+            (state.jobs[name] for name in state.queue),
+            key=lambda job: (
+                state.tenant_usage(job["tenant"])
+                / state.tenants[job["tenant"]]["share"],
+                -int(job["spec"].get("priority", 0)),
+                job["submitted_seq"],
+            ),
+        )
+
+    def _place_queue(self) -> None:
+        state = self.state
+        while state.queue:
+            # an in-flight preemption (crash between preempt and place)
+            # pins the head: finish the decision the dead server started
+            reserved = sorted(
+                (state.jobs[name] for name in state.queue
+                 if state.jobs[name]["reserved_slots"]),
+                key=lambda job: job["submitted_seq"],
+            )
+            head = reserved[0] if reserved else self._queue_order()[0]
+            want = int(head["spec"]["num_workers"])
+            slots = state.pick_slots(want)
+            if slots is None:
+                slots = self._try_preempt_for(head, want)
+            if slots is None:
+                return  # head-of-line blocks, like the fleet scheduler
+            self._log("place", {"name": head["name"],
+                                "slots": [list(s) for s in slots]})
+            self.recorder.count("serve/placed", track="serve")
+
+    def _try_preempt_for(
+        self, head: dict, want: int
+    ) -> list[tuple[int, int]] | None:
+        """Shrink lower-priority elastic jobs until ``head`` fits."""
+        state = self.state
+        free = len(state.free_slots())
+        victims = []
+        priority = int(head["spec"].get("priority", 0))
+        for job in state.jobs_with_status("running"):
+            if not job["spec"].get("elastic", False):
+                continue
+            if int(job["spec"].get("priority", 0)) >= priority:
+                continue
+            give = len(job["slots"]) - int(job["spec"].get("min_workers", 1))
+            if give > 0:
+                victims.append((int(job["spec"].get("priority", 0)),
+                                job["submitted_seq"], job, give))
+        victims.sort(key=lambda v: (v[0], v[1]))
+        takeable = sum(v[3] for v in victims)
+        if free + takeable < want:
+            return None
+        needed = want - free
+        for _, _, job, give in victims:
+            if needed <= 0:
+                break
+            take = min(give, needed)
+            freed = job["slots"][-take:]
+            self._log("preempt", {"name": job["name"], "slots": freed,
+                                  "for": head["name"]})
+            self.recorder.count("serve/preemptions", track="serve")
+            needed -= take
+        return state.pick_slots(want)
+
+    def _restore_preempted(self) -> None:
+        state = self.state
+        if state.queue:
+            return  # demand first, restoration second (fleet semantics)
+        shrunk = [
+            job for job in state.jobs_with_status("running")
+            if job["spec"].get("elastic", False)
+            and len(job["slots"]) < int(job["spec"]["num_workers"])
+        ]
+        shrunk.sort(key=lambda job: (
+            -int(job["spec"].get("priority", 0)), job["submitted_seq"],
+        ))
+        for job in shrunk:
+            missing = int(job["spec"]["num_workers"]) - len(job["slots"])
+            slots = state.pick_slots(min(missing,
+                                         len(state.free_slots())))
+            if slots:
+                self._log("restore", {"name": job["name"],
+                                      "slots": [list(s) for s in slots]})
+
+    # -- checkpoint-storage fault envelope ---------------------------------
+    def _upload_snapshot(self) -> None:
+        """Snapshot state to the global store, retrying through outages.
+
+        The snapshot is an optimization (the WAL is the truth), so after
+        the retry budget is exhausted we degrade gracefully: count it,
+        emit telemetry, move on.
+        """
+        snap = self.state.snapshot()
+        now = self.state.fleet_time
+
+        def attempt() -> float:
+            return self.storage.upload(
+                f"serve/snapshot/{self.state.round}",
+                nbytes=len(snap), payload=snap, now=now,
+            )
+
+        def observed(attempt_no: int, delay: float, exc: BaseException
+                     ) -> None:
+            self.recorder.count("serve/storage_retries", track="serve")
+
+        try:
+            retry_call(attempt, self.config.storage_policy,
+                       retry_on=(StorageError,), on_retry=observed)
+        except StorageError:
+            self.snapshot_failures += 1
+            self.recorder.instant("serve/snapshot_failed", track="serve")
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "ServeServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

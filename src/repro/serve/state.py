@@ -1,0 +1,461 @@
+"""ServeState: control-plane state as a pure fold over the WAL.
+
+Everything the control plane knows — tenants, jobs, the admission
+queue, placements, spare leases, machine health, accounting — lives in
+one :class:`ServeState`, and the *only* way it changes is
+:meth:`ServeState.apply` of a :class:`~repro.serve.wal.ServeEvent`.
+That discipline buys the paper's recovery story for the scheduler
+itself:
+
+* **replay is recovery** — a restarted server folds the WAL through
+  ``apply`` and lands bitwise-equal (``snapshot()`` string equality) to
+  the pre-crash state;
+* **replay is idempotent** — events at or below ``last_seq`` are
+  no-ops, so replaying a log twice equals replaying it once;
+* **decisions are replayable** — the server computes every scheduling
+  decision as a pure function of this state, so a resumed run re-derives
+  exactly the future the uninterrupted run would have had.
+
+Machine identity follows :class:`repro.jobs.SparePool` semantics: a
+``lease`` slides the spare's hardware into the failed machine's id (job
+slots stay stable), the broken hardware repairs under the spare's id,
+and ``reclaim`` returns it to the pool as the new spare.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.serve.wal import ServeEvent
+from repro.utils.jsonl import canonical_json
+
+__all__ = ["ServeState"]
+
+#: job lifecycle states tracked by the control plane
+JOB_STATUSES = (
+    "queued", "running", "blocked",
+    "completed", "failed", "rejected", "shed",
+)
+
+#: statuses that still consume (or will consume) cluster resources
+ACTIVE_STATUSES = ("queued", "running", "blocked")
+
+
+def _job_record(name: str, tenant: str, spec: dict, seq: int,
+                status: str, rnd: int) -> dict:
+    return {
+        "name": name,
+        "tenant": tenant,
+        "spec": spec,
+        "status": status,
+        "slots": [],
+        "iterations_done": 0,
+        "submitted_seq": seq,
+        "submit_round": rnd,
+        "start_round": None,
+        "finish_round": None,
+        "failures": 0,
+        "recoveries": 0,
+        "preemptions": 0,
+        "pending_machines": [],
+        # slots freed by an in-flight preemption on this job's behalf;
+        # lets a crash-resumed server finish the same placement decision
+        "reserved_slots": [],
+    }
+
+
+def _tenant_record(payload: dict) -> dict:
+    return {
+        "name": str(payload["name"]),
+        "share": float(payload.get("share", 1.0)),
+        "quota": int(payload.get("quota", 1 << 30)),
+        "max_pending": int(payload.get("max_pending", 1 << 30)),
+        "priority": int(payload.get("priority", 0)),
+        "submitted": 0,
+        "rejected": 0,
+        "completed": 0,
+        "failed": 0,
+        "shed": 0,
+    }
+
+
+class ServeState:
+    """The event-sourced control-plane state (see module docstring).
+
+    >>> from repro.serve.wal import ServeEvent
+    >>> s = ServeState()
+    >>> s.apply(ServeEvent(seq=0, kind="init", payload={
+    ...     "num_machines": 4, "devices_per_machine": 2, "spares": [3],
+    ...     "repair_ticks": 2, "iteration_time": 1.0, "idle_time": 0.1}))
+    True
+    >>> s.capacity()                    # 3 schedulable machines x 2 slots
+    6
+    >>> s.apply(ServeEvent(seq=0, kind="init", payload={}))  # idempotent
+    False
+    """
+
+    def __init__(self) -> None:
+        self.config: dict = {}
+        self.machines: dict[int, dict] = {}
+        self.spares: list[int] = []
+        self.repairing: list[list[int]] = []  # [machine_id, ticks_left]
+        self.tenants: dict[str, dict] = {}
+        self.jobs: dict[str, dict] = {}
+        self.queue: list[str] = []
+        self.round: int = 0
+        self.fleet_time: float = 0.0
+        self.last_seq: int = -1
+        self.failure_tags: list[str] = []
+
+    # -- event fold --------------------------------------------------------
+    def apply(self, event: ServeEvent) -> bool:
+        """Fold one event into the state; returns False for replays.
+
+        Events at or below ``last_seq`` were already applied (this is
+        what makes replay idempotent); a gap above ``last_seq + 1``
+        means the log lost events and is refused.
+        """
+        if event.seq <= self.last_seq:
+            return False
+        if event.seq != self.last_seq + 1:
+            raise ConfigurationError(
+                f"event sequence gap: state at seq {self.last_seq}, "
+                f"got event seq {event.seq}"
+            )
+        handler = getattr(self, f"_on_{event.kind}", None)
+        if handler is None:
+            raise ConfigurationError(
+                f"no state handler for event kind {event.kind!r}"
+            )
+        handler(event.payload)
+        self.last_seq = event.seq
+        return True
+
+    @classmethod
+    def replay(cls, events: list[ServeEvent]) -> "ServeState":
+        """Reconstruct state from a WAL event list (crash recovery).
+
+        >>> from repro.serve.wal import ServeEvent
+        >>> events = [ServeEvent(seq=0, kind="init", payload={
+        ...     "num_machines": 2, "devices_per_machine": 1, "spares": [],
+        ...     "repair_ticks": 1, "iteration_time": 1.0, "idle_time": 0.1})]
+        >>> a = ServeState.replay(events)
+        >>> b = ServeState.replay(events + events)   # twice == once
+        >>> a.snapshot() == b.snapshot()
+        True
+        """
+        state = cls()
+        for event in events:
+            state.apply(event)
+        return state
+
+    # -- handlers (one per event kind) ------------------------------------
+    def _on_init(self, p: dict) -> None:
+        self.config = {
+            "num_machines": int(p["num_machines"]),
+            "devices_per_machine": int(p["devices_per_machine"]),
+            "repair_ticks": int(p.get("repair_ticks", 1)),
+            "iteration_time": float(p.get("iteration_time", 1.0)),
+            "idle_time": float(p.get("idle_time", 0.1)),
+        }
+        self.machines = {
+            m: {"alive": True, "failures": 0, "retired": False}
+            for m in range(self.config["num_machines"])
+        }
+        self.spares = [int(m) for m in p.get("spares", [])]
+
+    def _on_tenant(self, p: dict) -> None:
+        rec = _tenant_record(p)
+        self.tenants[rec["name"]] = rec
+
+    def _on_submit(self, p: dict) -> None:
+        name = str(p["name"])
+        tenant = str(p["tenant"])
+        self.jobs[name] = _job_record(
+            name, tenant, dict(p["spec"]), self.last_seq + 1,
+            "queued", self.round,
+        )
+        self.queue.append(name)
+        self.tenants[tenant]["submitted"] += 1
+
+    def _on_reject(self, p: dict) -> None:
+        name = str(p["name"])
+        tenant = str(p["tenant"])
+        rec = _job_record(name, tenant, dict(p.get("spec", {})),
+                          self.last_seq + 1, "rejected", self.round)
+        rec["reason"] = str(p.get("reason", ""))
+        self.jobs[name] = rec
+        if tenant in self.tenants:
+            self.tenants[tenant]["rejected"] += 1
+
+    def _on_place(self, p: dict) -> None:
+        job = self.jobs[str(p["name"])]
+        job["status"] = "running"
+        job["slots"] = [[int(m), int(d)] for m, d in p["slots"]]
+        job["reserved_slots"] = []
+        if job["start_round"] is None:
+            job["start_round"] = self.round
+        self.queue.remove(job["name"])
+
+    def _on_preempt(self, p: dict) -> None:
+        job = self.jobs[str(p["name"])]
+        freed = [[int(m), int(d)] for m, d in p["slots"]]
+        job["slots"] = [s for s in job["slots"] if s not in freed]
+        job["preemptions"] += 1
+        beneficiary = p.get("for")
+        if beneficiary and str(beneficiary) in self.jobs:
+            rec = self.jobs[str(beneficiary)]
+            rec["reserved_slots"] = rec["reserved_slots"] + freed
+
+    def _on_restore(self, p: dict) -> None:
+        job = self.jobs[str(p["name"])]
+        slots = [[int(m), int(d)] for m, d in p["slots"]]
+        if p.get("sync"):
+            # absolute slot resync (the fleet WAL mirror records the
+            # real cluster's placement verbatim after complex moves)
+            job["slots"] = slots
+        else:
+            job["slots"] = job["slots"] + slots
+
+    def _on_crash(self, p: dict) -> None:
+        machine = int(p["machine"])
+        rec = self.machines[machine]
+        rec["failures"] += 1
+        rec["alive"] = False
+        tag = str(p.get("tag", ""))
+        if tag:
+            self.failure_tags.append(tag)
+        if machine in self.spares:
+            # a spare died in the pool: it repairs under its own id
+            self.spares.remove(machine)
+            self.repairing.append([machine, self.config["repair_ticks"]])
+        else:
+            for entry in self.repairing:
+                if entry[0] == machine:
+                    entry[1] = self.config["repair_ticks"]
+        for name in p.get("jobs", []):
+            job = self.jobs[str(name)]
+            job["failures"] += 1
+            if job["status"] == "running":
+                job["status"] = "blocked"
+            if machine not in job["pending_machines"]:
+                job["pending_machines"].append(machine)
+
+    def _on_lease(self, p: dict) -> None:
+        dead = int(p["machine"])
+        spare = int(p["spare"])
+        self.spares.remove(spare)
+        # SparePool semantics: the spare's hardware slides into the
+        # failed machine's id (slots stay stable); the broken hardware
+        # repairs under the spare's id and returns to the pool later
+        self.repairing.append([spare, self.config["repair_ticks"]])
+        self.machines[dead]["alive"] = True
+        for job in self.jobs.values():
+            if dead in job["pending_machines"]:
+                job["pending_machines"].remove(dead)
+
+    def _on_recover(self, p: dict) -> None:
+        job = self.jobs[str(p["name"])]
+        job["status"] = "running"
+        job["recoveries"] += 1
+
+    def _on_reclaim(self, p: dict) -> None:
+        machine = int(p["machine"])
+        self.repairing = [e for e in self.repairing if e[0] != machine]
+        self.machines[machine]["alive"] = True
+        self.spares.append(machine)
+
+    def _on_retire(self, p: dict) -> None:
+        machine = int(p["machine"])
+        self.machines[machine]["retired"] = True
+        if machine in self.spares:
+            self.spares.remove(machine)
+
+    def _on_shed(self, p: dict) -> None:
+        job = self.jobs[str(p["name"])]
+        job["status"] = "shed"
+        job["reserved_slots"] = []
+        job["reason"] = str(p.get("reason", ""))
+        self.queue.remove(job["name"])
+        self.tenants[job["tenant"]]["shed"] += 1
+
+    def _on_complete(self, p: dict) -> None:
+        job = self.jobs[str(p["name"])]
+        job["status"] = "completed"
+        job["slots"] = []
+        job["finish_round"] = self.round
+        self.tenants[job["tenant"]]["completed"] += 1
+
+    def _on_fail(self, p: dict) -> None:
+        job = self.jobs[str(p["name"])]
+        job["status"] = "failed"
+        job["slots"] = []
+        job["finish_round"] = self.round
+        job["reason"] = str(p.get("reason", ""))
+        self.tenants[job["tenant"]]["failed"] += 1
+
+    def _on_round(self, p: dict) -> None:
+        if int(p["round"]) != self.round:
+            raise ConfigurationError(
+                f"round event out of order: state at round {self.round}, "
+                f"event says {p['round']}"
+            )
+        for name in p.get("stepped", []):
+            self.jobs[str(name)]["iterations_done"] += 1
+        for entry in self.repairing:
+            entry[1] -= 1
+        self.round += 1
+        self.fleet_time += float(p["dt"])
+
+    # -- derived views (pure functions of the state) -----------------------
+    def schedulable_machines(self) -> list[int]:
+        """Alive, non-retired machines outside the spare/repair pools."""
+        held = set(self.spares) | {m for m, _ in self.repairing}
+        return [
+            m for m, rec in sorted(self.machines.items())
+            if rec["alive"] and not rec["retired"] and m not in held
+        ]
+
+    def capacity(self) -> int:
+        """Total schedulable device slots right now."""
+        return (len(self.schedulable_machines())
+                * self.config.get("devices_per_machine", 0))
+
+    def occupied_slots(self) -> set[tuple[int, int]]:
+        occupied: set[tuple[int, int]] = set()
+        for job in self.jobs.values():
+            if job["status"] in ("running", "blocked"):
+                occupied.update((m, d) for m, d in job["slots"])
+        return occupied
+
+    def free_slots(self) -> list[tuple[int, int]]:
+        occupied = self.occupied_slots()
+        dev = self.config.get("devices_per_machine", 0)
+        return [
+            (m, d)
+            for m in self.schedulable_machines()
+            for d in range(dev)
+            if (m, d) not in occupied
+        ]
+
+    def pick_slots(self, num: int) -> list[tuple[int, int]] | None:
+        """Failure-aware spread placement, mirroring the fleet scheduler.
+
+        Machines are visited round-robin in ``(failure_count, id)``
+        order so workers spread across the healthiest machines first —
+        a pure function of the state, hence identical before and after
+        a crash-replay.
+        """
+        per_machine: dict[int, list[tuple[int, int]]] = {}
+        for m, d in self.free_slots():
+            per_machine.setdefault(m, []).append((m, d))
+        order = sorted(
+            per_machine,
+            key=lambda m: (self.machines[m]["failures"], m),
+        )
+        if sum(len(per_machine[m]) for m in order) < num:
+            return None
+        picked: list[tuple[int, int]] = []
+        while len(picked) < num:
+            for m in order:
+                if per_machine[m] and len(picked) < num:
+                    picked.append(per_machine[m].pop(0))
+        return picked
+
+    def tenant_usage(self, tenant: str) -> int:
+        """Device slots currently held by a tenant's running jobs."""
+        return sum(
+            len(job["slots"]) for job in self.jobs.values()
+            if job["tenant"] == tenant and job["status"] == "running"
+        )
+
+    def tenant_demand(self, tenant: str) -> int:
+        """Worker slots requested by a tenant's active jobs."""
+        return sum(
+            int(job["spec"].get("num_workers", 1))
+            for job in self.jobs.values()
+            if job["tenant"] == tenant and job["status"] in ACTIVE_STATUSES
+        )
+
+    def pending_count(self, tenant: str) -> int:
+        return sum(
+            1 for name in self.queue
+            if self.jobs[name]["tenant"] == tenant
+        )
+
+    def jobs_with_status(self, *statuses: str) -> list[dict]:
+        return [
+            job for _, job in sorted(self.jobs.items())
+            if job["status"] in statuses
+        ]
+
+    def acked_jobs(self) -> list[str]:
+        """Every job name whose submission was acknowledged.
+
+        Both accepted (``submit``) and refused (``reject``) submissions
+        are acknowledged through the WAL, so after any crash-replay this
+        list must contain every name a client ever got an answer for.
+        """
+        return sorted(self.jobs)
+
+    def total_samples(self) -> float:
+        return float(sum(
+            job["iterations_done"] * int(job["spec"].get("batch_size", 1))
+            for job in self.jobs.values()
+        ))
+
+    def goodput(self) -> float:
+        """Samples per simulated second across all tenants."""
+        if self.fleet_time <= 0:
+            return 0.0
+        return self.total_samples() / self.fleet_time
+
+    def all_done(self) -> bool:
+        """True when no job is queued, running, or blocked."""
+        return not any(
+            job["status"] in ACTIVE_STATUSES for job in self.jobs.values()
+        )
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot(self) -> str:
+        """Canonical JSON of the entire state; equality is bitwise.
+
+        Two states are *the same* exactly when their snapshots are equal
+        as strings — this is the equality the crash-recovery acceptance
+        tests assert between a pre-crash server and its replayed
+        successor.
+        """
+        return canonical_json({
+            "config": self.config,
+            "machines": {str(m): rec
+                         for m, rec in sorted(self.machines.items())},
+            "spares": self.spares,
+            "repairing": self.repairing,
+            "tenants": self.tenants,
+            "jobs": self.jobs,
+            "queue": self.queue,
+            "round": self.round,
+            "fleet_time": self.fleet_time,
+            "last_seq": self.last_seq,
+            "failure_tags": self.failure_tags,
+        })
+
+    def summary(self) -> dict:
+        """Small human-facing status dict (the ``status`` protocol op)."""
+        by_status: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_status[job["status"]] = by_status.get(job["status"], 0) + 1
+        return {
+            "round": self.round,
+            "fleet_time": self.fleet_time,
+            "last_seq": self.last_seq,
+            "jobs": by_status,
+            "tenants": {
+                name: {k: rec[k] for k in
+                       ("submitted", "rejected", "completed", "shed")}
+                for name, rec in sorted(self.tenants.items())
+            },
+            "capacity": self.capacity(),
+            "free_slots": len(self.free_slots()),
+            "spares": len(self.spares),
+            "goodput": self.goodput(),
+        }

@@ -1,0 +1,236 @@
+"""The control plane's write-ahead event log (WAL schema v1).
+
+The append-only JSONL event log is the **source of truth** for the
+entire control plane, the same discipline the paper applies to training
+state: recovery is replay, not global restart.  Every state transition —
+submit, admit, place, preempt, crash, lease, complete, ... — is one
+:class:`ServeEvent`, durably appended (``fsync``) *before* the action is
+acknowledged to any client.  A restarted server folds the log through
+:meth:`repro.serve.ServeState.apply` and resumes exactly where the old
+process died; in-memory state is always a pure function of the log.
+
+Format: versioned JSONL in the :class:`repro.chaos.FailureTrace` mold —
+one header line (``version`` + free-form meta), one canonical-JSON line
+per event, byte-stable round trip, readers reject newer versions.  A
+torn final line (the process died mid-append) is detected on reopen,
+logged, and truncated away — by the write-ahead discipline it was never
+acknowledged, so dropping it is correct, and it must never crash
+recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.utils.jsonl import JsonlWriter, canonical_json, salvage_jsonl
+
+__all__ = ["WAL_VERSION", "ServeEvent", "WriteAheadLog"]
+
+#: bump when the JSONL schema changes; readers reject newer versions
+WAL_VERSION = 1
+
+#: event kinds understood by WAL schema v1, in rough lifecycle order
+EVENT_KINDS = (
+    "init",       # cluster geometry + server config (first event)
+    "tenant",     # tenant registered (share, quota, caps)
+    "submit",     # job accepted into the queue (acknowledged!)
+    "reject",     # job refused by admission control (acknowledged!)
+    "place",      # job granted slots, starts running
+    "preempt",    # elastic job shrunk to make room for higher priority
+    "restore",    # preempted job grew back toward its full width
+    "crash",      # machine failed (fail-stop); payload lists hit jobs
+    "lease",      # spare machine leased to replace a dead one
+    "recover",    # blocked job resumed after its machines were replaced
+    "reclaim",    # repaired machine returned to the spare pool
+    "retire",     # machine permanently removed (cluster shrink)
+    "shed",       # queued job dropped by graceful degradation
+    "complete",   # job reached its iteration target
+    "fail",       # job unrecoverable
+    "round",      # one scheduling round stepped; advances time
+)
+
+
+@dataclass(frozen=True)
+class ServeEvent:
+    """One logged control-plane transition.
+
+    ``seq`` is the global, gapless sequence number (0-based); ``kind``
+    is one of :data:`EVENT_KINDS`; ``payload`` carries the kind-specific
+    fields (job name, slot list, spec, ...) as plain JSON data.
+
+    >>> e = ServeEvent(seq=0, kind="submit", payload={"name": "job-0"})
+    >>> ServeEvent.from_json(e.to_json()) == e
+    True
+    """
+
+    seq: int
+    kind: str
+    payload: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown serve event kind {self.kind!r}; "
+                f"known: {EVENT_KINDS}"
+            )
+        if self.seq < 0:
+            raise ConfigurationError("seq must be >= 0")
+
+    @property
+    def name(self) -> str:
+        """The job/tenant/machine this event is about ('' when global)."""
+        return str(self.payload.get("name", ""))
+
+    def to_json(self) -> str:
+        return canonical_json(
+            {"seq": self.seq, "k": self.kind, "p": self.payload}
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "ServeEvent":
+        d = json.loads(line)
+        return cls(seq=int(d["seq"]), kind=str(d["k"]),
+                   payload=dict(d.get("p", {})))
+
+
+class WriteAheadLog:
+    """Append-only, fsync-durable event log with torn-write recovery.
+
+    Opening a fresh path writes the versioned header; opening an
+    existing path *recovers*: the header is version-checked, every
+    complete event line is parsed into :attr:`events` (ready for
+    :meth:`repro.serve.ServeState.replay`), and a torn final line is
+    warned about, truncated off the file, and recorded in
+    :attr:`torn_tail_dropped`.  ``append`` enforces gapless sequence
+    numbers and is durable (flush + fsync by default) before it
+    returns — the *write-ahead* in the name.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "wal.jsonl")
+    >>> wal = WriteAheadLog(path)
+    >>> _ = wal.append(ServeEvent(seq=0, kind="init",
+    ...                           payload={"machines": 4}))
+    >>> wal.close()
+    >>> reopened = WriteAheadLog(path)      # crash-recovery path
+    >>> [e.kind for e in reopened.events]
+    ['init']
+    >>> reopened.close()
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True,
+                 meta: dict | None = None):
+        self.path = Path(path)
+        self.events: list[ServeEvent] = []
+        self.torn_tail_dropped: str | None = None
+        exists = self.path.exists() and self.path.stat().st_size > 0
+        if exists:
+            self._recover()
+            self._writer = JsonlWriter(self.path, fsync=fsync, append=True)
+        else:
+            self._writer = JsonlWriter(self.path, fsync=fsync)
+            header = {
+                "version": WAL_VERSION,
+                "format": "repro.serve.wal",
+                "meta": {str(k): str(v) for k, v in (meta or {}).items()},
+            }
+            self._writer.write_line(canonical_json(header))
+
+    def _recover(self) -> None:
+        good, torn, events = _parse_wal(self.path, stacklevel=4)
+        if torn is not None:
+            self.torn_tail_dropped = torn
+            # truncate the torn bytes off disk so the next append does
+            # not concatenate onto them and corrupt the log for real
+            self.path.write_text(
+                "\n".join(good) + "\n" if good else ""
+            )
+        self.events = events
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest event (-1 when empty)."""
+        return self.events[-1].seq if self.events else -1
+
+    @property
+    def next_seq(self) -> int:
+        return self.last_seq + 1
+
+    def append(self, event: ServeEvent) -> ServeEvent:
+        """Durably append one event; returns it for chaining."""
+        if event.seq != self.next_seq:
+            raise ConfigurationError(
+                f"WAL append out of order: expected seq {self.next_seq}, "
+                f"got {event.seq}"
+            )
+        self._writer.write_line(event.to_json())
+        self.events.append(event)
+        return event
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    @classmethod
+    def load_events(cls, path: str | Path) -> list[ServeEvent]:
+        """Read a WAL's events without opening it for writing.
+
+        Tolerates a torn final line (with a warning) exactly like the
+        recovery path; raises :class:`~repro.errors.ConfigurationError`
+        for a missing header, a newer version, a sequence gap, or real
+        mid-file corruption.
+
+        >>> import tempfile, os
+        >>> path = os.path.join(tempfile.mkdtemp(), "wal.jsonl")
+        >>> with WriteAheadLog(path) as wal:
+        ...     wal.append(ServeEvent(seq=0, kind="init"))
+        ServeEvent(seq=0, kind='init', payload={})
+        >>> [e.seq for e in WriteAheadLog.load_events(path)]
+        [0]
+        """
+        _, _, events = _parse_wal(Path(path), stacklevel=3)
+        return events
+
+
+def _parse_wal(path: Path, stacklevel: int) -> tuple[
+        list[str], str | None, list[ServeEvent]]:
+    """Parse + validate a WAL file; warn (don't raise) on a torn tail."""
+    good, torn = salvage_jsonl(path.read_text())
+    if torn is not None:
+        warnings.warn(
+            f"{path}: dropped torn final WAL line "
+            f"({len(torn)} bytes, crash mid-append?)",
+            UserWarning,
+            stacklevel=stacklevel,
+        )
+    if not good:
+        raise ConfigurationError(f"{path}: WAL has no header")
+    try:
+        header = json.loads(good[0])
+        events = [ServeEvent.from_json(ln) for ln in good[1:]]
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{path}: WAL is not valid JSONL: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or "version" not in header:
+        raise ConfigurationError(f"{path}: WAL header missing 'version'")
+    if int(header["version"]) > WAL_VERSION:
+        raise ConfigurationError(
+            f"{path}: WAL version {header['version']} is newer than "
+            f"supported version {WAL_VERSION}"
+        )
+    for i, e in enumerate(events):
+        if e.seq != i:
+            raise ConfigurationError(
+                f"{path}: WAL sequence gap: event {i} has seq {e.seq}"
+            )
+    return good, torn, events

@@ -151,6 +151,7 @@ class FleetSimulator:
         scenario_seed: int = 0,
         trace: object | None = None,
         recorder: Recorder | None = None,
+        wal: object | None = None,
     ):
         if not specs:
             raise ConfigurationError("fleet needs at least one job spec")
@@ -221,6 +222,19 @@ class FleetSimulator:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         if self.recorder.enabled and getattr(self.recorder, "clock", None) is None:
             self.recorder.clock = _FleetClock(self)
+        self._num_machines = num_machines
+        self._devices_per_machine = devices_per_machine
+        self._repair_ticks = repair_ticks
+        self._spare_ids = list(
+            range(num_machines - num_spares, num_machines)
+        )
+        #: optional serve-WAL mirror: the run is recorded as control-plane
+        #: events so ``repro.serve.ServeState.replay`` can audit it
+        self.mirror = None
+        if wal is not None:
+            from repro.serve.mirror import FleetWalMirror
+
+            self.mirror = FleetWalMirror(wal)
 
     # -- the round loop -----------------------------------------------------
     def _all_terminal(self) -> bool:
@@ -237,6 +251,15 @@ class FleetSimulator:
         pending_failures = deque(self.failures)
 
         rec = self.recorder
+        mir = self.mirror
+        if mir is not None:
+            mir.start(
+                num_machines=self._num_machines,
+                devices_per_machine=self._devices_per_machine,
+                spares=self._spare_ids,
+                repair_ticks=self._repair_ticks,
+                idle_time=self.idle_time,
+            )
         while self.rounds < self.max_rounds and not self._all_terminal():
             r = self.rounds
             round_start = self.fleet_time
@@ -248,22 +271,66 @@ class FleetSimulator:
                 for name, job in self.scheduler.jobs.items()
                 if job.clock is not None
             }
+            iters_at_start = {
+                name: job.iteration
+                for name, job in self.scheduler.jobs.items()
+            }
             # 1. arrivals
             while pending_specs and pending_specs[0].arrival <= r:
                 spec = pending_specs.popleft()
                 self.scheduler.submit(Job(spec), now=self.fleet_time)
                 rec.count("fleet/arrivals", job=spec.name)
+                if mir is not None:
+                    mir.arrival(spec)
             # 2. repairs complete -> blocked jobs may resume
-            if self.spares is not None and self.spares.tick():
-                self.scheduler.unblock()
+            if self.spares is not None:
+                reclaimed = self.spares.tick()
+                if reclaimed:
+                    if mir is not None:
+                        mir.reclaims(reclaimed)
+                    blocked = [
+                        name
+                        for name, job in self.scheduler.jobs.items()
+                        if job.state == JobState.BLOCKED
+                    ]
+                    self.scheduler.unblock()
+                    if mir is not None:
+                        jobs = self.scheduler.jobs
+                        mir.resumed(
+                            [n for n in blocked
+                             if jobs[n].state == JobState.RUNNING],
+                            [n for n in blocked
+                             if jobs[n].state == JobState.FAILED],
+                            self.spares,
+                        )
             # 3. due machine failures, routed one event at a time
             while pending_failures and pending_failures[0].round <= r:
                 event = pending_failures.popleft()
+                owners: list[Job] = []
+                was_spare = False
+                if mir is not None:
+                    owners = [
+                        job for job in self.scheduler.jobs.values()
+                        if job.state in (JobState.RUNNING, JobState.BLOCKED)
+                        and event.machine_id in job.machines_used()
+                    ]
+                    was_spare = (
+                        self.spares is not None
+                        and self.spares.is_spare(event.machine_id)
+                    )
                 self.scheduler.handle_machine_failure(event.machine_id)
                 rec.count("fleet/failures", machine=event.machine_id)
+                if mir is not None:
+                    mir.failure(
+                        event.machine_id, owners, was_spare,
+                        self.scheduler.jobs, self.spares,
+                        tag=f"fleet-r{r}-m{event.machine_id}",
+                    )
             # 4. placement (may preempt), then restoration of preemptees
             self.scheduler.schedule(now=self.fleet_time)
             self.scheduler.restore()
+            if mir is not None:
+                mir.placement_diff(self.scheduler.jobs)
             # 5. every running job advances one iteration
             for job in list(self.scheduler.running):
                 if job.state == JobState.RUNNING:
@@ -276,11 +343,20 @@ class FleetSimulator:
                 ),
                 default=0.0,
             )
-            self.fleet_time += round_dt if round_dt > 0 else self.idle_time
+            charged_dt = round_dt if round_dt > 0 else self.idle_time
+            self.fleet_time += charged_dt
+            if mir is not None:
+                stepped: list[str] = []
+                for name, job in self.scheduler.jobs.items():
+                    delta = job.iteration - iters_at_start.get(name, 0)
+                    stepped.extend([name] * max(0, delta))
+                mir.round(r, charged_dt, stepped)
             # 6. completions release their gangs
             for job in list(self.scheduler.running):
                 if job.done:
                     self.scheduler.finish(job, now=self.fleet_time)
+                    if mir is not None:
+                        mir.complete(job.name)
             self.rounds += 1
             if rec.enabled:
                 self._record_round(r, round_start)

@@ -9,6 +9,7 @@ from repro.utils.metrics import (
     summarize_trace,
     trace_to_csv,
 )
+from repro.utils.jsonl import JsonlWriter, canonical_json, salvage_jsonl
 from repro.utils.pool import BufferPool, PooledBuffer
 from repro.utils.seeding import RngStream, derive_seed, stream
 from repro.utils.serialization import (
@@ -28,6 +29,9 @@ __all__ = [
     "FlatBuffer",
     "BufferPool",
     "PooledBuffer",
+    "JsonlWriter",
+    "canonical_json",
+    "salvage_jsonl",
     "RngStream",
     "derive_seed",
     "stream",

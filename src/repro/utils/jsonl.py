@@ -1,0 +1,126 @@
+"""Durable JSONL primitives shared by every event-log format.
+
+Three formats in this repo are "one JSON header line + one JSON line per
+event": :class:`repro.chaos.FailureTrace`, :class:`repro.obs.TelemetryTrace`,
+and the :mod:`repro.serve` write-ahead log.  They share the failure modes
+of append-only files — a process killed mid-write leaves a *torn* final
+line — and the durability needs of a log that must survive ``kill -9``.
+This module is their common substrate:
+
+* :func:`canonical_json` — the byte-stable serialization every format
+  uses (sorted keys, no whitespace, repr-round-tripping floats);
+* :func:`salvage_jsonl` — split a JSONL text into its valid prefix and
+  the torn tail (if any), so readers can recover from a crash-mid-write
+  instead of raising;
+* :class:`JsonlWriter` — append-only line writer with flush-per-line and
+  optional ``fsync`` durability, the primitive under both
+  :class:`repro.obs.JsonlSink` and :class:`repro.serve.WriteAheadLog`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["canonical_json", "salvage_jsonl", "JsonlWriter"]
+
+
+def canonical_json(payload: object) -> str:
+    """Serialize to the repo's byte-stable JSON form.
+
+    Sorted keys, no whitespace, floats via Python's repr-based
+    formatting (which round-trips exactly), so serializing the parse of
+    a canonical line reproduces it byte-for-byte.
+
+    >>> canonical_json({"b": 1.5, "a": [1, 2]})
+    '{"a":[1,2],"b":1.5}'
+    >>> canonical_json(json.loads(canonical_json({"x": 0.1}))) == \
+            canonical_json({"x": 0.1})
+    True
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def salvage_jsonl(text: str) -> tuple[list[str], str | None]:
+    """Split JSONL text into valid lines plus a torn final line (if any).
+
+    A process killed mid-append (``kill -9``, power loss) leaves a file
+    whose last line may be truncated.  The valid prefix is still a
+    complete, consistent log; only the final line can be torn, and it
+    was — by the write-ahead discipline — never acknowledged.  This
+    helper returns ``(good_lines, torn_tail)`` where ``torn_tail`` is
+    the unparseable final line (``None`` when the file is clean).
+
+    A malformed line *before* the end is real corruption, not a torn
+    write; it is returned as part of ``good_lines`` so strict parsers
+    still reject it.
+
+    >>> salvage_jsonl('{"a":1}\\n{"b":2}\\n')
+    (['{"a":1}', '{"b":2}'], None)
+    >>> salvage_jsonl('{"a":1}\\n{"b":')
+    (['{"a":1}'], '{"b":')
+    """
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        return [], None
+    try:
+        json.loads(lines[-1])
+    except json.JSONDecodeError:
+        return lines[:-1], lines[-1]
+    return lines, None
+
+
+class JsonlWriter:
+    """Append-only JSONL file with flush-per-line and optional fsync.
+
+    Every ``write_line`` flushes to the OS so a concurrent reader (or a
+    ``tail -f``) sees complete lines only; with ``fsync=True`` each line
+    is additionally forced to stable storage before the call returns —
+    the durability a write-ahead log needs before acknowledging.
+    ``close()`` always flushes (and fsyncs, when enabled) first, so no
+    buffered line is ever lost to an orderly shutdown.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "log.jsonl")
+    >>> with JsonlWriter(path) as w:
+    ...     w.write_line('{"event":"demo"}')
+    >>> open(path).read()
+    '{"event":"demo"}\\n'
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = False,
+                 append: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = bool(fsync)
+        self._fh = self.path.open("a" if append else "w")
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def write_line(self, line: str) -> None:
+        """Append one complete line durably (see class docstring)."""
+        if self._fh.closed:
+            raise ValueError(f"JsonlWriter {self.path} already closed")
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Flush (and fsync, when enabled) then close; idempotent."""
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._fh.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

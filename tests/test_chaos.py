@@ -49,11 +49,11 @@ from repro.sim.fleet import FleetFailure
 
 TRACES_DIR = Path(__file__).parent / "traces"
 
-#: checked-in FailureTrace goldens (telemetry goldens live alongside but
-#: belong to tests/test_obs.py)
+#: checked-in FailureTrace goldens (telemetry goldens belong to
+#: tests/test_obs.py, serve WAL goldens to tests/test_serve.py)
 FAILURE_TRACES = sorted(
     p for p in TRACES_DIR.glob("*.jsonl")
-    if not p.stem.startswith("telemetry")
+    if not p.stem.startswith(("telemetry", "serve_wal"))
 )
 
 ISSUE_SCENARIOS = ("steady_mtbf", "rack_burst", "flaky_node",
@@ -531,13 +531,22 @@ class TestChaosCLI:
     def test_requires_an_action(self, capsys):
         assert cli_main(["chaos"]) == 2
 
-    def test_missing_trace_file_exits_two(self, capsys, tmp_path):
+    def test_missing_trace_file_exits_one(self, capsys, tmp_path):
+        # data problems are exit 1; usage errors stay exit 2
         missing = str(tmp_path / "nope.jsonl")
-        assert cli_main(["chaos", "--trace", missing]) == 2
+        assert cli_main(["chaos", "--trace", missing]) == 1
         assert "cannot read trace" in capsys.readouterr().err
         assert cli_main(["fleet", "--iterations", "4",
-                         "--trace", missing]) == 2
+                         "--trace", missing]) == 1
         assert "cannot read trace" in capsys.readouterr().err
+
+    def test_corrupt_trace_file_exits_one(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"not a trace": true}\n')
+        assert cli_main(["chaos", "--trace", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read trace" in err
+        assert "Traceback" not in err
 
     def test_fig8_unknown_scenario_exits_two(self, capsys):
         assert cli_main(["fig8", "wrn", "--scenario", "bogus"]) == 2

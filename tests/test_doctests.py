@@ -4,8 +4,8 @@ Two guarantees, wired into tier-1 so they cannot rot:
 
 1. every doctest in the public-facing modules executes and passes (the
    examples in the docs are real, running code);
-2. every non-module export of ``repro.__all__`` and
-   ``repro.api.__all__`` carries a docstring *with an executable
+2. every non-module export of ``repro.__all__``, ``repro.api.__all__``,
+   and ``repro.serve.__all__`` carries a docstring *with an executable
    example* (a ``>>>`` block) — the documentation site renders these,
    so an undocumented export is a broken docs build too.
 """
@@ -18,6 +18,7 @@ import pytest
 
 import repro
 import repro.api
+import repro.serve
 
 #: modules whose doctests run as part of tier-1
 DOCTEST_MODULES = [
@@ -38,9 +39,18 @@ DOCTEST_MODULES = [
     "repro.core.strategy",
     "repro.core.tlog",
     "repro.core.trainer",
+    "repro.jobs.spec",
     "repro.obs.export",
     "repro.obs.recorder",
     "repro.obs.telemetry",
+    "repro.serve.drill",
+    "repro.serve.mirror",
+    "repro.serve.protocol",
+    "repro.serve.retry",
+    "repro.serve.server",
+    "repro.serve.state",
+    "repro.serve.wal",
+    "repro.utils.jsonl",
     "repro.utils.seeding",
 ]
 
@@ -61,7 +71,7 @@ def test_module_doctests_pass(module_name):
 def _audit_surface():
     """(qualname, object) for every documented export under audit."""
     seen = {}
-    for module in (repro, repro.api):
+    for module in (repro, repro.api, repro.serve):
         for name in module.__all__:
             obj = getattr(module, name)
             if inspect.ismodule(obj):

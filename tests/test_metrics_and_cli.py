@@ -201,9 +201,54 @@ class TestCLISmoke:
             ["plan", "--workload", "bert", "--budget-gb", "200"],
             ["plan", "--workload", "vit", "--budget-gb", "100"],
             ["fleet", "--iterations", "4", "--machines", "5"],
+            ["serve", "--drill", "--kill-points", "3"],
         ],
         ids=lambda argv: "-".join(a.lstrip("-") for a in argv),
     )
     def test_subcommand_exits_zero(self, argv, capsys):
         assert cli_main(argv) == 0
         assert capsys.readouterr().out  # every command prints something
+
+    def test_serve_demo_smoke(self, tmp_path, capsys):
+        wal = str(tmp_path / "wal.jsonl")
+        assert cli_main(["serve", "--demo", "--wal", wal,
+                         "--no-fsync"]) == 0
+        assert "goodput" in capsys.readouterr().out
+
+
+class TestCLIDataErrors:
+    """Unreadable/corrupt input files: exit 1, one-line diagnostic,
+    never a bare traceback (usage errors stay exit 2)."""
+
+    def test_obs_missing_file_exits_one(self, tmp_path, capsys):
+        assert cli_main(["obs", str(tmp_path / "nope.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read telemetry" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_obs_corrupt_file_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"not": "telemetry"}\n{"x": 1}\n')
+        assert cli_main(["obs", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read telemetry" in err
+        assert "Traceback" not in err
+
+    def test_serve_replay_corrupt_wal_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"version": 999}\n')
+        assert cli_main(["serve", "--replay", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot replay WAL" in err
+        assert "Traceback" not in err
+
+    def test_chaos_missing_trace_exits_one(self, tmp_path, capsys):
+        assert cli_main(["chaos", "--trace",
+                         str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_usage_errors_stay_exit_two(self, capsys):
+        assert cli_main(["chaos"]) == 2
+        assert cli_main(["serve", "--stdio"]) == 2
+        capsys.readouterr()

@@ -1,0 +1,122 @@
+"""Torn-write tolerance across every versioned JSONL reader.
+
+A process killed mid-write (the ``kill -9`` signature) leaves a final
+line cut at an arbitrary byte.  Every JSONL format in the repo —
+:class:`repro.chaos.FailureTrace`, :class:`repro.obs.TelemetryTrace`,
+and the serve :class:`~repro.serve.WriteAheadLog` — must load such a
+file with a warning and the complete prefix, never a traceback.  The
+tests chop the checked-in golden files at byte granularity to prove it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import FailureTrace
+from repro.obs import TelemetryTrace
+from repro.serve import ServeState, WriteAheadLog
+from repro.utils.jsonl import salvage_jsonl
+
+TRACES = Path(__file__).parent / "traces"
+
+FAILURE_GOLDEN = TRACES / "steady_mtbf_dp_seed0.jsonl"
+TELEMETRY_GOLDEN = TRACES / "telemetry_golden.jsonl"
+WAL_GOLDEN = TRACES / "serve_wal_golden.jsonl"
+
+
+def chop_points(text: str) -> list[int]:
+    """Byte offsets cutting into the final line at several depths."""
+    last_nl = text.rstrip("\n").rfind("\n")
+    last_len = len(text) - last_nl - 1
+    return sorted({
+        last_nl + 1 + max(1, (last_len * num) // 4) for num in (1, 2, 3)
+    })
+
+
+class TestSalvage:
+    def test_complete_text_has_no_torn_tail(self):
+        good, torn = salvage_jsonl('{"a":1}\n{"b":2}\n')
+        assert good == ['{"a":1}', '{"b":2}']
+        assert torn is None
+
+    def test_torn_tail_is_split_off(self):
+        good, torn = salvage_jsonl('{"a":1}\n{"b":')
+        assert good == ['{"a":1}']
+        assert torn == '{"b":'
+
+    def test_complete_record_missing_only_newline_is_kept(self):
+        # a final line that parses is a complete record, newline or not
+        good, torn = salvage_jsonl('{"a":1}\n{"b":2}')
+        assert good == ['{"a":1}', '{"b":2}']
+        assert torn is None
+
+
+class TestFailureTraceTorn:
+    @pytest.mark.parametrize("cut", chop_points(FAILURE_GOLDEN.read_text()))
+    def test_chopped_golden_loads_with_warning(self, tmp_path, cut):
+        whole = FAILURE_GOLDEN.read_text()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(whole.encode()[:cut])
+        with pytest.warns(UserWarning, match="torn final line"):
+            trace = FailureTrace.load(torn)
+        full = FailureTrace.load(FAILURE_GOLDEN)
+        assert trace.scenario == full.scenario
+        assert len(trace.events) == len(full.events) - 1
+        assert trace.events == full.events[:-1]
+
+
+class TestTelemetryTraceTorn:
+    @pytest.mark.parametrize(
+        "cut", chop_points(TELEMETRY_GOLDEN.read_text())
+    )
+    def test_chopped_golden_loads_with_warning(self, tmp_path, cut):
+        whole = TELEMETRY_GOLDEN.read_text()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(whole.encode()[:cut])
+        with pytest.warns(UserWarning, match="torn final line"):
+            trace = TelemetryTrace.load(torn)
+        full = TelemetryTrace.load(TELEMETRY_GOLDEN)
+        assert len(trace.events) == len(full.events) - 1
+        assert trace.events == full.events[:-1]
+
+
+class TestWalTorn:
+    @pytest.mark.parametrize("cut", chop_points(WAL_GOLDEN.read_text()))
+    def test_chopped_golden_loads_with_warning(self, tmp_path, cut):
+        whole = WAL_GOLDEN.read_text()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(whole.encode()[:cut])
+        with pytest.warns(UserWarning, match="torn final WAL line"):
+            events = WriteAheadLog.load_events(torn)
+        full = WriteAheadLog.load_events(WAL_GOLDEN)
+        assert events == full[:-1]
+        # the salvaged prefix still replays into a consistent state
+        state = ServeState.replay(events)
+        assert state.last_seq == len(events) - 1
+
+    def test_every_single_byte_cut_of_final_event(self, tmp_path):
+        """Exhaustive: no byte offset inside the last line can crash."""
+        whole = WAL_GOLDEN.read_text().encode()
+        last_nl = whole.rstrip(b"\n").rfind(b"\n")
+        full = WriteAheadLog.load_events(WAL_GOLDEN)
+        # every strict mid-line cut tears; the final cut (only the
+        # newline missing) still holds a complete, parseable record
+        for cut in range(last_nl + 2, len(whole) - 1):
+            torn = tmp_path / "torn.jsonl"
+            torn.write_bytes(whole[:cut])
+            with pytest.warns(UserWarning):
+                events = WriteAheadLog.load_events(torn)
+            assert events == full[:-1]
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(whole[: len(whole) - 1])
+        assert WriteAheadLog.load_events(torn) == full
+
+    def test_reopen_truncates_torn_bytes_from_disk(self, tmp_path):
+        whole = WAL_GOLDEN.read_text()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(whole + '{"seq":70,"k":"rou')
+        with pytest.warns(UserWarning, match="torn final WAL line"):
+            wal = WriteAheadLog(torn, fsync=False)
+        wal.close()
+        assert torn.read_text() == whole  # disk is clean again
+        WriteAheadLog.load_events(torn)   # and loads silently
