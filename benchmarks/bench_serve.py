@@ -1,6 +1,6 @@
-"""Control-plane benchmark: traffic profiles, replay speed, crash drills.
+"""Control-plane benchmark: traffic, replay, crash + network drills.
 
-Three measurements of :mod:`repro.serve`, the WAL-backed multi-tenant
+Five measurements of :mod:`repro.serve`, the WAL-backed multi-tenant
 control plane:
 
 1. **traffic** — drive the server with deterministic synthetic tenant
@@ -14,7 +14,14 @@ control plane:
 3. **crash drills** — run :func:`repro.serve.control_plane_drill`
    against each traffic profile and count acknowledged submissions lost
    across every kill point.  Gated at exactly zero — the ISSUE's
-   headline robustness claim.
+   headline robustness claim;
+4. **network drills** — :func:`repro.serve.network_drill`'s netchaos ×
+   crash-restart × corruption matrix, gated at zero acked loss, zero
+   duplicate admissions, and bitwise baseline equality per cell;
+5. **segmented replay** — recover a long segmented WAL and gate the
+   fold at O(segment): the anchored recovery must replay at most
+   ``--max-recovery-fraction`` of the full history (and land bitwise
+   on the genesis fold's state).
 """
 
 from __future__ import annotations
@@ -25,11 +32,13 @@ import time
 
 from _common import emit, fmt_table, write_bench_json
 from repro.serve import (
+    SegmentedWriteAheadLog,
     ServeConfig,
     ServeServer,
     ServeState,
     WriteAheadLog,
     control_plane_drill,
+    network_drill,
     run_script,
     synthetic_traffic,
 )
@@ -101,6 +110,80 @@ def bench_drill(profile: str, num_jobs: int, kill_points: int,
     }
 
 
+def bench_netchaos(seed: int, workdir: str) -> dict:
+    """The full netchaos × crash-restart × corruption matrix."""
+    start = time.perf_counter()
+    report = network_drill(seed=seed, workdir=workdir)
+    wall = time.perf_counter() - start
+    return {
+        "cells": [
+            {
+                "cell": c.cell,
+                "frames": c.frames,
+                "restarts": c.restarts,
+                "acked": c.acked,
+                "acked_lost": c.acked_lost,
+                "duplicate_admissions": c.duplicate_admissions,
+                "final_state_equal": c.final_state_equal,
+                "events_equal": c.events_equal,
+                "quarantined": c.quarantined,
+                "passed": c.passed,
+            }
+            for c in report.cells
+        ],
+        "baseline_events": report.baseline_events,
+        "acked_lost": report.acked_lost,
+        "duplicate_admissions": report.duplicate_admissions,
+        "passed": report.passed,
+        "wall_seconds": wall,
+    }
+
+
+def bench_segmented_replay(num_jobs: int, segment_bytes: int,
+                           tmpdir: str) -> dict:
+    """Recovery cost of a segmented WAL vs a genesis fold.
+
+    Runs a bursty profile onto snapshot-anchored segments, then times a
+    cold anchored recovery against a full-history fold of the same log.
+    ``recovery_fraction`` is the share of history the anchored fold had
+    to replay — the O(segment)/O(history) ratio CI gates on.
+    """
+    script = synthetic_traffic("bursty", num_jobs=num_jobs, seed=0)
+    path = f"{tmpdir}/segmented-wal"
+    with ServeServer(path, bench_config(), fsync=False,
+                     segment_bytes=segment_bytes) as server:
+        run_script(server, script)
+        total_events = server.wal.next_seq
+        final_snapshot = server.state.snapshot()
+
+    start = time.perf_counter()
+    wal = SegmentedWriteAheadLog(path, fsync=False)
+    anchored_state = wal.recover_state()
+    anchored_wall = time.perf_counter() - start
+    tail_events = len(wal.events)
+    segment_count = wal.segment_count
+    all_events = wal.all_events()
+    wal.close()
+
+    start = time.perf_counter()
+    genesis_state = ServeState.replay(all_events)
+    genesis_wall = time.perf_counter() - start
+
+    return {
+        "segment_bytes": segment_bytes,
+        "segments": segment_count,
+        "total_events": total_events,
+        "recovered_events": tail_events,
+        "recovery_fraction": tail_events / max(1, total_events),
+        "anchored_wall_seconds": anchored_wall,
+        "genesis_fold_wall_seconds": genesis_wall,
+        "anchored_equals_genesis":
+            anchored_state.snapshot() == genesis_state.snapshot(),
+        "anchored_equals_live":
+            anchored_state.snapshot() == final_snapshot,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -111,6 +194,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-acked-loss", type=int, default=0,
                         help="gate: acknowledged submissions lost "
                              "across all drills (the contract is 0)")
+    parser.add_argument("--segment-bytes", type=int, default=8192,
+                        help="segment size for the segmented-replay "
+                             "measurement")
+    parser.add_argument("--max-recovery-fraction", type=float,
+                        default=0.25,
+                        help="gate: anchored recovery may replay at "
+                             "most this fraction of the full history")
     args = parser.parse_args(argv)
     num_jobs = 12 if args.quick else 30
     kill_points = 3 if args.quick else 5
@@ -144,16 +234,41 @@ def main(argv: list[str] | None = None) -> int:
     print(f"replay: {replay['events']} events at "
           f"{replay['best_eps']:.0f} events/s (best of {repeats})")
 
+    netchaos = bench_netchaos(seed=0, workdir=f"{tmpdir}/netchaos")
+    emit("serve_netchaos", fmt_table(
+        ["cell", "frames", "restarts", "acked", "lost", "dup",
+         "state==", "events==", "quarantined"],
+        [[c["cell"], c["frames"], c["restarts"], c["acked"],
+          c["acked_lost"], c["duplicate_admissions"],
+          c["final_state_equal"], c["events_equal"], c["quarantined"]]
+         for c in netchaos["cells"]],
+    ))
+
+    segmented = bench_segmented_replay(num_jobs, args.segment_bytes,
+                                       tmpdir)
+    print(f"segmented replay: {segmented['recovered_events']} of "
+          f"{segmented['total_events']} events folded "
+          f"({segmented['recovery_fraction']:.1%} of history, "
+          f"{segmented['segments']} segments of "
+          f"~{args.segment_bytes} B)")
+
     total_lost = sum(d["acked_jobs_lost"] for d in drills)
     write_bench_json("serve", {
         "traffic": [{k: v for k, v in t.items() if k != "wal_path"}
                     for t in traffic],
         "replay": replay,
         "drills": drills,
+        "netchaos": netchaos,
+        "segmented_replay": segmented,
         "gates": {
             "min_replay_eps": args.min_replay_eps,
             "max_acked_loss": args.max_acked_loss,
             "acked_jobs_lost": total_lost,
+            "max_recovery_fraction": args.max_recovery_fraction,
+            "recovery_fraction": segmented["recovery_fraction"],
+            "netchaos_acked_lost": netchaos["acked_lost"],
+            "netchaos_duplicate_admissions":
+                netchaos["duplicate_admissions"],
         },
     })
 
@@ -170,6 +285,27 @@ def main(argv: list[str] | None = None) -> int:
         )
     if any(not d["passed"] for d in drills):
         failed.append("a crash drill diverged from its baseline")
+    if not netchaos["passed"]:
+        failed.append("a network drill cell diverged from its baseline")
+    if netchaos["acked_lost"] > 0:
+        failed.append(
+            f"{netchaos['acked_lost']} acked submission(s) lost under "
+            f"network faults (gate: 0)"
+        )
+    if netchaos["duplicate_admissions"] > 0:
+        failed.append(
+            f"{netchaos['duplicate_admissions']} duplicate "
+            f"admission(s) under network faults (gate: 0)"
+        )
+    if segmented["recovery_fraction"] > args.max_recovery_fraction:
+        failed.append(
+            f"anchored recovery replayed "
+            f"{segmented['recovery_fraction']:.1%} of history "
+            f"(gate: {args.max_recovery_fraction:.0%})"
+        )
+    if not (segmented["anchored_equals_genesis"]
+            and segmented["anchored_equals_live"]):
+        failed.append("anchored recovery diverged from the genesis fold")
     if failed:
         for line in failed:
             print(f"[bench] GATE FAILED: {line}", file=sys.stderr)

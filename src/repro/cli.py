@@ -60,7 +60,7 @@ from repro.chaos import (
     get_scenario,
     scenario_names,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LogIntegrityError
 from repro.obs import (
     JsonlSink,
     TelemetryEvent,
@@ -71,6 +71,7 @@ from repro.obs import (
     to_chrome_trace,
 )
 from repro.serve import (
+    SegmentedWriteAheadLog,
     ServeConfig,
     ServeServer,
     ServeState,
@@ -78,6 +79,8 @@ from repro.serve import (
     control_plane_drill,
     demo_config,
     demo_traffic,
+    install_graceful_shutdown,
+    network_drill,
     run_script,
     serve_stdio,
     serve_tcp,
@@ -577,17 +580,33 @@ def _serve_config(args: argparse.Namespace,
 
 
 def _serve_replay(path: str) -> int:
-    """Fold a serve WAL into state and print its summary."""
+    """Fold a serve WAL (file or segment directory) into state."""
     import json
 
     try:
-        events = WriteAheadLog.load_events(path)
-        state = ServeState.replay(events)
-    except (OSError, ValueError, KeyError, ConfigurationError) as exc:
+        if Path(path).is_dir():
+            wal = SegmentedWriteAheadLog(path, fsync=False)
+            try:
+                state = wal.recover_state()
+            finally:
+                wal.close()
+            for q in wal.quarantined:
+                print(f"serve: quarantined segment {q['segment']} "
+                      f"({q['reason']}; seqs [{q['lost_first_seq']}.."
+                      f"{q['lost_last_seq']}] lost, "
+                      f"state_loss={q['state_loss']})", file=sys.stderr)
+            print(f"replayed {len(wal.events)} events from {path} "
+                  f"(snapshot anchor at seq {wal.anchor_base_seq}, "
+                  f"{wal.segment_count} segments)")
+        else:
+            events = WriteAheadLog.load_events(path)
+            state = ServeState.replay(events)
+            print(f"replayed {len(events)} events from {path}")
+    except (OSError, ValueError, KeyError, ConfigurationError,
+            LogIntegrityError) as exc:
         print(f"serve: cannot replay WAL {path!r}: {exc}",
               file=sys.stderr)
         return 1
-    print(f"replayed {len(events)} events from {path}")
     print(json.dumps(state.summary(), indent=2, sort_keys=True))
     return 0
 
@@ -596,7 +615,8 @@ def _serve_demo(args: argparse.Namespace) -> int:
     """Run (or crash-resume) the canonical three-tenant demo workload."""
     wal = Path(args.wal) if args.wal else Path("serve-demo.jsonl")
     try:
-        server = ServeServer(wal, demo_config(), fsync=not args.no_fsync)
+        server = ServeServer(wal, demo_config(), fsync=not args.no_fsync,
+                             segment_bytes=args.segment_bytes)
     except (OSError, ConfigurationError) as exc:
         print(f"serve: cannot open WAL {str(wal)!r}: {exc}",
               file=sys.stderr)
@@ -604,7 +624,8 @@ def _serve_demo(args: argparse.Namespace) -> int:
     with server:
         if server.recovered:
             print(f"recovered from {wal}: "
-                  f"{len(server.wal.events)} events replayed, "
+                  f"{len(server.wal.events)} events replayed "
+                  f"(history seq {server.wal.last_seq}), "
                   f"resuming at round {server.state.round}")
         run_script(server, demo_traffic())
         state = server.state
@@ -616,7 +637,7 @@ def _serve_demo(args: argparse.Namespace) -> int:
                   f"{job['status']:>9} {job['iterations_done']:>5} "
                   f"{job['failures']:>5} {job['recoveries']:>5} "
                   f"{job['preemptions']:>7}")
-        print(f"\n{len(server.wal.events)} WAL events, "
+        print(f"\n{server.wal.next_seq} WAL events, "
               f"{state.round} rounds, "
               f"fleet time {state.fleet_time:.1f} s, "
               f"goodput {state.goodput():.1f} samples/s")
@@ -688,18 +709,28 @@ def _serve_listen(args: argparse.Namespace) -> int:
     wal = Path(args.wal)
     try:
         server = ServeServer(wal, _serve_config(args, wal),
-                             fsync=not args.no_fsync)
+                             fsync=not args.no_fsync,
+                             segment_bytes=args.segment_bytes)
     except (OSError, ConfigurationError) as exc:
         print(f"serve: cannot open WAL {str(wal)!r}: {exc}",
               file=sys.stderr)
         return 1
     with server:
+        # SIGTERM = drain: in-flight clients get the shutting_down
+        # envelope, the WAL is flushed + fsynced by close(), exit 0
+        install_graceful_shutdown(server)
         if args.tcp is not None:
             def announce(port: int) -> None:
                 # the crash-restart harness parses this line
                 print(f"serve: listening on 127.0.0.1:{port} "
                       f"(wal {wal})", flush=True)
-            serve_tcp(server, port=args.tcp, ready_callback=announce)
+            try:
+                serve_tcp(server, port=args.tcp,
+                          ready_callback=announce)
+            except OSError as exc:
+                print(f"serve: cannot listen on 127.0.0.1:{args.tcp}: "
+                      f"{exc}", file=sys.stderr)
+                return 1
         else:
             serve_stdio(server)
     return 0
@@ -709,13 +740,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """The crash-recoverable multi-tenant control plane (repro.serve)."""
     modes = [bool(args.demo), bool(args.drill), bool(args.stdio),
              args.tcp is not None, bool(args.replay),
-             bool(args.fleet_demo)]
+             bool(args.fleet_demo), bool(args.netchaos)]
     if sum(modes) > 1:
         print("serve: pick one of --demo, --drill, --stdio, --tcp, "
-              "--replay, --fleet-demo", file=sys.stderr)
+              "--replay, --fleet-demo, --netchaos", file=sys.stderr)
         return 2
     if args.replay:
         return _serve_replay(args.replay)
+    if args.netchaos:
+        report = network_drill(segment_bytes=args.segment_bytes or 8192)
+        print("network chaos drill: netchaos profiles x crash-restart "
+              "x segment corruption, exactly-once audited per cell")
+        print(report.format_table())
+        return 0 if report.passed else 1
     if args.drill:
         try:
             report = control_plane_drill(kill_points=args.kill_points)
@@ -851,6 +888,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replay", default=None, metavar="WAL",
                        help="fold an existing WAL into state and print "
                             "its summary")
+    serve.add_argument("--netchaos", action="store_true",
+                       help="run the network-fault acceptance matrix "
+                            "(drop/dup/reorder/truncate/partition x "
+                            "crash-restart x segment corruption)")
+    serve.add_argument("--segment-bytes", type=int, default=None,
+                       metavar="N",
+                       help="rotate the WAL into snapshot-anchored "
+                            "segments of ~N bytes (recovery cost "
+                            "becomes O(segment), not O(history))")
     serve.add_argument("--fleet-demo", action="store_true",
                        help="mirror a real FleetSimulator run into a "
                             "serve WAL and audit that replay reproduces "

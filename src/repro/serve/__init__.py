@@ -22,7 +22,19 @@ cluster — and it survives being SIGKILLed at any instant:
   loss, and goodput identical to the uninterrupted run;
 * **the mirror** (:mod:`repro.serve.mirror`): a real
   :class:`~repro.sim.FleetSimulator` run can be recorded into the same
-  WAL vocabulary and audited by replay.
+  WAL vocabulary and audited by replay;
+* **exactly-once sessions** (:mod:`repro.serve.client`): client-stamped
+  request ids fold into the state as a dedup table, so a retry after a
+  lost ack returns the original verdict — :class:`ServeClient`
+  reconnects and retries through :class:`BackoffPolicy` safely;
+* **network chaos** (:mod:`repro.serve.netchaos`): a seeded in-process
+  fault proxy drops/duplicates/reorders/truncates/partitions protocol
+  frames; :func:`network_drill` runs the netchaos × crash-restart ×
+  corruption matrix and :func:`fuzz_protocol` fuzzes the decoder;
+* **segmented WAL** (:mod:`repro.serve.segments`): per-record CRC
+  (schema v2) catches mid-file bit rot, segment rotation with snapshot
+  anchors bounds recovery to O(segment), and corrupt segments are
+  quarantined with an exact loss report.
 
 Quick tour::
 
@@ -39,6 +51,12 @@ Quick tour::
     ('accepted', 'j')
 """
 
+from repro.serve.client import (
+    LoopbackTransport,
+    ServeClient,
+    TcpTransport,
+    TransportError,
+)
 from repro.serve.drill import (
     DrillReport,
     KillPointResult,
@@ -50,8 +68,30 @@ from repro.serve.drill import (
     synthetic_traffic,
 )
 from repro.serve.mirror import FleetWalMirror
-from repro.serve.protocol import handle_request, serve_stdio, serve_tcp
+from repro.serve.netchaos import (
+    NETCHAOS_PROFILES,
+    FaultyTransport,
+    NetChaosCellResult,
+    NetChaosConfig,
+    NetworkDrillReport,
+    fuzz_protocol,
+    network_drill,
+    run_script_via_client,
+)
+from repro.serve.protocol import (
+    GracefulShutdown,
+    handle_request,
+    install_graceful_shutdown,
+    respond_line,
+    serve_stdio,
+    serve_tcp,
+)
 from repro.serve.retry import BackoffPolicy, backoff_delays, retry_call
+from repro.serve.segments import (
+    DEFAULT_SEGMENT_BYTES,
+    SegmentedWriteAheadLog,
+    open_wal,
+)
 from repro.serve.server import ServeConfig, ServeServer, TenantSpec
 from repro.serve.state import ServeState
 from repro.serve.wal import WAL_VERSION, ServeEvent, WriteAheadLog
@@ -60,6 +100,9 @@ __all__ = [
     "WAL_VERSION",
     "ServeEvent",
     "WriteAheadLog",
+    "SegmentedWriteAheadLog",
+    "DEFAULT_SEGMENT_BYTES",
+    "open_wal",
     "ServeState",
     "TenantSpec",
     "ServeConfig",
@@ -68,8 +111,23 @@ __all__ = [
     "backoff_delays",
     "retry_call",
     "handle_request",
+    "respond_line",
     "serve_stdio",
     "serve_tcp",
+    "GracefulShutdown",
+    "install_graceful_shutdown",
+    "TransportError",
+    "LoopbackTransport",
+    "TcpTransport",
+    "ServeClient",
+    "NetChaosConfig",
+    "NETCHAOS_PROFILES",
+    "FaultyTransport",
+    "fuzz_protocol",
+    "run_script_via_client",
+    "network_drill",
+    "NetChaosCellResult",
+    "NetworkDrillReport",
     "TrafficScript",
     "run_script",
     "demo_config",

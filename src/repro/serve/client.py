@@ -1,0 +1,301 @@
+"""ServeClient: an exactly-once client for the NDJSON protocol.
+
+The server side of exactly-once is the dedup table folded into
+:class:`~repro.serve.ServeState`; this module is the client side — the
+discipline that makes retrying *safe* and reconnecting *automatic*:
+
+* every ``submit`` is stamped with a fresh request id
+  (``"<client_id>/<n>"``) that is **reused verbatim across retries** of
+  that same call, so a resubmission after a lost ack returns the
+  original verdict instead of double-admitting;
+* every ``tick`` names the round the client last observed, so a
+  duplicated or retried tick frame advances time exactly once;
+* transport failures (dropped frames, truncated responses, a server
+  restarting mid-call, a ``shutting_down`` drain envelope) surface as
+  :class:`TransportError` and are retried through the existing
+  :class:`~repro.serve.retry.BackoffPolicy` — bounded, seeded,
+  deterministic;
+* retries show up in telemetry as ``serve/client_retries`` counters.
+
+Transports are pluggable: :class:`TcpTransport` reconnects per failure
+for real sockets, :class:`LoopbackTransport` calls
+:func:`~repro.serve.protocol.respond_line` in-process (what the
+netchaos drills wrap with their fault proxy).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Callable
+
+from repro.errors import ConfigurationError, ReproError
+from repro.jobs.spec import JobSpec
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.serve.retry import BackoffPolicy, retry_call
+from repro.serve.server import ServeServer, TenantSpec
+from repro.utils.jsonl import canonical_json
+
+__all__ = ["TransportError", "LoopbackTransport", "TcpTransport",
+           "ServeClient"]
+
+#: server-side error prefixes that mean the *frame* was damaged in
+#: flight (or the server is draining) — safe to retry, every op is
+#: idempotent
+_RETRYABLE_ERRORS = (
+    "bad JSON", "request must be a JSON object", "request exceeds",
+    "shutting_down",
+)
+
+
+class TransportError(ReproError):
+    """A frame was lost, damaged, or refused in transit.
+
+    Raised by transports (and by :class:`ServeClient` when a response
+    does not parse); always safe to retry because every protocol op is
+    idempotent.
+
+    >>> issubclass(TransportError, ReproError)
+    True
+    """
+
+
+class LoopbackTransport:
+    """In-process transport: one request line -> one response line.
+
+    Wraps either a :class:`~repro.serve.ServeServer` or a zero-arg
+    callable returning the *current* server — the latter lets a
+    crash-restart harness swap in the recovered server between calls
+    without rebuilding the client.
+
+    >>> import tempfile, os
+    >>> from repro.serve.server import ServeConfig
+    >>> path = os.path.join(tempfile.mkdtemp(), "wal.jsonl")
+    >>> s = ServeServer(path, ServeConfig(num_machines=2,
+    ...                                   devices_per_machine=1))
+    >>> LoopbackTransport(s).send('{"op": "hello"}')[:10]
+    '{"ok":true'
+    >>> s.close()
+    """
+
+    def __init__(self, server: ServeServer | Callable[[], ServeServer]):
+        self._server = server
+
+    def send(self, line: str) -> str:
+        from repro.serve.protocol import respond_line
+
+        server = self._server() if callable(self._server) else self._server
+        return respond_line(server, line)
+
+    def close(self) -> None:
+        pass
+
+
+class TcpTransport:
+    """Socket transport with reconnect-on-failure.
+
+    Connects lazily, sends one NDJSON line, reads one response line.
+    Any socket error (or an EOF where a response was due) tears the
+    connection down and raises :class:`TransportError`; the next call
+    reconnects — so a server restart between calls is invisible apart
+    from the retried frame.
+
+    >>> t = TcpTransport("127.0.0.1", 9)       # nothing listens on 9
+    >>> t.host, t.port
+    ('127.0.0.1', 9)
+    >>> t.close()                              # close before connect: ok
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._sock: socket.socket | None = None
+        self._rfile = None
+
+    def _connect(self) -> None:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        self._sock = sock
+        self._rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+
+    def send(self, line: str) -> str:
+        try:
+            if self._sock is None:
+                self._connect()
+            self._sock.sendall((line.rstrip("\n") + "\n").encode("utf-8"))
+            response = self._rfile.readline()
+            if not response:
+                raise OSError("connection closed before response")
+            return response
+        except OSError as exc:
+            self.close()
+            raise TransportError(
+                f"tcp {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+
+class ServeClient:
+    """Exactly-once protocol client (see module docstring).
+
+    ``client_id`` namespaces the request-id stream; two clients with
+    distinct ids never collide, and two clients *sharing* an id that
+    race the same request get one admission between them (the dedup
+    table's job).
+
+    >>> import tempfile, os
+    >>> from repro.serve.server import ServeConfig
+    >>> path = os.path.join(tempfile.mkdtemp(), "wal.jsonl")
+    >>> s = ServeServer(path, ServeConfig(num_machines=4,
+    ...                                   devices_per_machine=2))
+    >>> c = ServeClient(LoopbackTransport(s), client_id="doc")
+    >>> c.register_tenant(TenantSpec(name="team-a"))
+    'team-a'
+    >>> from repro.jobs import JobSpec
+    >>> c.submit("team-a", JobSpec(name="j0", parallelism="dp",
+    ...                            num_workers=2, iterations=2))
+    ('accepted', 'j0')
+    >>> c.run()
+    >>> c.job("j0")["status"]
+    'completed'
+    >>> s.close()
+    """
+
+    def __init__(
+        self,
+        transport,
+        *,
+        client_id: str = "client",
+        policy: BackoffPolicy | None = None,
+        recorder: Recorder = NULL_RECORDER,
+    ):
+        if not client_id:
+            raise ConfigurationError("client_id must be non-empty")
+        self.transport = transport
+        self.client_id = client_id
+        self.policy = policy or BackoffPolicy()
+        self.recorder = recorder
+        self._next_request = 0
+        self._round: int | None = None
+
+    # -- plumbing ----------------------------------------------------------
+    def _new_request_id(self) -> str:
+        rid = f"{self.client_id}/{self._next_request}"
+        self._next_request += 1
+        return rid
+
+    def _call(self, request: dict) -> dict:
+        """Send one request with bounded retries; returns the response.
+
+        The *same* serialized frame is resent on every retry (same
+        request id, same round guard), which is what makes the retry
+        loop exactly-once instead of at-least-once.
+        """
+        line = canonical_json(request)
+
+        def attempt() -> dict:
+            raw = self.transport.send(line)
+            try:
+                response = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise TransportError(
+                    f"unparseable response frame: {exc}"
+                ) from exc
+            if not isinstance(response, dict):
+                raise TransportError("response frame is not an object")
+            error = str(response.get("error", ""))
+            if not response.get("ok", False) and error.startswith(
+                    _RETRYABLE_ERRORS):
+                # the request frame was damaged in flight (or the
+                # server is draining/restarting): resend verbatim
+                raise TransportError(f"server refused frame: {error}")
+            return response
+
+        response = retry_call(
+            attempt, self.policy, retry_on=(TransportError,),
+            recorder=self.recorder, name="serve/client",
+        )
+        if "round" in response:
+            self._round = int(response["round"])
+        if not response.get("ok", False):
+            raise ConfigurationError(str(response.get("error", "")))
+        return response
+
+    # -- protocol ops ------------------------------------------------------
+    def hello(self) -> dict:
+        return self._call({"op": "hello"})
+
+    def register_tenant(self, tenant: TenantSpec) -> str:
+        response = self._call({"op": "register_tenant",
+                               "tenant": tenant.to_payload()})
+        return str(response["tenant"])
+
+    def submit(self, tenant: str, spec: JobSpec) -> tuple[str, str]:
+        """Submit exactly once; returns (verdict, job name)."""
+        response = self._call({
+            "op": "submit", "tenant": tenant,
+            "spec": spec.to_payload(),
+            "request_id": self._new_request_id(),
+        })
+        return (str(response["verdict"]), str(response["job"]))
+
+    def status(self) -> dict:
+        return dict(self._call({"op": "status"})["status"])
+
+    def job(self, name: str) -> dict:
+        return dict(self._call({"op": "job", "name": name})["job"])
+
+    def tick(self, rounds: int = 1) -> int:
+        """Advance exactly ``rounds`` scheduling rounds; returns round.
+
+        The request names the round this client last observed, so a
+        retried or duplicated frame cannot tick twice.
+        """
+        if self._round is None:
+            self._round = int(self.status()["round"])
+        response = self._call({"op": "tick", "rounds": int(rounds),
+                               "round": self._round})
+        return int(response["round"])
+
+    def run(self, max_rounds: int = 10_000) -> None:
+        self._call({"op": "run", "max_rounds": int(max_rounds)})
+
+    def inject_failure(self, machine: int, tag: str = "") -> bool:
+        response = self._call({"op": "inject_failure",
+                               "machine": int(machine), "tag": tag})
+        return bool(response["failed"])
+
+    def shrink(self, machines: list[int]) -> list[int]:
+        response = self._call({"op": "shrink",
+                               "machines": [int(m) for m in machines]})
+        return [int(m) for m in response["retired"]]
+
+    def snapshot(self) -> str:
+        return str(self._call({"op": "snapshot"})["snapshot"])
+
+    def shutdown(self) -> None:
+        self._call({"op": "shutdown"})
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

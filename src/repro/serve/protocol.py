@@ -24,6 +24,7 @@ drills verify.
 from __future__ import annotations
 
 import json
+import signal
 import socketserver
 import sys
 
@@ -32,13 +33,56 @@ from repro.jobs.spec import JobSpec
 from repro.serve.server import ServeServer, TenantSpec
 from repro.utils.jsonl import canonical_json
 
-__all__ = ["handle_request", "serve_stdio", "serve_tcp"]
+__all__ = ["handle_request", "respond_line", "serve_stdio", "serve_tcp",
+           "GracefulShutdown", "install_graceful_shutdown"]
 
 #: refuse request lines longer than this (1 MiB)
 MAX_LINE_BYTES = 1 << 20
 
 #: disconnect a TCP client idle longer than this (seconds)
 REQUEST_TIMEOUT = 30.0
+
+#: the fault envelope every in-flight client gets during a drain
+_SHUTTING_DOWN = {"ok": False, "error": "shutting_down",
+                  "shutting_down": True}
+
+
+class GracefulShutdown(Exception):
+    """Raised by the SIGTERM handler to unwind the serve loop cleanly.
+
+    The loops catch it, answer any in-flight client with the
+    ``shutting_down`` fault envelope, flush + fsync the WAL via the
+    normal close path, and exit 0 — no event is ever half-written.
+
+    >>> issubclass(GracefulShutdown, Exception)
+    True
+    """
+
+
+def install_graceful_shutdown(server: ServeServer,
+                              signum: int = signal.SIGTERM) -> None:
+    """Arm SIGTERM (by default) to drain ``server`` gracefully.
+
+    The handler flips :attr:`ServeServer.draining` — so every request
+    from then on gets the ``shutting_down`` envelope — and raises
+    :class:`GracefulShutdown` to unwind whichever serve loop is
+    blocked.  Call this once before :func:`serve_stdio` /
+    :func:`serve_tcp` in a real process (the CLI does).
+
+    >>> import signal
+    >>> class Dummy: draining = False
+    >>> previous = signal.getsignal(signal.SIGTERM)
+    >>> install_graceful_shutdown(Dummy())
+    >>> callable(signal.getsignal(signal.SIGTERM))
+    True
+    >>> _ = signal.signal(signal.SIGTERM, previous)   # restore
+    """
+
+    def handler(sig, frame):
+        server.draining = True
+        raise GracefulShutdown()
+
+    signal.signal(signum, handler)
 
 
 def handle_request(server: ServeServer, request: dict) -> dict:
@@ -68,7 +112,10 @@ def handle_request(server: ServeServer, request: dict) -> dict:
             return {"ok": True, "tenant": name}
         if op == "submit":
             spec = JobSpec.from_payload(dict(request["spec"]))
-            verdict, name = server.submit(str(request["tenant"]), spec)
+            verdict, name = server.submit(
+                str(request["tenant"]), spec,
+                request_id=str(request.get("request_id", "")),
+            )
             response = {"ok": True, "job": name, "verdict": verdict}
             if verdict == "rejected":
                 response["reason"] = server.state.jobs[name]["reason"]
@@ -81,9 +128,17 @@ def handle_request(server: ServeServer, request: dict) -> dict:
                 return {"ok": False, "error": f"unknown job {name!r}"}
             return {"ok": True, "job": server.state.jobs[name]}
         if op == "tick":
-            rounds = int(request.get("rounds", 1))
-            for _ in range(max(1, rounds)):
-                server.tick()
+            rounds = max(1, int(request.get("rounds", 1)))
+            if "round" in request:
+                # idempotency guard: the client names the round it saw,
+                # so a duplicated/retried tick frame advances time to
+                # round + rounds exactly once instead of ticking again
+                target = int(request["round"]) + rounds
+                while server.state.round < target:
+                    server.tick()
+            else:
+                for _ in range(rounds):
+                    server.tick()
             return {"ok": True, "round": server.state.round}
         if op == "run":
             server.run(max_rounds=int(request.get("max_rounds", 10_000)))
@@ -110,6 +165,8 @@ def handle_request(server: ServeServer, request: dict) -> dict:
 
 def _handle_line(server: ServeServer, line: str) -> tuple[dict, bool]:
     """(response, keep_going) for one raw request line."""
+    if getattr(server, "draining", False):
+        return (dict(_SHUTTING_DOWN), False)
     if len(line) > MAX_LINE_BYTES:
         return ({"ok": False,
                  "error": f"request exceeds {MAX_LINE_BYTES} bytes"},
@@ -123,6 +180,28 @@ def _handle_line(server: ServeServer, line: str) -> tuple[dict, bool]:
                 True)
     response = handle_request(server, request)
     return response, not response.get("bye", False)
+
+
+def respond_line(server: ServeServer, line: str) -> str:
+    """One raw NDJSON request line in, one canonical response line out.
+
+    The full fault envelope of the wire protocol without any transport:
+    loopback clients, the netchaos fault proxy, and the protocol fuzzer
+    all speak to a server through this.  Never raises.
+
+    >>> import tempfile, os
+    >>> from repro.serve.server import ServeConfig, ServeServer
+    >>> path = os.path.join(tempfile.mkdtemp(), "wal.jsonl")
+    >>> s = ServeServer(path, ServeConfig(num_machines=2,
+    ...                                   devices_per_machine=1))
+    >>> respond_line(s, '{"op": "hello"}').startswith('{"ok":true')
+    True
+    >>> '"error"' in respond_line(s, '{"op": "n')      # truncated frame
+    True
+    >>> s.close()
+    """
+    response, _ = _handle_line(server, line)
+    return canonical_json(response)
 
 
 def serve_stdio(server: ServeServer, rfile=None, wfile=None) -> int:
@@ -148,15 +227,21 @@ def serve_stdio(server: ServeServer, rfile=None, wfile=None) -> int:
     rfile = rfile if rfile is not None else sys.stdin
     wfile = wfile if wfile is not None else sys.stdout
     served = 0
-    for line in rfile:
-        if not line.strip():
-            continue
-        response, keep_going = _handle_line(server, line)
-        wfile.write(canonical_json(response) + "\n")
+    try:
+        for line in rfile:
+            if not line.strip():
+                continue
+            response, keep_going = _handle_line(server, line)
+            wfile.write(canonical_json(response) + "\n")
+            wfile.flush()
+            served += 1
+            if not keep_going:
+                break
+    except GracefulShutdown:
+        # SIGTERM mid-loop: the in-flight client hears the envelope,
+        # then the caller's close() flushes + fsyncs the WAL and exits 0
+        wfile.write(canonical_json(_SHUTTING_DOWN) + "\n")
         wfile.flush()
-        served += 1
-        if not keep_going:
-            break
     return served
 
 
@@ -181,6 +266,18 @@ class _Handler(socketserver.StreamRequestHandler):
                 if not keep_going:
                     self.server.shutdown_requested = True
                     return
+        except GracefulShutdown:
+            # SIGTERM while reading this connection: answer the client
+            # with the envelope, then stop accepting altogether
+            try:
+                self.wfile.write(
+                    (canonical_json(_SHUTTING_DOWN) + "\n").encode()
+                )
+                self.wfile.flush()
+            except OSError:
+                pass
+            self.server.shutdown_requested = True
+            return
         except (TimeoutError, OSError):
             return  # stalled or vanished client: drop the connection
 
@@ -214,6 +311,9 @@ def serve_tcp(
         bound_port = tcp.server_address[1]
         if ready_callback is not None:
             ready_callback(bound_port)
-        while not tcp.shutdown_requested:
-            tcp.handle_request()
+        try:
+            while not tcp.shutdown_requested:
+                tcp.handle_request()
+        except GracefulShutdown:
+            pass  # SIGTERM between connections: drain and return
         return bound_port

@@ -23,6 +23,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.utils.seeding import derive_seed
 
 __all__ = ["BackoffPolicy", "backoff_delays", "retry_call"]
@@ -98,6 +99,8 @@ def retry_call(
     retry_on: tuple[type[BaseException], ...] = (Exception,),
     sleep: Callable[[float], None] | None = None,
     on_retry: Callable[[int, float, BaseException], None] | None = None,
+    recorder: Recorder = NULL_RECORDER,
+    name: str = "retry",
 ) -> object:
     """Call ``fn`` with bounded retries; re-raise the original error.
 
@@ -107,6 +110,11 @@ def retry_call(
     backoff to its own clock, and tests never really wait — pass
     ``time.sleep`` for wall-clock behaviour.  ``on_retry(attempt,
     delay, error)`` observes each retry (telemetry hooks in).
+
+    Every retry increments the ``{name}_retries`` counter on
+    ``recorder`` and an exhausted budget emits ``{name}_exhausted``, so
+    backoff behaviour shows up in ``repro obs summary`` without every
+    call site writing its own hook.
 
     >>> calls = []
     >>> def flaky():
@@ -126,8 +134,10 @@ def retry_call(
             return fn()
         except retry_on as exc:
             if attempt >= policy.retries:
+                recorder.instant(f"{name}_exhausted", track="serve")
                 raise  # budget exhausted: the original error, unwrapped
             delay = delays[attempt]
+            recorder.count(f"{name}_retries", track="serve")
             if on_retry is not None:
                 on_retry(attempt, delay, exc)
             if sleep is not None:

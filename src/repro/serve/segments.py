@@ -1,0 +1,507 @@
+"""Segmented WAL: snapshot-anchored segments, O(segment) recovery.
+
+A month-long control plane cannot afford recovery that replays from
+genesis.  :class:`SegmentedWriteAheadLog` keeps the same append-only,
+fsync-before-ack discipline as :class:`~repro.serve.wal.WriteAheadLog`,
+but splits the log across a *directory* of segment files::
+
+    wal/
+      segment-00000000.jsonl     # base_seq 0, no snapshot (genesis)
+      segment-00000001.jsonl     # base_seq 103, snapshot of state@102
+      segment-00000002.jsonl     # base_seq 218, snapshot of state@217
+
+Each segment's header carries ``base_seq`` and (after the first
+rotation) a full :meth:`~repro.serve.ServeState.snapshot` of the state
+*before* the segment's first event.  Recovery restores the newest
+usable snapshot anchor and folds only the events after it — O(segment),
+not O(history) — and the anchored fold is asserted bitwise-equal to the
+full-genesis fold by the drill suite.
+
+Corruption handling goes beyond the single-file WAL's torn-tail
+salvage.  Every record carries a CRC (WAL schema v2), so bit rot in a
+*middle* segment is detected, and the snapshot anchors make it
+survivable: a corrupt segment **behind** the newest anchor is
+quarantined (renamed ``*.quarantined``) with an exact report of which
+sequence numbers became unreadable — pure history loss, zero state
+loss.  Corruption **after** the newest anchor is truncated at the first
+bad record, the original preserved as a quarantine copy, and the loss
+reported honestly (``state_loss: true``) instead of silently replaying
+garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ConfigurationError, LogIntegrityError, ReproError
+from repro.serve.wal import WAL_VERSION, ServeEvent, WriteAheadLog
+from repro.utils.jsonl import JsonlWriter, canonical_json, salvage_jsonl
+
+__all__ = ["SegmentedWriteAheadLog", "open_wal", "DEFAULT_SEGMENT_BYTES"]
+
+#: rotation threshold when the caller does not pick one (~64 KiB keeps
+#: demo-scale recovery in the hundreds-of-events range)
+DEFAULT_SEGMENT_BYTES = 64 * 1024
+
+_SEGMENT_GLOB = "segment-*.jsonl"
+_SEGMENT_FORMAT = "repro.serve.walseg"
+
+
+def _segment_name(index: int) -> str:
+    return f"segment-{index:08d}.jsonl"
+
+
+@dataclass
+class _Segment:
+    """Parse result for one segment file (valid prefix + first error)."""
+
+    path: Path
+    index: int
+    base_seq: int = -1
+    snapshot: str | None = None
+    header_line: str | None = None
+    events: list[ServeEvent] = field(default_factory=list)
+    good_lines: list[str] = field(default_factory=list)
+    #: record lines present in the file (valid or not), for loss reports
+    total_records: int = 0
+    error: str | None = None
+    torn: str | None = None
+
+    @property
+    def clean(self) -> bool:
+        return self.error is None
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence just past the last valid event."""
+        return self.base_seq + len(self.events)
+
+    @property
+    def is_anchor(self) -> bool:
+        return self.snapshot is not None or self.base_seq == 0
+
+
+def _parse_segment(path: Path, index: int, *, is_last: bool) -> _Segment:
+    seg = _Segment(path=path, index=index)
+    good, torn = salvage_jsonl(path.read_text())
+    if torn is not None:
+        if is_last:
+            seg.torn = torn
+        else:
+            seg.error = (
+                f"torn line in non-final segment ({len(torn)} bytes)"
+            )
+    if not good:
+        seg.error = seg.error or "segment has no header"
+        return seg
+    try:
+        header = json.loads(good[0])
+        if not isinstance(header, dict) or "version" not in header:
+            raise ConfigurationError("segment header missing 'version'")
+        if int(header["version"]) > WAL_VERSION:
+            raise ConfigurationError(
+                f"segment version {header['version']} is newer than "
+                f"supported version {WAL_VERSION}"
+            )
+        if header.get("format") != _SEGMENT_FORMAT:
+            raise ConfigurationError(
+                f"not a WAL segment (format {header.get('format')!r})"
+            )
+        seg.base_seq = int(header["base_seq"])
+        snap = header.get("snapshot")
+        seg.snapshot = str(snap) if snap else None
+        seg.header_line = good[0]
+    except (json.JSONDecodeError, ConfigurationError, KeyError,
+            ValueError) as exc:
+        seg.error = f"bad segment header: {exc}"
+        return seg
+    seg.good_lines = [good[0]]
+    seg.total_records = len(good) - 1
+    for i, line in enumerate(good[1:]):
+        try:
+            event = ServeEvent.from_json(line)
+        except (json.JSONDecodeError, ReproError, KeyError,
+                ValueError) as exc:
+            seg.error = f"record {i} unreadable: {exc}"
+            break
+        if event.seq != seg.base_seq + i:
+            seg.error = (
+                f"sequence gap: record {i} has seq {event.seq}, "
+                f"expected {seg.base_seq + i}"
+            )
+            break
+        seg.events.append(event)
+        seg.good_lines.append(line)
+    return seg
+
+
+class SegmentedWriteAheadLog:
+    """Directory-of-segments WAL with snapshot anchors (module docstring).
+
+    Drop-in for :class:`~repro.serve.wal.WriteAheadLog` from the
+    server's point of view: ``append`` is durable-before-return and
+    gapless, ``events`` holds what recovery needs to fold, and
+    :meth:`recover_state` rebuilds the control-plane state — from the
+    newest snapshot anchor, not from genesis.  Assign
+    :attr:`snapshot_provider` (a callable returning a
+    ``ServeState.snapshot()`` string) to anchor each rotation.
+
+    >>> import tempfile
+    >>> wal = SegmentedWriteAheadLog(tempfile.mkdtemp() + "/wal",
+    ...                              segment_bytes=200, fsync=False)
+    >>> for i in range(4):
+    ...     _ = wal.append(ServeEvent(seq=i, kind="round",
+    ...                               payload={"round": i, "dt": 1.0}))
+    >>> wal.segment_count > 1           # tiny threshold forced rotation
+    True
+    >>> wal.last_seq
+    3
+    >>> wal.close()
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True,
+                 meta: dict | None = None,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 snapshot_provider: Callable[[], str] | None = None):
+        self.dir = Path(path)
+        self.fsync = bool(fsync)
+        self.segment_bytes = int(segment_bytes)
+        if self.segment_bytes <= 0:
+            raise ConfigurationError("segment_bytes must be > 0")
+        self.meta = {str(k): str(v) for k, v in (meta or {}).items()}
+        self.snapshot_provider = snapshot_provider
+        #: events since (and including) the newest snapshot anchor —
+        #: exactly what :meth:`recover_state` folds
+        self.events: list[ServeEvent] = []
+        #: snapshot string of the anchor segment (None = genesis)
+        self.anchor_snapshot: str | None = None
+        self.anchor_base_seq: int = 0
+        #: quarantine reports from recovery: one dict per bad segment
+        self.quarantined: list[dict] = []
+        self.torn_tail_dropped: str | None = None
+        self._last_seq = -1
+        self._last_kind: str | None = None
+        if self.dir.exists() and not self.dir.is_dir():
+            raise ConfigurationError(
+                f"{self.dir}: segmented WAL path is a file, not a "
+                f"directory (did you mean a plain --wal?)"
+            )
+        self.dir.mkdir(parents=True, exist_ok=True)
+        if self._segment_paths():
+            self._recover()
+        else:
+            self._active_index = 0
+            self._active_path = self.dir / _segment_name(0)
+            self._writer = JsonlWriter(self._active_path, fsync=fsync)
+            self._writer.write_line(self._header_line(0, 0, None))
+
+    # -- layout ------------------------------------------------------------
+    def _segment_paths(self) -> list[Path]:
+        return sorted(self.dir.glob(_SEGMENT_GLOB))
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segment_paths())
+
+    def _header_line(self, index: int, base_seq: int,
+                     snapshot: str | None) -> str:
+        return canonical_json({
+            "version": WAL_VERSION,
+            "format": _SEGMENT_FORMAT,
+            "segment": index,
+            "base_seq": base_seq,
+            "snapshot": snapshot,
+            "meta": self.meta,
+        })
+
+    # -- recovery ----------------------------------------------------------
+    def _recover(self) -> None:
+        paths = self._segment_paths()
+        segs = [
+            _parse_segment(p, i, is_last=(i == len(paths) - 1))
+            for i, p in enumerate(paths)
+        ]
+        anchor = self._find_anchor(segs)
+        if anchor is None:
+            raise ConfigurationError(
+                f"{self.dir}: no usable snapshot anchor survives in any "
+                f"segment — the log cannot be recovered"
+            )
+        bad_behind = [s for s in segs[:anchor] if not s.clean]
+        if bad_behind:
+            self._quarantine_behind(segs, anchor, bad_behind)
+        chain = segs[anchor:]
+        if all(s.clean for s in chain):
+            self._adopt_chain(chain)
+        else:
+            self._truncate_at_corruption(chain)
+
+    def _find_anchor(self, segs: list[_Segment]) -> int | None:
+        """Newest usable anchor segment index.
+
+        Prefers an anchor with a fully clean, contiguous chain to the
+        tail (normal recovery); falls back to the newest segment whose
+        *header* (and thus snapshot) survived even if its records are
+        corrupt — the valid prefix still replays, and
+        :meth:`_truncate_at_corruption` handles the rest.
+        """
+        fallback = None
+        for i in range(len(segs) - 1, -1, -1):
+            s = segs[i]
+            if s.base_seq < 0 or not s.is_anchor:
+                continue
+            if fallback is None:
+                fallback = i
+            chain = segs[i:]
+            contiguous = all(
+                chain[j].base_seq == chain[j - 1].end_seq
+                for j in range(1, len(chain))
+            )
+            if contiguous and all(c.clean for c in chain):
+                return i
+        return fallback
+
+    def _quarantine_behind(self, segs: list[_Segment], anchor: int,
+                           bad: list[_Segment]) -> None:
+        """Rename corrupt pre-anchor segments; pure history loss."""
+        for s in bad:
+            lost_first = s.base_seq if s.base_seq >= 0 else None
+            nxt = next((t for t in segs[s.index + 1:]
+                        if t.base_seq >= 0), None)
+            lost_last = nxt.base_seq - 1 if nxt is not None else None
+            qpath = s.path.with_name(s.path.name + ".quarantined")
+            s.path.rename(qpath)
+            self.quarantined.append({
+                "segment": s.index,
+                "path": str(qpath),
+                "reason": s.error,
+                "lost_first_seq": lost_first,
+                "lost_last_seq": lost_last,
+                "state_loss": False,
+            })
+            warnings.warn(
+                f"{s.path}: quarantined corrupt WAL segment "
+                f"({s.error}); history seqs "
+                f"[{lost_first}..{lost_last}] unreadable, state intact "
+                f"(covered by a newer snapshot anchor)",
+                UserWarning, stacklevel=4,
+            )
+
+    def _adopt_chain(self, chain: list[_Segment]) -> None:
+        """Normal path: clean anchored chain; reopen tail for append."""
+        tail = chain[-1]
+        if tail.torn is not None:
+            self.torn_tail_dropped = tail.torn
+            warnings.warn(
+                f"{tail.path}: dropped torn final WAL line "
+                f"({len(tail.torn)} bytes, crash mid-append?)",
+                UserWarning, stacklevel=4,
+            )
+            tail.path.write_text("\n".join(tail.good_lines) + "\n")
+        self._finish_recovery(chain)
+
+    def _truncate_at_corruption(self, chain: list[_Segment]) -> None:
+        """Post-anchor corruption: keep the valid prefix, report loss.
+
+        The corrupt record and everything after it *were* acknowledged;
+        refusing to silently replay garbage means admitting that tail
+        is gone.  The original segment is preserved as a ``.quarantined``
+        copy, the live file is truncated to its valid prefix, later
+        segments are quarantined whole, and the report says exactly
+        which sequences were lost.
+        """
+        bad_at = next(i for i, s in enumerate(chain) if not s.clean)
+        bad = chain[bad_at]
+        known_tail = max(
+            (s.base_seq + s.total_records - 1 for s in chain
+             if s.base_seq >= 0),
+            default=bad.end_seq - 1,
+        )
+        if bad.base_seq < 0:
+            # the segment's own header is unreadable: nothing in the
+            # file is salvageable in place, so quarantine it whole and
+            # end the log at the previous segment (bad_at >= 1: the
+            # anchor segment always has a valid header)
+            lost_first = chain[bad_at - 1].end_seq
+            qpath = bad.path.with_name(bad.path.name + ".quarantined")
+            bad.path.rename(qpath)
+        else:
+            lost_first = bad.end_seq
+            qpath = bad.path.with_name(bad.path.name + ".quarantined")
+            shutil.copy2(bad.path, qpath)
+            bad.path.write_text("\n".join(bad.good_lines) + "\n")
+        self.quarantined.append({
+            "segment": bad.index,
+            "path": str(qpath),
+            "reason": bad.error,
+            "lost_first_seq": lost_first,
+            "lost_last_seq": known_tail if known_tail >= lost_first
+            else None,
+            "state_loss": True,
+        })
+        for s in chain[bad_at + 1:]:
+            later = s.path.with_name(s.path.name + ".quarantined")
+            s.path.rename(later)
+            self.quarantined.append({
+                "segment": s.index,
+                "path": str(later),
+                "reason": "follows a truncated corrupt segment",
+                "lost_first_seq": s.base_seq if s.base_seq >= 0 else None,
+                "lost_last_seq": s.end_seq - 1
+                if s.base_seq >= 0 else None,
+                "state_loss": True,
+            })
+        warnings.warn(
+            f"{bad.path}: corrupt record inside the recovery range "
+            f"({bad.error}); truncated at seq {lost_first}, acked "
+            f"seqs [{lost_first}..{known_tail}] LOST (quarantine copy "
+            f"kept)",
+            UserWarning, stacklevel=5,
+        )
+        keep = bad_at if bad.base_seq < 0 else bad_at + 1
+        self._finish_recovery(chain[:keep])
+
+    def _finish_recovery(self, chain: list[_Segment]) -> None:
+        self.anchor_snapshot = chain[0].snapshot
+        self.anchor_base_seq = chain[0].base_seq
+        self.events = [e for s in chain for e in s.events]
+        self._last_seq = (self.events[-1].seq if self.events
+                          else chain[0].base_seq - 1)
+        self._last_kind = self.events[-1].kind if self.events else None
+        tail = chain[-1]
+        self._active_index = tail.index
+        self._active_path = tail.path
+        self._writer = JsonlWriter(tail.path, fsync=self.fsync,
+                                   append=True)
+
+    # -- append ------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest event (-1 when empty)."""
+        return self._last_seq
+
+    @property
+    def next_seq(self) -> int:
+        return self._last_seq + 1
+
+    @property
+    def last_kind(self) -> str | None:
+        """Kind of the newest event (``None`` when empty)."""
+        return self._last_kind
+
+    def append(self, event: ServeEvent) -> ServeEvent:
+        """Durably append one event, rotating segments as needed."""
+        if event.seq != self.next_seq:
+            raise ConfigurationError(
+                f"WAL append out of order: expected seq {self.next_seq}, "
+                f"got {event.seq}"
+            )
+        if self._active_path.stat().st_size >= self.segment_bytes:
+            self._rotate()
+        self._writer.write_line(event.to_json())
+        self.events.append(event)
+        self._last_seq = event.seq
+        self._last_kind = event.kind
+        return event
+
+    def _rotate(self) -> None:
+        """Seal the active segment, open the next one (with an anchor).
+
+        The new header embeds ``snapshot_provider()`` when one is set —
+        the state *as of* ``next_seq - 1``, which is exactly what the
+        server's append-then-apply discipline guarantees the provider
+        returns at this point.  With an anchor in place, recovery (and
+        :attr:`events`) restart from here.
+        """
+        self._writer.close()
+        snap = self.snapshot_provider() if self.snapshot_provider else None
+        self._active_index += 1
+        self._active_path = self.dir / _segment_name(self._active_index)
+        self._writer = JsonlWriter(self._active_path, fsync=self.fsync)
+        self._writer.write_line(
+            self._header_line(self._active_index, self.next_seq, snap)
+        )
+        if snap is not None:
+            self.anchor_snapshot = snap
+            self.anchor_base_seq = self.next_seq
+            self.events = []
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "SegmentedWriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- recovery views ----------------------------------------------------
+    def recover_state(self):
+        """Rebuild the control-plane state from anchor + tail events.
+
+        Restores the newest snapshot anchor (O(1) in history length)
+        and folds only the events after it — the O(segment) recovery
+        the ROADMAP asked for.  Bitwise-equal to a genesis replay of
+        the full history (asserted by the drill suite).
+        """
+        from repro.serve.state import ServeState
+
+        if self.anchor_snapshot is not None:
+            state = ServeState.restore(self.anchor_snapshot)
+        else:
+            state = ServeState()
+        for event in self.events:
+            state.apply(event)
+        return state
+
+    def all_events(self) -> list[ServeEvent]:
+        """Full readable history across every live segment.
+
+        Quarantined segments are skipped (their loss is recorded in
+        :attr:`quarantined`); used by drills to audit global invariants
+        like at-most-one admission per job name.
+        """
+        paths = self._segment_paths()
+        out: list[ServeEvent] = []
+        for i, p in enumerate(paths):
+            seg = _parse_segment(p, i, is_last=(i == len(paths) - 1))
+            out.extend(seg.events)
+        return out
+
+
+def open_wal(path: str | Path, *, fsync: bool = True,
+             meta: dict | None = None,
+             segment_bytes: int | None = None,
+             snapshot_provider: Callable[[], str] | None = None):
+    """Open the right WAL flavor for a path.
+
+    An existing *file* is always a single-file
+    :class:`~repro.serve.wal.WriteAheadLog` (resuming keeps its
+    format); an existing *directory*, or any path with
+    ``segment_bytes`` set, is a :class:`SegmentedWriteAheadLog`.
+
+    >>> import tempfile, os
+    >>> root = tempfile.mkdtemp()
+    >>> type(open_wal(os.path.join(root, "a.jsonl"),
+    ...               fsync=False)).__name__
+    'WriteAheadLog'
+    >>> type(open_wal(os.path.join(root, "b"), fsync=False,
+    ...               segment_bytes=4096)).__name__
+    'SegmentedWriteAheadLog'
+    """
+    p = Path(path)
+    if p.exists() and p.is_file():
+        return WriteAheadLog(p, fsync=fsync, meta=meta)
+    if segment_bytes is not None or p.is_dir():
+        return SegmentedWriteAheadLog(
+            p, fsync=fsync, meta=meta,
+            segment_bytes=segment_bytes or DEFAULT_SEGMENT_BYTES,
+            snapshot_provider=snapshot_provider,
+        )
+    return WriteAheadLog(p, fsync=fsync, meta=meta)

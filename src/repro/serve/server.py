@@ -40,8 +40,9 @@ from repro.errors import ConfigurationError, StorageError
 from repro.jobs.spec import JobSpec
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.serve.retry import BackoffPolicy, retry_call
+from repro.serve.segments import open_wal
 from repro.serve.state import ServeState
-from repro.serve.wal import ServeEvent, WriteAheadLog
+from repro.serve.wal import ServeEvent
 
 __all__ = ["TenantSpec", "ServeConfig", "ServeServer"]
 
@@ -159,14 +160,23 @@ class ServeServer:
         storage: GlobalStore | None = None,
         recorder: Recorder = NULL_RECORDER,
         fsync: bool = True,
+        segment_bytes: int | None = None,
     ):
         self.recorder = recorder
         self.storage = storage if storage is not None else GlobalStore()
-        self.wal = WriteAheadLog(wal_path, fsync=fsync,
-                                 meta={"service": "repro.serve"})
-        self.state = ServeState.replay(self.wal.events)
-        self.recovered = bool(self.wal.events)
+        self.wal = open_wal(wal_path, fsync=fsync,
+                            meta={"service": "repro.serve"},
+                            segment_bytes=segment_bytes)
+        self.state = self.wal.recover_state()
+        if hasattr(self.wal, "snapshot_provider"):
+            # anchor every segment rotation at the current state (the
+            # state object is mutated in place, so the bound method
+            # always reflects what the sealed segments folded to)
+            self.wal.snapshot_provider = self.state.snapshot
+        self.recovered = self.state.last_seq >= 0
         self.snapshot_failures = 0
+        #: set while a graceful shutdown drains in-flight clients
+        self.draining = False
         if self.recovered:
             cfg = self.state.config
             self.config = ServeConfig(
@@ -203,17 +213,43 @@ class ServeServer:
 
     # -- client-facing operations (each acknowledged after the WAL) --------
     def register_tenant(self, tenant: TenantSpec) -> str:
-        """Register (or re-register) a tenant; returns its name."""
-        self._log("tenant", tenant.to_payload())
+        """Register (or re-register) a tenant; returns its name.
+
+        Idempotent for identical specs: re-registering a tenant whose
+        record already matches logs nothing, so a client retrying after
+        a lost ack does not grow the WAL.  A *changed* spec still logs
+        (that is an update, not a duplicate).
+        """
+        payload = tenant.to_payload()
+        existing = self.state.tenants.get(tenant.name)
+        if existing is not None and all(
+            existing[k] == v for k, v in payload.items()
+        ):
+            return tenant.name
+        self._log("tenant", payload)
         return tenant.name
 
-    def submit(self, tenant: str, spec: JobSpec) -> tuple[str, str]:
+    def submit(self, tenant: str, spec: JobSpec,
+               request_id: str = "") -> tuple[str, str]:
         """Admission-control a submission; returns (verdict, job name).
 
         The verdict — ``"accepted"`` or ``"rejected"`` — is durable in
         the WAL *before* this method returns, so an acknowledged
         submission can never be lost to a control-plane crash.
+
+        A non-empty ``request_id`` makes the call **exactly-once**: the
+        id is folded into the WAL alongside the verdict, and any later
+        call with the same id (a client retrying a lost ack, even
+        against a restarted server) returns the original verdict
+        without logging — never a double admission.
         """
+        rid = str(request_id or "")
+        if rid and rid in self.state.dedup:
+            hit = self.state.dedup[rid]
+            self.recorder.count("serve/dedup_hits", track="serve")
+            verdict = ("accepted" if hit["verdict"] == "submit"
+                       else "rejected")
+            return (verdict, hit["name"])
         name = spec.name
         if tenant not in self.state.tenants:
             raise ConfigurationError(f"unknown tenant {tenant!r}")
@@ -222,6 +258,7 @@ class ServeServer:
         trec = self.state.tenants[tenant]
         payload = spec.to_payload()
         payload["tenant"] = tenant
+        extra = {"request_id": rid} if rid else {}
         reason = None
         total_devices = (self.config.num_machines
                          * self.config.devices_per_machine)
@@ -237,18 +274,27 @@ class ServeServer:
             reason = f"tenant pending cap {trec['max_pending']} reached"
         if reason is not None:
             self._log("reject", {"name": name, "tenant": tenant,
-                                 "spec": payload, "reason": reason})
+                                 "spec": payload, "reason": reason,
+                                 **extra})
             self.recorder.count("serve/rejected", track="serve")
             return ("rejected", name)
         self._log("submit", {"name": name, "tenant": tenant,
-                             "spec": payload})
+                             "spec": payload, **extra})
         self.recorder.count("serve/submitted", track="serve")
         return ("accepted", name)
 
     def inject_failure(self, machine: int, tag: str = "") -> bool:
-        """Fail-stop one machine (chaos drills); False if already dead."""
+        """Fail-stop one machine (chaos drills); False if already dead.
+
+        A non-empty ``tag`` doubles as an idempotency key: a tag already
+        folded into the state means this exact crash was acknowledged
+        before (a retried request after a lost ack), so it is not
+        injected twice.
+        """
         if machine not in self.state.machines:
             raise ConfigurationError(f"unknown machine {machine}")
+        if tag and tag in self.state.failure_tags:
+            return False
         in_repair = any(m == machine for m, _ in self.state.repairing)
         if not self.state.machines[machine]["alive"] and not in_repair:
             return False
@@ -337,8 +383,7 @@ class ServeServer:
         :meth:`tick`, whose already-applied phases no-op) before the run
         can be considered settled.
         """
-        return bool(self.wal.events) \
-            and self.wal.events[-1].kind in _TICK_KINDS
+        return self.wal.last_kind in _TICK_KINDS
 
     def run(self, max_rounds: int = 10_000) -> None:
         """Tick until every job settles (or the round budget runs out)."""
@@ -503,13 +548,10 @@ class ServeServer:
                 nbytes=len(snap), payload=snap, now=now,
             )
 
-        def observed(attempt_no: int, delay: float, exc: BaseException
-                     ) -> None:
-            self.recorder.count("serve/storage_retries", track="serve")
-
         try:
             retry_call(attempt, self.config.storage_policy,
-                       retry_on=(StorageError,), on_retry=observed)
+                       retry_on=(StorageError,),
+                       recorder=self.recorder, name="serve/storage")
         except StorageError:
             self.snapshot_failures += 1
             self.recorder.instant("serve/snapshot_failed", track="serve")

@@ -105,6 +105,11 @@ class ServeState:
         self.fleet_time: float = 0.0
         self.last_seq: int = -1
         self.failure_tags: list[str] = []
+        # request-id -> {"name", "verdict"}: the exactly-once dedup
+        # table.  Folded from submit/reject events, so it survives
+        # replay — a client retrying after a lost ack gets the original
+        # verdict back even from a restarted server.
+        self.dedup: dict[str, dict] = {}
 
     # -- event fold --------------------------------------------------------
     def apply(self, event: ServeEvent) -> bool:
@@ -176,6 +181,9 @@ class ServeState:
         )
         self.queue.append(name)
         self.tenants[tenant]["submitted"] += 1
+        rid = str(p.get("request_id", ""))
+        if rid:
+            self.dedup[rid] = {"name": name, "verdict": "submit"}
 
     def _on_reject(self, p: dict) -> None:
         name = str(p["name"])
@@ -186,6 +194,9 @@ class ServeState:
         self.jobs[name] = rec
         if tenant in self.tenants:
             self.tenants[tenant]["rejected"] += 1
+        rid = str(p.get("request_id", ""))
+        if rid:
+            self.dedup[rid] = {"name": name, "verdict": "reject"}
 
     def _on_place(self, p: dict) -> None:
         job = self.jobs[str(p["name"])]
@@ -437,7 +448,39 @@ class ServeState:
             "fleet_time": self.fleet_time,
             "last_seq": self.last_seq,
             "failure_tags": self.failure_tags,
+            "dedup": self.dedup,
         })
+
+    @classmethod
+    def restore(cls, snapshot_json: str) -> "ServeState":
+        """Rebuild a state from a :meth:`snapshot` string.
+
+        The inverse of ``snapshot()`` — ``restore(s).snapshot() == s``
+        for every reachable state.  This is what lets a segmented WAL
+        anchor recovery at a durable snapshot and replay only the tail
+        segment instead of the whole history.
+
+        >>> s = ServeState()
+        >>> ServeState.restore(s.snapshot()).snapshot() == s.snapshot()
+        True
+        """
+        import json as _json
+
+        d = _json.loads(snapshot_json)
+        state = cls()
+        state.config = dict(d["config"])
+        state.machines = {int(m): rec for m, rec in d["machines"].items()}
+        state.spares = list(d["spares"])
+        state.repairing = [list(e) for e in d["repairing"]]
+        state.tenants = dict(d["tenants"])
+        state.jobs = dict(d["jobs"])
+        state.queue = list(d["queue"])
+        state.round = int(d["round"])
+        state.fleet_time = float(d["fleet_time"])
+        state.last_seq = int(d["last_seq"])
+        state.failure_tags = list(d["failure_tags"])
+        state.dedup = dict(d.get("dedup", {}))
+        return state
 
     def summary(self) -> dict:
         """Small human-facing status dict (the ``status`` protocol op)."""

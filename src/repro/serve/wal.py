@@ -1,4 +1,4 @@
-"""The control plane's write-ahead event log (WAL schema v1).
+"""The control plane's write-ahead event log (WAL schema v2).
 
 The append-only JSONL event log is the **source of truth** for the
 entire control plane, the same discipline the paper applies to training
@@ -16,6 +16,13 @@ torn final line (the process died mid-append) is detected on reopen,
 logged, and truncated away — by the write-ahead discipline it was never
 acknowledged, so dropping it is correct, and it must never crash
 recovery.
+
+Schema v2 stamps every event line with a CRC-32 of its body (the ``c``
+field), so *mid-file bit rot* — a flipped byte in a month-old record,
+which still parses as JSON but replays to a silently wrong state — is
+detected and refused instead of folded in.  v1 files (no checksum) are
+still readable; torn-tail semantics are unchanged, because a torn line
+was never acknowledged while a corrupt interior line was.
 """
 
 from __future__ import annotations
@@ -25,13 +32,18 @@ import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import ConfigurationError
-from repro.utils.jsonl import JsonlWriter, canonical_json, salvage_jsonl
+from repro.errors import ConfigurationError, LogIntegrityError
+from repro.utils.jsonl import (
+    JsonlWriter,
+    canonical_json,
+    crc32_text,
+    salvage_jsonl,
+)
 
 __all__ = ["WAL_VERSION", "ServeEvent", "WriteAheadLog"]
 
 #: bump when the JSONL schema changes; readers reject newer versions
-WAL_VERSION = 1
+WAL_VERSION = 2
 
 #: event kinds understood by WAL schema v1, in rough lifecycle order
 EVENT_KINDS = (
@@ -62,8 +74,15 @@ class ServeEvent:
     is one of :data:`EVENT_KINDS`; ``payload`` carries the kind-specific
     fields (job name, slot list, spec, ...) as plain JSON data.
 
+    Serialized lines carry a ``c`` field: the CRC-32 of the record body,
+    verified on parse so mid-file bit rot raises
+    :class:`~repro.errors.LogIntegrityError` instead of replaying a
+    corrupted transition.  v1 lines (no ``c``) still parse.
+
     >>> e = ServeEvent(seq=0, kind="submit", payload={"name": "job-0"})
     >>> ServeEvent.from_json(e.to_json()) == e
+    True
+    >>> '"c":' in e.to_json()
     True
     """
 
@@ -86,15 +105,30 @@ class ServeEvent:
         return str(self.payload.get("name", ""))
 
     def to_json(self) -> str:
-        return canonical_json(
+        body = canonical_json(
             {"seq": self.seq, "k": self.kind, "p": self.payload}
+        )
+        return canonical_json(
+            {"seq": self.seq, "k": self.kind, "p": self.payload,
+             "c": crc32_text(body)}
         )
 
     @classmethod
     def from_json(cls, line: str) -> "ServeEvent":
         d = json.loads(line)
-        return cls(seq=int(d["seq"]), kind=str(d["k"]),
-                   payload=dict(d.get("p", {})))
+        event = cls(seq=int(d["seq"]), kind=str(d["k"]),
+                    payload=dict(d.get("p", {})))
+        if "c" in d:
+            body = canonical_json(
+                {"seq": event.seq, "k": event.kind, "p": event.payload}
+            )
+            if int(d["c"]) != crc32_text(body):
+                raise LogIntegrityError(
+                    f"WAL record seq {event.seq} ({event.kind!r}) fails "
+                    f"its checksum: stored crc {d['c']}, computed "
+                    f"{crc32_text(body)} — mid-file corruption (bit rot?)"
+                )
+        return event
 
 
 class WriteAheadLog:
@@ -159,6 +193,22 @@ class WriteAheadLog:
     def next_seq(self) -> int:
         return self.last_seq + 1
 
+    @property
+    def last_kind(self) -> str | None:
+        """Kind of the newest event (``None`` when empty)."""
+        return self.events[-1].kind if self.events else None
+
+    def recover_state(self):
+        """Fold the recovered events into a fresh ``ServeState``.
+
+        The uniform recovery entry point shared with the segmented WAL
+        (which restores a snapshot anchor first); for the single-file
+        log it is simply a full replay.
+        """
+        from repro.serve.state import ServeState
+
+        return ServeState.replay(self.events)
+
     def append(self, event: ServeEvent) -> ServeEvent:
         """Durably append one event; returns it for chaining."""
         if event.seq != self.next_seq:
@@ -221,6 +271,8 @@ def _parse_wal(path: Path, stacklevel: int) -> tuple[
         raise ConfigurationError(
             f"{path}: WAL is not valid JSONL: {exc}"
         ) from exc
+    except LogIntegrityError as exc:
+        raise LogIntegrityError(f"{path}: {exc}") from exc
     if not isinstance(header, dict) or "version" not in header:
         raise ConfigurationError(f"{path}: WAL header missing 'version'")
     if int(header["version"]) > WAL_VERSION:

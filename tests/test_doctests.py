@@ -43,10 +43,13 @@ DOCTEST_MODULES = [
     "repro.obs.export",
     "repro.obs.recorder",
     "repro.obs.telemetry",
+    "repro.serve.client",
     "repro.serve.drill",
     "repro.serve.mirror",
+    "repro.serve.netchaos",
     "repro.serve.protocol",
     "repro.serve.retry",
+    "repro.serve.segments",
     "repro.serve.server",
     "repro.serve.state",
     "repro.serve.wal",

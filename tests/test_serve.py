@@ -22,8 +22,13 @@ The acceptance surface the ISSUE names, as tier-1 tests:
 
 import io
 import json
+import os
+import signal
 import socket
+import subprocess
+import sys
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -614,3 +619,204 @@ class TestServeCLI:
         out = capsys.readouterr().out
         assert "replay audit" in out
         assert "exactly" in out
+
+    def test_segmented_demo_and_replay(self, tmp_path, capsys):
+        wal = str(tmp_path / "wal")
+        assert cli_main(["serve", "--demo", "--wal", wal,
+                         "--segment-bytes", "4096", "--no-fsync"]) == 0
+        capsys.readouterr()
+        assert cli_main(["serve", "--replay", wal]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot anchor at seq" in out
+        assert "segments)" in out
+
+    def test_busy_tcp_port_exits_one_with_one_line(self, tmp_path,
+                                                   capsys):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            code = cli_main(["serve", "--tcp", str(port), "--wal",
+                             str(tmp_path / "wal.jsonl"), "--no-fsync"])
+        finally:
+            blocker.close()
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot listen" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+
+# -- idempotent submissions (exactly-once acked effects) --------------------
+
+class TestIdempotentSubmit:
+    def test_duplicate_request_id_replays_verdict(self, tmp_path):
+        with fresh_server(tmp_path) as server:
+            server.register_tenant(TenantSpec(name="t"))
+            first = server.submit("t", dp("j", 2, 2), request_id="r/0")
+            dup = server.submit("t", dp("other-name", 4, 9),
+                                request_id="r/0")
+            assert first == dup == ("accepted", "j")
+            kinds = [e.kind for e in server.wal.events]
+            assert kinds.count("submit") == 1  # dedup logged nothing
+
+    def test_rejection_verdicts_dedup_too(self, tmp_path):
+        with fresh_server(tmp_path) as server:
+            server.register_tenant(TenantSpec(name="t", quota=2))
+            server.submit("t", dp("ok", 2, 2), request_id="r/0")
+            first = server.submit("t", dp("over", 2, 2),
+                                  request_id="r/1")
+            assert first == ("rejected", "over")
+            assert server.submit("t", dp("over2", 2, 2),
+                                 request_id="r/1") == first
+            kinds = [e.kind for e in server.wal.events]
+            assert kinds.count("reject") == 1
+
+    def test_unstamped_submissions_keep_v1_behavior(self, tmp_path):
+        with fresh_server(tmp_path) as server:
+            server.register_tenant(TenantSpec(name="t"))
+            server.submit("t", dp("a", 2, 2))
+            with pytest.raises(ConfigurationError, match="duplicate"):
+                server.submit("t", dp("a", 2, 2))
+            assert server.state.dedup == {}
+
+    def test_register_tenant_is_idempotent(self, tmp_path):
+        with fresh_server(tmp_path) as server:
+            server.register_tenant(TenantSpec(name="t", quota=4))
+            # identical re-registration (a retried frame): logs nothing
+            server.register_tenant(TenantSpec(name="t", quota=4))
+            tenants = [e for e in server.wal.events
+                       if e.kind == "tenant"]
+            assert len(tenants) == 1
+            # a *changed* spec is an update, not a duplicate: it logs
+            server.register_tenant(TenantSpec(name="t", quota=8))
+            tenants = [e for e in server.wal.events
+                       if e.kind == "tenant"]
+            assert len(tenants) == 2
+            assert server.state.tenants["t"]["quota"] == 8
+
+    def test_inject_failure_is_idempotent_by_tag(self, tmp_path):
+        with fresh_server(tmp_path) as server:
+            server.register_tenant(TenantSpec(name="t"))
+            server.submit("t", dp("j", 2, 8))
+            server.tick()
+            victim = server.state.jobs["j"]["slots"][0][0]
+            assert server.inject_failure(victim, tag="boom") is True
+            assert server.inject_failure(victim, tag="boom") is False
+            crashes = [e for e in server.wal.events
+                       if e.kind == "crash"]
+            assert len(crashes) == 1
+
+    def test_dedup_table_is_part_of_the_snapshot(self, tmp_path):
+        with fresh_server(tmp_path) as server:
+            server.register_tenant(TenantSpec(name="t"))
+            server.submit("t", dp("j", 2, 2), request_id="r/0")
+            snap = json.loads(server.state.snapshot())
+            assert snap["dedup"] == {
+                "r/0": {"name": "j", "verdict": "submit"},
+            }
+
+
+# -- retry telemetry --------------------------------------------------------
+
+class TestRetryTelemetry:
+    def test_storage_outage_retries_are_counted(self, tmp_path):
+        from repro.obs import TraceRecorder
+
+        store = GlobalStore()
+        # covers the first snapshot upload (round 5, fleet time 5.0)
+        # but not the second — degradation is visible, then it heals
+        store.add_outage(4.5, 5.5)
+        recorder = TraceRecorder()
+        config = ServeConfig(num_machines=4, devices_per_machine=2,
+                             num_spares=1, snapshot_interval=5,
+                             storage_policy=BackoffPolicy(
+                                 retries=3, base_delay=1.0, jitter=0.0))
+        with fresh_server(tmp_path, config, storage=store,
+                          recorder=recorder) as server:
+            server.register_tenant(TenantSpec(name="t"))
+            server.submit("t", dp("j", 2, 12))
+            server.run()
+            assert server.snapshot_failures == 1
+            assert any(k.startswith("serve/snapshot/")
+                       for k in store.keys())
+        assert recorder.counters["serve/storage_retries"] == 3.0
+
+    def test_exhausted_retries_emit_instant(self, tmp_path):
+        from repro.obs import TraceRecorder
+
+        store = GlobalStore()
+        store.add_outage(0.0, 1e9)
+        recorder = TraceRecorder()
+        config = ServeConfig(num_machines=4, devices_per_machine=2,
+                             num_spares=1, snapshot_interval=5,
+                             storage_policy=BackoffPolicy(retries=1))
+        with fresh_server(tmp_path, config, storage=store,
+                          recorder=recorder) as server:
+            server.register_tenant(TenantSpec(name="t"))
+            server.submit("t", dp("j", 2, 12))
+            server.run()
+        trace = recorder.trace("unit")
+        assert any(e.name == "serve/storage_exhausted"
+                   for e in trace.instants)
+
+
+# -- graceful shutdown (SIGTERM drains, exits 0) ----------------------------
+
+REPO_SRC = str(Path(__file__).parent.parent / "src")
+
+
+def spawn_serve(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *argv],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=env,
+    )
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_stdio_and_exits_zero(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        proc = spawn_serve("--stdio", "--wal", str(wal), "--no-fsync")
+        try:
+            proc.stdin.write('{"op": "hello"}\n')
+            proc.stdin.flush()
+            assert json.loads(proc.stdout.readline())["ok"] is True
+            time.sleep(0.2)
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0, err
+        last = json.loads(out.strip().splitlines()[-1])
+        assert last == {"ok": False, "error": "shutting_down",
+                        "shutting_down": True}
+        # the WAL survived the drain intact and loadable
+        assert WriteAheadLog.load_events(wal) is not None
+
+    def test_sigterm_answers_inflight_tcp_client(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        proc = spawn_serve("--tcp", "0", "--wal", str(wal),
+                           "--no-fsync")
+        try:
+            ready = proc.stdout.readline()
+            assert "listening on" in ready
+            port = int(ready.split("127.0.0.1:")[1].split(" ")[0])
+            with socket.create_connection(("127.0.0.1", port),
+                                          timeout=10) as conn:
+                f = conn.makefile("rw")
+                f.write('{"op": "hello"}\n')
+                f.flush()
+                assert json.loads(f.readline())["ok"] is True
+                time.sleep(0.2)
+                proc.send_signal(signal.SIGTERM)
+                drain = json.loads(f.readline())
+                assert drain["shutting_down"] is True
+            proc.wait(timeout=30)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0
+        assert WriteAheadLog.load_events(wal) is not None
