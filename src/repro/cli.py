@@ -585,19 +585,20 @@ def _serve_replay(path: str) -> int:
 
     try:
         if Path(path).is_dir():
-            wal = SegmentedWriteAheadLog(path, fsync=False)
-            try:
-                state = wal.recover_state()
-            finally:
-                wal.close()
-            for q in wal.quarantined:
-                print(f"serve: quarantined segment {q['segment']} "
-                      f"({q['reason']}; seqs [{q['lost_first_seq']}.."
-                      f"{q['lost_last_seq']}] lost, "
-                      f"state_loss={q['state_loss']})", file=sys.stderr)
-            print(f"replayed {len(wal.events)} events from {path} "
-                  f"(snapshot anchor at seq {wal.anchor_base_seq}, "
-                  f"{wal.segment_count} segments)")
+            # read-only: plan recovery without renaming, truncating, or
+            # opening a writer, so inspecting a live server's WAL is safe
+            info = SegmentedWriteAheadLog.inspect(path)
+            state = info.recover_state()
+            for q in info.quarantined:
+                print(f"serve: corrupt segment {q['segment']} at "
+                      f"{q['path']} ({q['reason']}; seqs "
+                      f"[{q['lost_first_seq']}..{q['lost_last_seq']}] "
+                      f"unusable, state_loss={q['state_loss']})",
+                      file=sys.stderr)
+            print(f"replayed {len(info.events)} events from {path} "
+                  f"(read-only; snapshot anchor at seq "
+                  f"{info.anchor_base_seq}, {info.segment_count} "
+                  f"segments)")
         else:
             events = WriteAheadLog.load_events(path)
             state = ServeState.replay(events)

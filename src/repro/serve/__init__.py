@@ -90,6 +90,7 @@ from repro.serve.retry import BackoffPolicy, backoff_delays, retry_call
 from repro.serve.segments import (
     DEFAULT_SEGMENT_BYTES,
     SegmentedWriteAheadLog,
+    SegmentInspection,
     open_wal,
 )
 from repro.serve.server import ServeConfig, ServeServer, TenantSpec
@@ -101,6 +102,7 @@ __all__ = [
     "ServeEvent",
     "WriteAheadLog",
     "SegmentedWriteAheadLog",
+    "SegmentInspection",
     "DEFAULT_SEGMENT_BYTES",
     "open_wal",
     "ServeState",

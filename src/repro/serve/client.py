@@ -275,8 +275,17 @@ class ServeClient:
         self._call({"op": "run", "max_rounds": int(max_rounds)})
 
     def inject_failure(self, machine: int, tag: str = "") -> bool:
+        """Fail-stop one machine exactly once; returns the verdict.
+
+        The tag is the op's idempotency key (the server folds it into
+        the state and refuses a repeat), so when the caller passes none
+        a fresh request-id-derived tag is stamped — same discipline as
+        ``submit``.  Without it, a retry after a lost ack could
+        re-inject once the machine has entered repair.
+        """
         response = self._call({"op": "inject_failure",
-                               "machine": int(machine), "tag": tag})
+                               "machine": int(machine),
+                               "tag": tag or self._new_request_id()})
         return bool(response["failed"])
 
     def shrink(self, machines: list[int]) -> list[int]:

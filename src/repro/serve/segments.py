@@ -26,7 +26,14 @@ sequence numbers became unreadable — pure history loss, zero state
 loss.  Corruption **after** the newest anchor is truncated at the first
 bad record, the original preserved as a quarantine copy, and the loss
 reported honestly (``state_loss: true``) instead of silently replaying
-garbage.
+garbage.  A final segment whose header never became a complete line is
+*not* corruption: the crash happened mid-rotation, before anything in
+that segment could be acknowledged, so it is dropped like a torn tail.
+
+Recovery is computed as a pure *plan* over the parsed segments before a
+single byte is touched; :meth:`SegmentedWriteAheadLog.inspect` exposes
+the same plan read-only, so ``repro serve --replay`` can audit a live
+server's WAL without renaming, truncating, or opening a writer.
 """
 
 from __future__ import annotations
@@ -42,7 +49,8 @@ from repro.errors import ConfigurationError, LogIntegrityError, ReproError
 from repro.serve.wal import WAL_VERSION, ServeEvent, WriteAheadLog
 from repro.utils.jsonl import JsonlWriter, canonical_json, salvage_jsonl
 
-__all__ = ["SegmentedWriteAheadLog", "open_wal", "DEFAULT_SEGMENT_BYTES"]
+__all__ = ["SegmentedWriteAheadLog", "SegmentInspection", "open_wal",
+           "DEFAULT_SEGMENT_BYTES"]
 
 #: rotation threshold when the caller does not pick one (~64 KiB keeps
 #: demo-scale recovery in the hundreds-of-events range)
@@ -56,6 +64,23 @@ def _segment_name(index: int) -> str:
     return f"segment-{index:08d}.jsonl"
 
 
+def _segment_index(path: Path) -> int:
+    """The index a segment filename claims (``segment-00000007`` -> 7).
+
+    Filenames — not directory-listing positions — are the durable
+    identity of a segment: after a quarantine rename removes a file,
+    the survivors keep their numbers, so the next rotation can never
+    collide with (and truncate) a live segment.
+    """
+    stem = path.name[len("segment-"):-len(".jsonl")]
+    if not stem.isdigit():
+        raise ConfigurationError(
+            f"{path}: not a WAL segment filename "
+            f"(expected segment-<8 digits>.jsonl)"
+        )
+    return int(stem)
+
+
 @dataclass
 class _Segment:
     """Parse result for one segment file (valid prefix + first error)."""
@@ -67,6 +92,9 @@ class _Segment:
     header_line: str | None = None
     events: list[ServeEvent] = field(default_factory=list)
     good_lines: list[str] = field(default_factory=list)
+    #: complete lines in the file, parseable or not (0 = the header
+    #: itself never made it to disk whole)
+    raw_lines: int = 0
     #: record lines present in the file (valid or not), for loss reports
     total_records: int = 0
     error: str | None = None
@@ -89,6 +117,7 @@ class _Segment:
 def _parse_segment(path: Path, index: int, *, is_last: bool) -> _Segment:
     seg = _Segment(path=path, index=index)
     good, torn = salvage_jsonl(path.read_text())
+    seg.raw_lines = len(good)
     if torn is not None:
         if is_last:
             seg.torn = torn
@@ -111,6 +140,12 @@ def _parse_segment(path: Path, index: int, *, is_last: bool) -> _Segment:
         if header.get("format") != _SEGMENT_FORMAT:
             raise ConfigurationError(
                 f"not a WAL segment (format {header.get('format')!r})"
+            )
+        if header.get("segment") is not None \
+                and int(header["segment"]) != index:
+            raise ConfigurationError(
+                f"header names segment {header['segment']} but the "
+                f"filename says {index}"
             )
         seg.base_seq = int(header["base_seq"])
         snap = header.get("snapshot")
@@ -138,6 +173,291 @@ def _parse_segment(path: Path, index: int, *, is_last: bool) -> _Segment:
         seg.events.append(event)
         seg.good_lines.append(line)
     return seg
+
+
+def _parse_directory(dirpath: Path) -> list[_Segment]:
+    paths = sorted(dirpath.glob(_SEGMENT_GLOB))
+    return [
+        _parse_segment(p, _segment_index(p),
+                       is_last=(i == len(paths) - 1))
+        for i, p in enumerate(paths)
+    ]
+
+
+def _find_anchor(segs: list[_Segment]) -> int | None:
+    """Position (in ``segs``) of the newest usable anchor segment.
+
+    Prefers an anchor with a fully clean, contiguous chain to the tail
+    (normal recovery); falls back to the newest segment whose *header*
+    (and thus snapshot) survived even if its records are corrupt — the
+    valid prefix still replays, and the truncation plan handles the
+    rest.
+    """
+    fallback = None
+    for i in range(len(segs) - 1, -1, -1):
+        s = segs[i]
+        if s.base_seq < 0 or not s.is_anchor:
+            continue
+        if fallback is None:
+            fallback = i
+        chain = segs[i:]
+        contiguous = all(
+            chain[j].base_seq == chain[j - 1].end_seq
+            for j in range(1, len(chain))
+        )
+        if contiguous and all(c.clean for c in chain):
+            return i
+    return fallback
+
+
+@dataclass
+class _RecoveryPlan:
+    """Pure description of a recovery: what to fold, what to touch.
+
+    ``actions`` is the ordered list of side effects recovery *would*
+    perform (``drop_unacked_tail`` / ``rewrite`` / ``quarantine`` /
+    ``copy_quarantine``); :meth:`SegmentedWriteAheadLog._recover`
+    executes them, :meth:`SegmentedWriteAheadLog.inspect` only reads
+    them.  ``chain`` is the adopted anchor-first segment list (empty
+    means the directory folds to a fresh, empty log).
+    """
+
+    chain: list[_Segment] = field(default_factory=list)
+    actions: list[dict] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    torn_tail: str | None = None
+
+
+def _quarantine_path(seg: _Segment) -> Path:
+    return seg.path.with_name(seg.path.name + ".quarantined")
+
+
+def _plan_recovery(dirpath: Path, segs: list[_Segment]) -> _RecoveryPlan:
+    plan = _RecoveryPlan()
+    segs = list(segs)
+    if len(segs) >= 2 and segs[-1].raw_lines == 0:
+        # crash mid-rotation: the new segment's header never became a
+        # complete line, so nothing in this segment was ever written —
+        # let alone acknowledged.  An unacked torn tail, not data loss.
+        # (A *sole* segment in this shape is indistinguishable from a
+        # file that was never a WAL, so that stays a refusal below.)
+        tail = segs.pop()
+        plan.torn_tail = tail.torn or ""
+        plan.actions.append({"op": "drop_unacked_tail", "seg": tail})
+        plan.warnings.append(
+            f"{tail.path}: dropped final segment with a torn/empty "
+            f"header ({len(tail.torn or '')} bytes, crash "
+            f"mid-rotation?); it held no acknowledged record"
+        )
+    anchor = _find_anchor(segs)
+    if anchor is None:
+        raise ConfigurationError(
+            f"{dirpath}: no usable snapshot anchor survives in any "
+            f"segment — the log cannot be recovered"
+        )
+    for pos, s in enumerate(segs[:anchor]):
+        if s.clean:
+            continue
+        # corrupt pre-anchor segment: pure history loss, the newer
+        # snapshot anchor covers the state
+        lost_first = s.base_seq if s.base_seq >= 0 else None
+        nxt = next((t for t in segs[pos + 1:] if t.base_seq >= 0), None)
+        lost_last = nxt.base_seq - 1 if nxt is not None else None
+        plan.actions.append({"op": "quarantine", "seg": s, "report": {
+            "segment": s.index,
+            "path": str(_quarantine_path(s)),
+            "reason": s.error,
+            "lost_first_seq": lost_first,
+            "lost_last_seq": lost_last,
+            "state_loss": False,
+        }})
+        plan.warnings.append(
+            f"{s.path}: quarantined corrupt WAL segment "
+            f"({s.error}); history seqs "
+            f"[{lost_first}..{lost_last}] unreadable, state intact "
+            f"(covered by a newer snapshot anchor)"
+        )
+    chain = segs[anchor:]
+    break_at = gap_at = None
+    for j, s in enumerate(chain):
+        if j > 0 and s.base_seq >= 0 \
+                and s.base_seq != chain[j - 1].end_seq:
+            gap_at = j
+            break
+        if not s.clean:
+            break_at = j
+            break
+    if gap_at is not None:
+        _plan_gap(plan, chain, gap_at)
+    elif break_at is not None:
+        _plan_truncation(plan, chain, break_at)
+    else:
+        tail = chain[-1]
+        if tail.torn is not None:
+            plan.torn_tail = tail.torn
+            plan.actions.append({"op": "rewrite", "seg": tail})
+            plan.warnings.append(
+                f"{tail.path}: dropped torn final WAL line "
+                f"({len(tail.torn)} bytes, crash mid-append?)"
+            )
+        plan.chain = chain
+    return plan
+
+
+def _plan_gap(plan: _RecoveryPlan, chain: list[_Segment],
+              gap_at: int) -> None:
+    """A clean-looking chain with a hole in it (segment file removed?).
+
+    The events past the hole cannot fold — the state would refuse the
+    sequence gap — so the log honestly ends at the hole: every segment
+    after it is quarantined whole and the missing range is named,
+    instead of surfacing later as an opaque apply-time error.
+    """
+    prev_end = chain[gap_at - 1].end_seq
+    first = chain[gap_at]
+    known_tail = max(
+        (s.base_seq + s.total_records - 1 for s in chain[gap_at:]
+         if s.base_seq >= 0),
+        default=None,
+    )
+    for j, s in enumerate(chain[gap_at:]):
+        reason = (
+            f"sequence gap: segment starts at seq {s.base_seq}, "
+            f"expected {prev_end} — segment file(s) covering seqs "
+            f"[{prev_end}..{s.base_seq - 1}] are missing"
+            if j == 0 else "follows a sequence gap"
+        )
+        plan.actions.append({"op": "quarantine", "seg": s, "report": {
+            "segment": s.index,
+            "path": str(_quarantine_path(s)),
+            "reason": reason,
+            "lost_first_seq": s.base_seq if s.base_seq >= 0 else None,
+            "lost_last_seq": s.base_seq + s.total_records - 1
+            if s.base_seq >= 0 and s.total_records > 0 else None,
+            "state_loss": True,
+        }})
+    plan.warnings.append(
+        f"{first.path}: sequence gap in the recovery range — acked "
+        f"seqs [{prev_end}..{first.base_seq - 1}] are missing "
+        f"(segment file removed?); the log ends at seq {prev_end - 1}, "
+        f"acked seqs [{prev_end}..{known_tail}] LOST (readable "
+        f"segments after the gap kept as quarantine copies)"
+    )
+    plan.chain = chain[:gap_at]
+
+
+def _plan_truncation(plan: _RecoveryPlan, chain: list[_Segment],
+                     bad_at: int) -> None:
+    """Post-anchor corruption: keep the valid prefix, report the loss.
+
+    The corrupt record and everything after it *were* acknowledged;
+    refusing to silently replay garbage means admitting that tail is
+    gone.  The original segment is preserved as a ``.quarantined``
+    copy, the live file is truncated to its valid prefix, later
+    segments are quarantined whole, and the report says exactly which
+    sequences were lost.
+    """
+    bad = chain[bad_at]
+    known_tail = max(
+        (s.base_seq + s.total_records - 1 for s in chain
+         if s.base_seq >= 0),
+        default=bad.end_seq - 1,
+    )
+    if bad.base_seq < 0:
+        # the segment's own header is unreadable: nothing in the file
+        # is salvageable in place, so quarantine it whole and end the
+        # log at the previous segment (bad_at >= 1: the anchor segment
+        # always has a valid header)
+        lost_first = chain[bad_at - 1].end_seq
+        plan.actions.append({"op": "quarantine", "seg": bad, "report": {
+            "segment": bad.index,
+            "path": str(_quarantine_path(bad)),
+            "reason": bad.error,
+            "lost_first_seq": lost_first,
+            "lost_last_seq": known_tail if known_tail >= lost_first
+            else None,
+            "state_loss": True,
+        }})
+    else:
+        lost_first = bad.end_seq
+        plan.actions.append({
+            "op": "copy_quarantine", "seg": bad, "report": {
+                "segment": bad.index,
+                "path": str(_quarantine_path(bad)),
+                "reason": bad.error,
+                "lost_first_seq": lost_first,
+                "lost_last_seq": known_tail if known_tail >= lost_first
+                else None,
+                "state_loss": True,
+            }})
+    for s in chain[bad_at + 1:]:
+        plan.actions.append({"op": "quarantine", "seg": s, "report": {
+            "segment": s.index,
+            "path": str(_quarantine_path(s)),
+            "reason": "follows a truncated corrupt segment",
+            "lost_first_seq": s.base_seq if s.base_seq >= 0 else None,
+            "lost_last_seq": s.end_seq - 1
+            if s.base_seq >= 0 else None,
+            "state_loss": True,
+        }})
+    plan.warnings.append(
+        f"{bad.path}: corrupt record inside the recovery range "
+        f"({bad.error}); truncated at seq {lost_first}, acked "
+        f"seqs [{lost_first}..{known_tail}] LOST (quarantine copy "
+        f"kept)"
+    )
+    keep = bad_at if bad.base_seq < 0 else bad_at + 1
+    plan.chain = chain[:keep]
+
+
+def _fold_state(snapshot: str | None, events: list[ServeEvent]):
+    from repro.serve.state import ServeState
+
+    state = (ServeState.restore(snapshot) if snapshot is not None
+             else ServeState())
+    for event in events:
+        state.apply(event)
+    return state
+
+
+@dataclass
+class SegmentInspection:
+    """Read-only recovery view of a segment directory.
+
+    What :class:`SegmentedWriteAheadLog` *would* recover — same anchor,
+    same foldable events, same quarantine verdicts — computed without
+    renaming, truncating, or opening a writer, so it is safe against a
+    live server's WAL.  ``quarantined`` reports point at the live
+    files; ``notes`` holds the warnings recovery would emit.
+
+    >>> import tempfile
+    >>> root = tempfile.mkdtemp() + "/wal"
+    >>> wal = SegmentedWriteAheadLog(root, fsync=False)
+    >>> _ = wal.append(ServeEvent(seq=0, kind="round",
+    ...                           payload={"round": 0, "dt": 1.0}))
+    >>> wal.close()
+    >>> info = SegmentedWriteAheadLog.inspect(root)
+    >>> (len(info.events), info.quarantined, info.torn_tail)
+    (1, [], None)
+    """
+
+    dir: Path
+    segment_count: int
+    anchor_base_seq: int
+    anchor_snapshot: str | None
+    events: list[ServeEvent]
+    quarantined: list[dict]
+    torn_tail: str | None
+    notes: list[str]
+
+    @property
+    def last_seq(self) -> int:
+        return (self.events[-1].seq if self.events
+                else self.anchor_base_seq - 1)
+
+    def recover_state(self):
+        """Fold anchor + events into a ``ServeState`` (pure, no I/O)."""
+        return _fold_state(self.anchor_snapshot, self.events)
 
 
 class SegmentedWriteAheadLog:
@@ -195,10 +515,13 @@ class SegmentedWriteAheadLog:
         if self._segment_paths():
             self._recover()
         else:
-            self._active_index = 0
-            self._active_path = self.dir / _segment_name(0)
-            self._writer = JsonlWriter(self._active_path, fsync=fsync)
-            self._writer.write_line(self._header_line(0, 0, None))
+            self._init_fresh()
+
+    def _init_fresh(self) -> None:
+        self._active_index = 0
+        self._active_path = self.dir / _segment_name(0)
+        self._writer = JsonlWriter(self._active_path, fsync=self.fsync)
+        self._writer.write_line(self._header_line(0, 0, None))
 
     # -- layout ------------------------------------------------------------
     def _segment_paths(self) -> list[Path]:
@@ -221,150 +544,27 @@ class SegmentedWriteAheadLog:
 
     # -- recovery ----------------------------------------------------------
     def _recover(self) -> None:
-        paths = self._segment_paths()
-        segs = [
-            _parse_segment(p, i, is_last=(i == len(paths) - 1))
-            for i, p in enumerate(paths)
-        ]
-        anchor = self._find_anchor(segs)
-        if anchor is None:
-            raise ConfigurationError(
-                f"{self.dir}: no usable snapshot anchor survives in any "
-                f"segment — the log cannot be recovered"
-            )
-        bad_behind = [s for s in segs[:anchor] if not s.clean]
-        if bad_behind:
-            self._quarantine_behind(segs, anchor, bad_behind)
-        chain = segs[anchor:]
-        if all(s.clean for s in chain):
-            self._adopt_chain(chain)
+        plan = _plan_recovery(self.dir, _parse_directory(self.dir))
+        self.torn_tail_dropped = plan.torn_tail
+        for act in plan.actions:
+            seg, op = act["seg"], act["op"]
+            if op == "drop_unacked_tail":
+                seg.path.unlink()
+            elif op == "rewrite":
+                seg.path.write_text("\n".join(seg.good_lines) + "\n")
+            elif op == "quarantine":
+                seg.path.rename(Path(act["report"]["path"]))
+                self.quarantined.append(act["report"])
+            elif op == "copy_quarantine":
+                shutil.copy2(seg.path, act["report"]["path"])
+                seg.path.write_text("\n".join(seg.good_lines) + "\n")
+                self.quarantined.append(act["report"])
+        for msg in plan.warnings:
+            warnings.warn(msg, UserWarning, stacklevel=3)
+        if plan.chain:
+            self._finish_recovery(plan.chain)
         else:
-            self._truncate_at_corruption(chain)
-
-    def _find_anchor(self, segs: list[_Segment]) -> int | None:
-        """Newest usable anchor segment index.
-
-        Prefers an anchor with a fully clean, contiguous chain to the
-        tail (normal recovery); falls back to the newest segment whose
-        *header* (and thus snapshot) survived even if its records are
-        corrupt — the valid prefix still replays, and
-        :meth:`_truncate_at_corruption` handles the rest.
-        """
-        fallback = None
-        for i in range(len(segs) - 1, -1, -1):
-            s = segs[i]
-            if s.base_seq < 0 or not s.is_anchor:
-                continue
-            if fallback is None:
-                fallback = i
-            chain = segs[i:]
-            contiguous = all(
-                chain[j].base_seq == chain[j - 1].end_seq
-                for j in range(1, len(chain))
-            )
-            if contiguous and all(c.clean for c in chain):
-                return i
-        return fallback
-
-    def _quarantine_behind(self, segs: list[_Segment], anchor: int,
-                           bad: list[_Segment]) -> None:
-        """Rename corrupt pre-anchor segments; pure history loss."""
-        for s in bad:
-            lost_first = s.base_seq if s.base_seq >= 0 else None
-            nxt = next((t for t in segs[s.index + 1:]
-                        if t.base_seq >= 0), None)
-            lost_last = nxt.base_seq - 1 if nxt is not None else None
-            qpath = s.path.with_name(s.path.name + ".quarantined")
-            s.path.rename(qpath)
-            self.quarantined.append({
-                "segment": s.index,
-                "path": str(qpath),
-                "reason": s.error,
-                "lost_first_seq": lost_first,
-                "lost_last_seq": lost_last,
-                "state_loss": False,
-            })
-            warnings.warn(
-                f"{s.path}: quarantined corrupt WAL segment "
-                f"({s.error}); history seqs "
-                f"[{lost_first}..{lost_last}] unreadable, state intact "
-                f"(covered by a newer snapshot anchor)",
-                UserWarning, stacklevel=4,
-            )
-
-    def _adopt_chain(self, chain: list[_Segment]) -> None:
-        """Normal path: clean anchored chain; reopen tail for append."""
-        tail = chain[-1]
-        if tail.torn is not None:
-            self.torn_tail_dropped = tail.torn
-            warnings.warn(
-                f"{tail.path}: dropped torn final WAL line "
-                f"({len(tail.torn)} bytes, crash mid-append?)",
-                UserWarning, stacklevel=4,
-            )
-            tail.path.write_text("\n".join(tail.good_lines) + "\n")
-        self._finish_recovery(chain)
-
-    def _truncate_at_corruption(self, chain: list[_Segment]) -> None:
-        """Post-anchor corruption: keep the valid prefix, report loss.
-
-        The corrupt record and everything after it *were* acknowledged;
-        refusing to silently replay garbage means admitting that tail
-        is gone.  The original segment is preserved as a ``.quarantined``
-        copy, the live file is truncated to its valid prefix, later
-        segments are quarantined whole, and the report says exactly
-        which sequences were lost.
-        """
-        bad_at = next(i for i, s in enumerate(chain) if not s.clean)
-        bad = chain[bad_at]
-        known_tail = max(
-            (s.base_seq + s.total_records - 1 for s in chain
-             if s.base_seq >= 0),
-            default=bad.end_seq - 1,
-        )
-        if bad.base_seq < 0:
-            # the segment's own header is unreadable: nothing in the
-            # file is salvageable in place, so quarantine it whole and
-            # end the log at the previous segment (bad_at >= 1: the
-            # anchor segment always has a valid header)
-            lost_first = chain[bad_at - 1].end_seq
-            qpath = bad.path.with_name(bad.path.name + ".quarantined")
-            bad.path.rename(qpath)
-        else:
-            lost_first = bad.end_seq
-            qpath = bad.path.with_name(bad.path.name + ".quarantined")
-            shutil.copy2(bad.path, qpath)
-            bad.path.write_text("\n".join(bad.good_lines) + "\n")
-        self.quarantined.append({
-            "segment": bad.index,
-            "path": str(qpath),
-            "reason": bad.error,
-            "lost_first_seq": lost_first,
-            "lost_last_seq": known_tail if known_tail >= lost_first
-            else None,
-            "state_loss": True,
-        })
-        for s in chain[bad_at + 1:]:
-            later = s.path.with_name(s.path.name + ".quarantined")
-            s.path.rename(later)
-            self.quarantined.append({
-                "segment": s.index,
-                "path": str(later),
-                "reason": "follows a truncated corrupt segment",
-                "lost_first_seq": s.base_seq if s.base_seq >= 0 else None,
-                "lost_last_seq": s.end_seq - 1
-                if s.base_seq >= 0 else None,
-                "state_loss": True,
-            })
-        warnings.warn(
-            f"{bad.path}: corrupt record inside the recovery range "
-            f"({bad.error}); truncated at seq {lost_first}, acked "
-            f"seqs [{lost_first}..{known_tail}] LOST (quarantine copy "
-            f"kept)",
-            UserWarning, stacklevel=5,
-        )
-        keep = bad_at if bad.base_seq < 0 else bad_at + 1
-        self._finish_recovery(chain[:keep])
+            self._init_fresh()
 
     def _finish_recovery(self, chain: list[_Segment]) -> None:
         self.anchor_snapshot = chain[0].snapshot
@@ -378,6 +578,45 @@ class SegmentedWriteAheadLog:
         self._active_path = tail.path
         self._writer = JsonlWriter(tail.path, fsync=self.fsync,
                                    append=True)
+
+    @classmethod
+    def inspect(cls, path: str | Path) -> SegmentInspection:
+        """Plan recovery for a segment directory without executing it.
+
+        Parses every segment, picks the anchor, and reports exactly
+        what :meth:`recover_state` would fold and what would be
+        quarantined — but performs **zero** writes: no renames, no
+        truncation, no writer.  Safe to run against the WAL of a live
+        server (``repro serve --replay`` uses this).
+        """
+        dirpath = Path(path)
+        if not dirpath.is_dir():
+            raise ConfigurationError(
+                f"{dirpath}: not a segment directory"
+            )
+        segs = _parse_directory(dirpath)
+        if not segs:
+            raise ConfigurationError(
+                f"{dirpath}: no WAL segments found"
+            )
+        plan = _plan_recovery(dirpath, segs)
+        reports = []
+        for act in plan.actions:
+            if "report" in act:
+                report = dict(act["report"])
+                report["path"] = str(act["seg"].path)
+                reports.append(report)
+        chain = plan.chain
+        return SegmentInspection(
+            dir=dirpath,
+            segment_count=len(segs),
+            anchor_base_seq=chain[0].base_seq if chain else 0,
+            anchor_snapshot=chain[0].snapshot if chain else None,
+            events=[e for s in chain for e in s.events],
+            quarantined=reports,
+            torn_tail=plan.torn_tail,
+            notes=plan.warnings,
+        )
 
     # -- append ------------------------------------------------------------
     @property
@@ -418,10 +657,19 @@ class SegmentedWriteAheadLog:
         returns at this point.  With an anchor in place, recovery (and
         :attr:`events`) restart from here.
         """
+        next_index = self._active_index + 1
+        next_path = self.dir / _segment_name(next_index)
+        if next_path.exists():
+            raise LogIntegrityError(
+                f"{next_path}: refusing to rotate onto an existing "
+                f"segment file — index bookkeeping is out of sync with "
+                f"the directory, and opening it would truncate durable "
+                f"history"
+            )
         self._writer.close()
         snap = self.snapshot_provider() if self.snapshot_provider else None
-        self._active_index += 1
-        self._active_path = self.dir / _segment_name(self._active_index)
+        self._active_index = next_index
+        self._active_path = next_path
         self._writer = JsonlWriter(self._active_path, fsync=self.fsync)
         self._writer.write_line(
             self._header_line(self._active_index, self.next_seq, snap)
@@ -450,15 +698,7 @@ class SegmentedWriteAheadLog:
         the ROADMAP asked for.  Bitwise-equal to a genesis replay of
         the full history (asserted by the drill suite).
         """
-        from repro.serve.state import ServeState
-
-        if self.anchor_snapshot is not None:
-            state = ServeState.restore(self.anchor_snapshot)
-        else:
-            state = ServeState()
-        for event in self.events:
-            state.apply(event)
-        return state
+        return _fold_state(self.anchor_snapshot, self.events)
 
     def all_events(self) -> list[ServeEvent]:
         """Full readable history across every live segment.
@@ -467,12 +707,7 @@ class SegmentedWriteAheadLog:
         :attr:`quarantined`); used by drills to audit global invariants
         like at-most-one admission per job name.
         """
-        paths = self._segment_paths()
-        out: list[ServeEvent] = []
-        for i, p in enumerate(paths):
-            seg = _parse_segment(p, i, is_last=(i == len(paths) - 1))
-            out.extend(seg.events)
-        return out
+        return [e for s in _parse_directory(self.dir) for e in s.events]
 
 
 def open_wal(path: str | Path, *, fsync: bool = True,

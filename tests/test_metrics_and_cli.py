@@ -215,6 +215,24 @@ class TestCLISmoke:
                          "--no-fsync"]) == 0
         assert "goodput" in capsys.readouterr().out
 
+    def test_serve_replay_segment_dir_is_read_only(self, tmp_path,
+                                                   capsys):
+        from repro.serve import SegmentedWriteAheadLog, ServeEvent
+
+        wal_dir = tmp_path / "wal"
+        wal = SegmentedWriteAheadLog(wal_dir, fsync=False,
+                                     segment_bytes=256)
+        for seq in range(8):
+            wal.append(ServeEvent(seq=seq, kind="round",
+                                  payload={"round": seq, "dt": 1.0}))
+        wal.close()
+        before = {p.name: p.read_bytes() for p in wal_dir.iterdir()}
+        assert cli_main(["serve", "--replay", str(wal_dir)]) == 0
+        # inspection must not rename, truncate, or reopen any segment
+        assert {p.name: p.read_bytes()
+                for p in wal_dir.iterdir()} == before
+        assert "read-only" in capsys.readouterr().out
+
 
 class TestCLIDataErrors:
     """Unreadable/corrupt input files: exit 1, one-line diagnostic,

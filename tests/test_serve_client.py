@@ -160,6 +160,34 @@ class TestExactlyOnceSubmit:
             assert "shared/0" in revived.state.dedup
 
 
+class TestExactlyOnceInjectFailure:
+    def test_retry_after_lost_ack_injects_once(self, tmp_path):
+        with ServeServer(tmp_path / "wal.jsonl", SMALL,
+                         fsync=False) as server:
+            # frame 1 is the inject: the server logs the crash (the
+            # spare enters repair under its own id), then the ack is
+            # lost; the retried frame must not fail the machine again
+            client = ServeClient(LossyTransport(server, lose_acks={1}),
+                                 client_id="c", policy=FAST)
+            spare = server.config.spare_ids[0]
+            client.inject_failure(spare)
+            crashes = [e for e in server.wal.events
+                       if e.kind == "crash"]
+            assert len(crashes) == 1  # exactly one injection
+            assert crashes[0].payload["tag"]  # auto-stamped key
+            assert server.state.machines[spare]["failures"] == 1
+
+    def test_caller_tag_is_used_verbatim(self, tmp_path):
+        with ServeServer(tmp_path / "wal.jsonl", SMALL,
+                         fsync=False) as server:
+            client = ServeClient(LoopbackTransport(server),
+                                 client_id="c", policy=FAST)
+            client.inject_failure(0, tag="drill-0")
+            (crash,) = [e for e in server.wal.events
+                        if e.kind == "crash"]
+            assert crash.payload["tag"] == "drill-0"
+
+
 class TestTickGuard:
     def test_duplicated_tick_advances_once(self, tmp_path):
         with ServeServer(tmp_path / "wal.jsonl", SMALL,

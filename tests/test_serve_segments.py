@@ -245,6 +245,164 @@ class TestCorruptionQuarantine:
             SegmentedWriteAheadLog(wal_dir, fsync=False)
 
 
+# -- segment identity is the filename, not the listing position -------------
+
+class TestSegmentIndexIntegrity:
+    def test_rotation_after_quarantine_preserves_acked_history(
+            self, tmp_path):
+        # quarantining segment 0 leaves a directory whose listing
+        # positions no longer match filename numbers; every subsequent
+        # rotation must still open a *fresh* file, never truncate a
+        # live one
+        wal_dir, snap = segmented_run(tmp_path)
+        victim = sorted(wal_dir.glob("segment-*.jsonl"))[0]
+        lines = victim.read_text().splitlines()
+        lines[-1] = lines[-1].replace(":", ";", 1)
+        victim.write_text("\n".join(lines) + "\n")
+        with pytest.warns(UserWarning, match="quarantined corrupt"):
+            revived = SegmentedWriteAheadLog(wal_dir, fsync=False,
+                                             segment_bytes=256)
+        revived.close()
+        # the second recovery sees the renamed-away segment: the live
+        # files' directory positions no longer equal their numbers
+        revived = SegmentedWriteAheadLog(wal_dir, fsync=False,
+                                         segment_bytes=256)
+        tail = sorted(wal_dir.glob("segment-*.jsonl"))[-1]
+        assert revived._active_index == int(tail.stem.split("-")[1])
+        before = [e.seq for e in revived.all_events()]
+        start = revived.next_seq
+        fill(revived, 40, start=start)  # forces several rotations
+        revived.close()
+        clean = SegmentedWriteAheadLog(wal_dir, fsync=False)
+        after = [e.seq for e in clean.all_events()]
+        assert after == before + list(range(start, start + 40))
+        clean.close()
+
+    def test_rotate_refuses_existing_segment_file(self, tmp_path):
+        wal = SegmentedWriteAheadLog(tmp_path / "wal", fsync=False,
+                                     segment_bytes=128)
+        fill(wal, 6)
+        assert wal.segment_count >= 2
+        sealed = sorted((tmp_path / "wal").glob("segment-*.jsonl"))[0]
+        body = sealed.read_bytes()
+        wal._active_index = -1  # simulate index bookkeeping gone wrong
+        with pytest.raises(LogIntegrityError, match="refusing to rotate"):
+            fill(wal, 50, start=6)
+        assert sealed.read_bytes() == body  # nothing was truncated
+        wal.close()
+
+    def test_header_filename_mismatch_is_corruption(self, tmp_path):
+        wal = SegmentedWriteAheadLog(tmp_path / "wal", fsync=False,
+                                     segment_bytes=128)
+        fill(wal, 6)
+        wal.close()
+        segments = sorted((tmp_path / "wal").glob("segment-*.jsonl"))
+        assert len(segments) >= 2
+        # a renamed segment file lies about its identity: recovery must
+        # flag it instead of trusting either number blindly
+        lying = int(segments[-1].stem.split("-")[1]) + 5
+        segments[-1].rename(
+            segments[-1].with_name(f"segment-{lying:08d}.jsonl"))
+        with pytest.warns(UserWarning, match="filename says"):
+            revived = SegmentedWriteAheadLog(tmp_path / "wal",
+                                             fsync=False)
+        assert revived.quarantined
+        revived.close()
+
+
+# -- a crash during rotation is not data loss --------------------------------
+
+class TestTornRotationHeader:
+    def test_torn_header_tail_is_unacked_not_state_loss(self, tmp_path):
+        wal = SegmentedWriteAheadLog(tmp_path / "wal", fsync=False,
+                                     segment_bytes=1 << 20)
+        fill(wal, 3)
+        wal.close()
+        # crash mid-rotation: the next segment exists but its header
+        # line never became complete
+        torn = tmp_path / "wal" / "segment-00000001.jsonl"
+        torn.write_text('{"base_seq":3,"forma')
+        with pytest.warns(UserWarning, match="crash mid-rotation"):
+            revived = SegmentedWriteAheadLog(tmp_path / "wal",
+                                             fsync=False)
+        assert revived.quarantined == []  # no false data-loss report
+        assert revived.torn_tail_dropped is not None
+        assert revived.last_seq == 2      # every acked event survives
+        assert not torn.exists()
+        fill(revived, 2, start=3)         # appendable; name is reusable
+        revived.close()
+
+    def test_empty_rotation_file_dropped(self, tmp_path):
+        wal = SegmentedWriteAheadLog(tmp_path / "wal", fsync=False,
+                                     segment_bytes=1 << 20)
+        fill(wal, 3)
+        wal.close()
+        (tmp_path / "wal" / "segment-00000001.jsonl").write_text("")
+        with pytest.warns(UserWarning, match="torn/empty"):
+            revived = SegmentedWriteAheadLog(tmp_path / "wal",
+                                             fsync=False)
+        assert revived.quarantined == []
+        assert revived.last_seq == 2
+        revived.close()
+
+
+# -- a missing segment file is named, not an opaque apply error --------------
+
+class TestChainGap:
+    def test_missing_segment_reports_gap(self, tmp_path):
+        wal = SegmentedWriteAheadLog(tmp_path / "wal", fsync=False,
+                                     segment_bytes=256)
+        fill(wal, 12)
+        wal.close()
+        segments = sorted((tmp_path / "wal").glob("segment-*.jsonl"))
+        assert len(segments) > 3
+        segments[len(segments) // 2].unlink()
+        with pytest.warns(UserWarning, match="missing"):
+            revived = SegmentedWriteAheadLog(tmp_path / "wal",
+                                             fsync=False)
+        reports = revived.quarantined
+        assert reports and all(r["state_loss"] for r in reports)
+        assert "sequence gap" in reports[0]["reason"]
+        # the surviving prefix folds cleanly — no apply-time gap error
+        kept = revived.last_seq
+        assert 0 <= kept < 11
+        revived.recover_state()
+        revived.append(round_event(kept + 1))
+        revived.close()
+
+
+# -- read-only inspection (repro serve --replay) -----------------------------
+
+class TestReadOnlyInspection:
+    def test_inspect_mutates_nothing(self, tmp_path):
+        wal_dir, snap = segmented_run(tmp_path)
+        victim = sorted(wal_dir.glob("segment-*.jsonl"))[0]
+        lines = victim.read_text().splitlines()
+        lines[-1] = lines[-1].replace(":", ";", 1)
+        victim.write_text("\n".join(lines) + "\n")
+        before = {p.name: p.read_bytes() for p in wal_dir.iterdir()}
+        info = SegmentedWriteAheadLog.inspect(wal_dir)
+        after = {p.name: p.read_bytes() for p in wal_dir.iterdir()}
+        assert after == before  # no renames, rewrites, or writer opens
+        (report,) = info.quarantined
+        assert report["state_loss"] is False
+        assert Path(report["path"]) == victim  # points at the live file
+        assert info.notes  # the would-be warnings are reported
+        # same verdict a real (mutating) recovery reaches
+        assert info.recover_state().snapshot() == snap
+
+    def test_inspect_matches_recovery_on_clean_log(self, tmp_path):
+        wal_dir, snap = segmented_run(tmp_path)
+        info = SegmentedWriteAheadLog.inspect(wal_dir)
+        assert info.quarantined == [] and info.torn_tail is None
+        assert info.recover_state().snapshot() == snap
+        assert info.last_seq == info.events[-1].seq
+
+    def test_inspect_refuses_non_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not a segment"):
+            SegmentedWriteAheadLog.inspect(tmp_path / "nope")
+
+
 # -- the open_wal dispatcher ------------------------------------------------
 
 class TestOpenWal:
