@@ -46,13 +46,14 @@ PAGES = [
     ("scenarios.md", "Failure scenarios"),
     ("observability.md", "Observability"),
     ("serve.md", "Serve control plane"),
+    ("autoplan.md", "Auto-planner"),
     ("benchmarks.md", "Benchmark trajectory"),
     ("migration.md", "Migration guide"),
 ]
 
 #: modules whose public surface gets an auto-generated reference page
 API_MODULES = ["repro.api", "repro.jobs", "repro.chaos", "repro.obs",
-               "repro.serve"]
+               "repro.plan", "repro.serve"]
 
 CSS = """
 body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;

@@ -120,6 +120,9 @@ class ExecutionPlan:
     #: predicted useful fraction of wall-clock under the scenario
     #: (failure-free time / total time, over a default-length run)
     expected_goodput_fraction: float | None = None
+    #: "user" for hand-composed plans; ``autoplan:<searcher>:<scenario>``
+    #: when :meth:`Experiment.autoplan` chose the configuration
+    provenance: str = "user"
 
     @property
     def machines(self) -> tuple[int, ...]:
@@ -180,6 +183,8 @@ class ExecutionPlan:
                 f"~{self.expected_goodput_fraction * 100:.0f}% of "
                 "failure-free)"
             )
+        if self.provenance != "user":
+            lines.append(f"  provenance:      {self.provenance}")
         return "\n".join(lines)
 
 
@@ -523,3 +528,59 @@ class Experiment:
     def with_(self, **overrides) -> "Experiment":
         """Functional update (frozen dataclass convenience)."""
         return replace(self, **overrides)
+
+    def autoplan(
+        self,
+        scenario: str | None = None,
+        *,
+        searcher: str = "auto",
+        seed: int = 0,
+        eval_seeds: int = 3,
+        top_k: int = 5,
+        validate_top_k: int = 0,
+        validate_seeds: int = 2,
+        validate_iterations: int = 60,
+        **space_options,
+    ):
+        """Search (parallelism x recovery x cadence) around this spec.
+
+        Treats this experiment as the anchor of an
+        :class:`~repro.plan.ExperimentSearchSpace` — its model, data,
+        and cluster are fixed while parallelism kind/degree,
+        recovery strategy, checkpoint cadence, parallel-replay degree,
+        and selective-logging budget are searched — and returns the
+        ranked, deterministic :class:`~repro.plan.PlanSearchReport`.
+        ``scenario`` defaults to the spec's own chaos scenario (or
+        ``"steady_mtbf"``); ``validate_top_k > 0`` confirms the ranking
+        with engine-measured paired runs.  Extra keyword arguments are
+        forwarded to the search space (``intervals=...``,
+        ``kinds=...``, ...).  The winning :class:`ExecutionPlan` is
+        ``space.to_experiment(report.winner).plan()`` stamped with an
+        ``autoplan:...`` provenance — see
+        :meth:`repro.plan.ExperimentSearchSpace.winning_plan`.
+
+        >>> from repro.api import ClusterSpec, ModelSpec, ParallelismSpec
+        >>> exp = Experiment(
+        ...     model=ModelSpec(family="mlp", dim=4, hidden_dim=8),
+        ...     cluster=ClusterSpec(num_machines=2, devices_per_machine=1),
+        ...     parallelism=ParallelismSpec(kind="dp", num_workers=2))
+        >>> report = exp.autoplan(eval_seeds=1, top_k=2,
+        ...                       kinds=("dp",), intervals=(10, 50))
+        >>> report.scenario
+        'steady_mtbf'
+        >>> (report.winner_score.goodput_samples_per_sec
+        ...  >= report.baseline.goodput_samples_per_sec)
+        True
+        """
+        from repro.plan import ExperimentSearchSpace, autoplan
+
+        if scenario is None:
+            spec = self.fault_tolerance.resolve_scenario()
+            scenario = spec.name if spec is not None else "steady_mtbf"
+        space = ExperimentSearchSpace(self, **space_options)
+        return autoplan(
+            space, scenario, searcher=searcher, seed=seed,
+            eval_seeds=eval_seeds, top_k=top_k,
+            validate_top_k=validate_top_k, validate_seeds=validate_seeds,
+            validate_iterations=validate_iterations,
+        )

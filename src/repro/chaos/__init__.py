@@ -45,7 +45,9 @@ from repro.chaos.evaluate import (
     GoodputResult,
     evaluate_scenario,
     evaluate_trace,
+    evaluate_traces,
     method_for_strategy,
+    sample_paired_traces,
 )
 from repro.chaos.scenarios import (
     ScenarioSpec,
@@ -75,6 +77,8 @@ __all__ = [
     "ScriptedEvents",
     "GoodputResult",
     "evaluate_trace",
+    "evaluate_traces",
     "evaluate_scenario",
+    "sample_paired_traces",
     "method_for_strategy",
 ]

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from repro.chaos.scenarios import ScenarioSpec, get_scenario
 from repro.chaos.trace import FailureTrace
 from repro.core.strategy import FTStrategy
+from repro.errors import ConfigurationError
 from repro.sim.costmodel import CostModel
 from repro.sim.endtoend import per_iteration_overhead, recovery_seconds
 from repro.sim.workloads import Workload
@@ -44,7 +45,9 @@ __all__ = [
     "GoodputResult",
     "method_for_strategy",
     "evaluate_trace",
+    "evaluate_traces",
     "evaluate_scenario",
+    "sample_paired_traces",
 ]
 
 #: analytic method names for the paper's three mechanisms
@@ -103,7 +106,11 @@ def evaluate_trace(
     """End-to-end hours for ``method`` under the exact events of ``trace``.
 
     Deterministic: the same trace and workload always produce the same
-    result (the trace carries all the randomness).
+    result (the trace carries all the randomness).  Degenerate inputs a
+    config search may generate — non-positive intervals or recovery
+    degrees, workloads pricing a zero iteration time — raise
+    :class:`~repro.errors.ConfigurationError` rather than dividing by
+    zero; single-machine traces and event-free horizons are fine.
     """
     cost = cost or CostModel(workload, use_experiment_time=False)
     snapshot_based = method in ("checkfreq", "elastic_horovod")
@@ -116,10 +123,28 @@ def evaluate_trace(
             )
         else:
             interval = workload.checkpoint_interval_iters or 100
+    if interval < 1:
+        raise ConfigurationError(
+            f"checkpoint interval must be >= 1, got {interval}"
+        )
+    if parallel_degree < 1:
+        raise ConfigurationError(
+            f"parallel_degree must be >= 1, got {parallel_degree}"
+        )
+    if cost.iteration_time <= 0:
+        raise ConfigurationError(
+            f"workload {workload.name!r} prices a non-positive "
+            "iteration time; set experiment_iteration_time or "
+            "total_iterations + end_to_end_hours"
+        )
     dt_base = cost.iteration_time + per_iteration_overhead(
         cost, workload, method, interval
     )
     total = workload.total_iterations or 10_000
+    if total < 0:
+        raise ConfigurationError(
+            f"total_iterations must be >= 0, got {total}"
+        )
 
     # event timeline in seconds, time-ordered (ties: outages first so a
     # simultaneous crash already sees the window)
@@ -139,21 +164,35 @@ def evaluate_trace(
     crashes = onsets = outage_count = 0
 
     def advance_to(t_target: float) -> None:
-        """Run whole iterations until the next would cross ``t_target``."""
+        """Run whole iterations until the next would cross ``t_target``.
+
+        Closed-form (O(#outages), not O(#intervals)): a search horizon
+        can map onto 10^8 iterations at cadence 10, so walking interval
+        boundaries one by one is not an option.
+        """
         nonlocal elapsed, completed, last_ckpt
         dt = dt_base * slowdown
-        while completed < total:
-            boundary = (completed // interval + 1) * interval
-            n = min(boundary, total) - completed
-            fit = int((t_target - elapsed) / dt)
-            if fit < n:
-                completed += max(fit, 0)
-                elapsed += max(fit, 0) * dt
-                return
-            completed += n
-            elapsed += n * dt
-            if completed % interval == 0 and not in_outage(elapsed):
-                last_ckpt = completed
+        fit = max(0, min(int((t_target - elapsed) / dt), total - completed))
+        # latest interval boundary reached whose completion instant falls
+        # outside every outage window (its checkpoint persisted); walk
+        # backwards one outage at a time
+        b = (completed + fit) // interval * interval
+        while b > completed:
+            t_b = elapsed + (b - completed) * dt
+            hit = next(
+                ((s, e) for s, e in outages if s <= t_b < e), None
+            )
+            if hit is None:
+                last_ckpt = max(last_ckpt, b)
+                break
+            # that checkpoint never persisted; try the last boundary
+            # completed strictly before the outage began
+            before = int((hit[0] - elapsed) / dt)
+            if elapsed + before * dt >= hit[0]:
+                before -= 1  # int() truncation landed on the edge
+            b = (completed + max(0, min(before, fit))) // interval * interval
+        completed += fit
+        elapsed += fit * dt
 
     for e in events:
         if completed >= total:
@@ -224,4 +263,74 @@ def evaluate_scenario(
             workload, method, interval=interval,
         )
         for seed in seeds
+    ]
+
+
+def sample_paired_traces(
+    scenario: str | ScenarioSpec,
+    num_machines: int,
+    seeds=range(5),
+    horizon_hours: float | None = None,
+) -> tuple[FailureTrace, ...]:
+    """Pre-sample one trace per seed for paired method comparisons.
+
+    Identical arguments always yield identical traces, so callers that
+    evaluate many methods (or many plan candidates) against the same
+    tuple get a genuinely paired comparison — the batch entry point the
+    :mod:`repro.plan` objective is built on.
+
+    >>> traces = sample_paired_traces("steady_mtbf", 4, seeds=range(2))
+    >>> [t.seed for t in traces]
+    [0, 1]
+    >>> traces == sample_paired_traces("steady_mtbf", 4, seeds=range(2))
+    True
+    """
+    if num_machines < 1:
+        raise ConfigurationError(
+            f"num_machines must be >= 1, got {num_machines}"
+        )
+    spec = get_scenario(scenario)
+    hours = horizon_hours or spec.horizon_hours
+    return tuple(
+        spec.sample(seed, num_machines, horizon_hours=hours)
+        for seed in seeds
+    )
+
+
+def evaluate_traces(
+    traces,
+    workload: Workload,
+    method: str,
+    interval: int | None = None,
+    cost: CostModel | None = None,
+    parallel_degree: int = 16,
+) -> list[GoodputResult]:
+    """Price ``method`` over many pre-sampled traces at once.
+
+    The cost model is resolved once and shared across the batch, so a
+    search loop pays per-candidate setup a single time per candidate
+    rather than per ``(candidate, seed)`` pair.  Raises
+    :class:`~repro.errors.ConfigurationError` on an empty batch — a
+    searcher bug, not a zero-goodput configuration.
+
+    >>> from repro.sim import BERT_128
+    >>> traces = sample_paired_traces("steady_mtbf", 16, seeds=range(2))
+    >>> results = evaluate_traces(traces, BERT_128, "swift_logging_pr")
+    >>> [round(r.goodput_fraction, 3) == round(
+    ...     evaluate_trace(t, BERT_128, "swift_logging_pr")
+    ...     .goodput_fraction, 3) for t, r in zip(traces, results)]
+    [True, True]
+    """
+    traces = tuple(traces)
+    if not traces:
+        raise ConfigurationError(
+            "evaluate_traces needs at least one trace"
+        )
+    cost = cost or CostModel(workload, use_experiment_time=False)
+    return [
+        evaluate_trace(
+            trace, workload, method, interval=interval, cost=cost,
+            parallel_degree=parallel_degree,
+        )
+        for trace in traces
     ]

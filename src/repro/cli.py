@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli table5 [--mtbf 17] [--repeats 10]
     python -m repro.cli fig8 {wrn|vit|bert} [--scenario NAME]
     python -m repro.cli plan --workload bert --budget-gb 200
+    python -m repro.cli plan --optimize [--workload bert]
+                             [--scenario NAME] [--searcher NAME] [--json]
     python -m repro.cli workloads
     python -m repro.cli fleet [--machines 6] [--devices 4] [--spares 1]
     python -m repro.cli fleet --scenario rack_burst [--scenario-seed 0]
@@ -212,17 +214,40 @@ def cmd_fig8(args: argparse.Namespace) -> int:
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
+    if args.optimize:
+        return _plan_optimize(args)
+    if args.budget_gb is None:
+        print("plan: --budget-gb is required without --optimize",
+              file=sys.stderr)
+        return 2
     workload = _WORKLOAD_ALIASES[args.workload]
-    plan = plan_workload(
-        workload,
-        log_budget_bytes=args.budget_gb * GB,
-        checkpoint_interval=args.ckpt_interval,
-    )
+    try:
+        plan = plan_workload(
+            workload,
+            log_budget_bytes=args.budget_gb * GB,
+            checkpoint_interval=args.ckpt_interval,
+        )
+    except ConfigurationError as exc:
+        print(f"plan: {exc}", file=sys.stderr)
+        return 2
     if plan.strategy is not FTStrategy.LOGGING:
         print("selective logging applies to pipeline-parallel workloads",
               file=sys.stderr)
         return 2
     result = plan.selective
+    if args.json:
+        from repro.utils.jsonl import canonical_json
+
+        print(canonical_json({
+            "workload": workload.name,
+            "budget_gb": args.budget_gb,
+            "checkpoint_interval": args.ckpt_interval,
+            "strategy": plan.strategy.value,
+            "groups": [list(g) for g in result.plan.groups],
+            "storage_bytes": result.storage_bytes,
+            "expected_recovery_time": result.expected_recovery_time,
+        }))
+        return 0
     print(f"workload: {workload.name}, budget {args.budget_gb} GB, "
           f"ckpt interval {args.ckpt_interval}")
     print(plan.describe())
@@ -231,6 +256,30 @@ def cmd_plan(args: argparse.Namespace) -> int:
     print(f"storage used: {result.storage_bytes / GB:.1f} GB")
     print(f"expected recovery: {result.expected_recovery_time:.3f} s "
           f"per lost iteration")
+    return 0
+
+
+def _plan_optimize(args: argparse.Namespace) -> int:
+    """``repro plan --optimize``: goodput-driven auto-planning."""
+    from repro.plan import PlanSearchError, autoplan_workload
+
+    workload = _WORKLOAD_ALIASES[args.workload]
+    try:
+        report = autoplan_workload(
+            workload, args.scenario,
+            searcher=args.searcher,
+            seed=args.search_seed,
+            eval_seeds=args.seeds,
+            top_k=args.top_k,
+        )
+    except PlanSearchError as exc:
+        # the grid had no survivors: a data problem, not a usage error
+        print(f"plan: {exc}", file=sys.stderr)
+        return 1
+    except ConfigurationError as exc:
+        print(f"plan: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.describe())
     return 0
 
 
@@ -915,10 +964,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip fsync on WAL appends (tests/demos)")
     serve.set_defaults(fn=cmd_serve)
 
-    plan = sub.add_parser("plan", help="selective-logging group planner")
-    plan.add_argument("--workload", choices=["vit", "bert"], default="bert")
-    plan.add_argument("--budget-gb", type=float, required=True)
+    plan = sub.add_parser(
+        "plan",
+        help="selective-logging group planner / goodput auto-planner",
+    )
+    plan.add_argument("--workload", choices=sorted(_WORKLOAD_ALIASES),
+                      default="bert")
+    plan.add_argument("--budget-gb", type=float, default=None,
+                      help="selective-logging storage budget (required "
+                           "without --optimize)")
     plan.add_argument("--ckpt-interval", type=int, default=100)
+    plan.add_argument("--optimize", action="store_true",
+                      help="search the (parallelism x recovery x "
+                           "cadence) space for the best expected goodput "
+                           "under --scenario")
+    plan.add_argument("--scenario", default="steady_mtbf",
+                      help="named repro.chaos scenario the search "
+                           "optimizes for")
+    plan.add_argument("--seeds", type=int, default=3,
+                      help="paired scenario traces per candidate")
+    plan.add_argument("--searcher", default="auto",
+                      help="registered searcher name (auto = exhaustive "
+                           "for small grids, anneal beyond)")
+    plan.add_argument("--search-seed", type=int, default=0,
+                      help="seed for the (deterministic) search")
+    plan.add_argument("--top-k", type=int, default=5,
+                      help="ranked candidates to report")
+    plan.add_argument("--json", action="store_true",
+                      help="emit canonical JSON instead of the table")
     plan.set_defaults(fn=cmd_plan)
     return parser
 

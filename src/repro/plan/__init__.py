@@ -1,0 +1,69 @@
+"""Goodput-driven auto-planning over the joint configuration space.
+
+The paper frames fault-tolerance strategy choice as a quantitative
+decision (Section 3 decision chain, Section 5.4 calculus, Section 7.3
+cost model); :mod:`repro.plan` closes the loop and makes it an
+*optimization*: search the joint (parallelism x recovery x
+checkpoint-cadence) space for the configuration with the best expected
+goodput under a named :mod:`repro.chaos` failure scenario.
+
+Layering:
+
+* :class:`SearchSpace` / :class:`Candidate` enumerate and mutate
+  configurations; infeasible points are pruned eagerly by the Section
+  5.4 calculus and the spec validators before any costing
+  (:class:`PruneStats` records why);
+* :class:`Searcher` is the pluggable exploration protocol —
+  :class:`ExhaustiveSearcher` and the seeded :class:`AnnealSearcher`
+  ship built-in, :func:`register_searcher` adds more;
+* :class:`GoodputObjective` scores candidates analytically over paired
+  scenario traces (memoized; thousands of candidates per second);
+* :func:`autoplan` drives the whole thing and returns a deterministic
+  :class:`PlanSearchReport`; experiment-backed spaces can additionally
+  engine-validate the top-K with bitwise-reproducible paired runs.
+
+Entry points: :meth:`repro.api.Experiment.autoplan`, the
+``repro plan --optimize`` CLI, or :func:`autoplan_workload` for the
+published Table-2 rows.
+"""
+
+from repro.plan.autoplan import autoplan, autoplan_workload
+from repro.plan.objective import CandidateScore, GoodputObjective
+from repro.plan.report import PlanSearchReport, ValidationRow
+from repro.plan.search import (
+    AnnealSearcher,
+    ExhaustiveSearcher,
+    Searcher,
+    get_searcher,
+    register_searcher,
+    searcher_names,
+)
+from repro.plan.space import (
+    Candidate,
+    ExperimentSearchSpace,
+    PlanSearchError,
+    PruneStats,
+    SearchSpace,
+    WorkloadSearchSpace,
+)
+
+__all__ = [
+    "Candidate",
+    "PruneStats",
+    "SearchSpace",
+    "ExperimentSearchSpace",
+    "WorkloadSearchSpace",
+    "PlanSearchError",
+    "CandidateScore",
+    "GoodputObjective",
+    "Searcher",
+    "ExhaustiveSearcher",
+    "AnnealSearcher",
+    "register_searcher",
+    "get_searcher",
+    "searcher_names",
+    "PlanSearchReport",
+    "ValidationRow",
+    "autoplan",
+    "autoplan_workload",
+]

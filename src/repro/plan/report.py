@@ -1,0 +1,209 @@
+"""The ranked, explained, deterministic output of a plan search.
+
+:class:`PlanSearchReport` is pure data: candidates, scores, pruning
+statistics, memo hit rate, the why-the-winner-won narrative, and any
+engine-measured :class:`ValidationRow` results.  ``to_json()`` is
+byte-stable (:func:`repro.utils.jsonl.canonical_json`, no wall-clock
+fields), which is what makes ``autoplan()`` bitwise-reproducible for a
+fixed seed — the property tests diff the JSON directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plan.objective import CandidateScore
+from repro.plan.space import Candidate
+from repro.utils.jsonl import canonical_json
+
+__all__ = ["PlanSearchReport", "ValidationRow"]
+
+#: bump when the report JSON schema changes shape
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One engine-measured paired run confirming (or refuting) a score.
+
+    ``measured_goodput`` comes from real engines replaying the same
+    sampled traces for every row (paired comparison), recorded through
+    :class:`repro.obs.TraceRecorder` — ``telemetry_events`` counts what
+    the recorder captured.
+
+    >>> row = ValidationRow(label="dp2/replication/ckpt10", role="winner",
+    ...     strategy="replication", predicted_goodput=120.0,
+    ...     measured_goodput=118.5, measured_by_seed=(118.5,),
+    ...     recoveries=2, lost_iterations=0, telemetry_events=64)
+    >>> row.to_dict()["role"]
+    'winner'
+    """
+
+    label: str
+    role: str  # "winner" | "baseline" | "candidate"
+    strategy: str
+    #: analytic samples/s the objective predicted
+    predicted_goodput: float
+    #: engine-measured samples/s, averaged over the validation seeds
+    measured_goodput: float
+    measured_by_seed: tuple[float, ...]
+    recoveries: int
+    lost_iterations: int
+    telemetry_events: int
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "role": self.role,
+            "strategy": self.strategy,
+            "predicted_goodput": self.predicted_goodput,
+            "measured_goodput": self.measured_goodput,
+            "measured_by_seed": list(self.measured_by_seed),
+            "recoveries": self.recoveries,
+            "lost_iterations": self.lost_iterations,
+            "telemetry_events": self.telemetry_events,
+        }
+
+
+@dataclass(frozen=True)
+class PlanSearchReport:
+    """Everything a plan search decided, and why.
+
+    >>> c = Candidate(kind="dp", num_workers=2, num_microbatches=1,
+    ...               strategy="replication", checkpoint_interval=10)
+    >>> s = CandidateScore(candidate=c, method="swift_replication",
+    ...     goodput_samples_per_sec=100.0, goodput_fraction=0.99,
+    ...     mean_hours=1.0, failure_free_hours=0.99, mean_crashes=1.0,
+    ...     goodput_by_seed=(0.99,))
+    >>> report = PlanSearchReport(scenario="steady_mtbf",
+    ...     searcher="exhaustive", seed=0, space="doc", num_machines=2,
+    ...     horizon_hours=100.0, eval_seeds=1, enumerated=4, feasible=2,
+    ...     pruned=(("placement", 2),), cache_hits=1, cache_misses=2,
+    ...     baseline=s, ranked=(s,), why="doc")
+    >>> report.winner.strategy
+    'replication'
+    >>> round(report.cache_hit_rate, 3)
+    0.333
+    >>> report.to_json() == report.to_json()   # byte-stable
+    True
+    >>> "winner" in report.describe()
+    True
+    """
+
+    scenario: str
+    searcher: str
+    seed: int
+    #: the space's ``describe()`` string (grids searched)
+    space: str
+    num_machines: int
+    horizon_hours: float
+    eval_seeds: int
+    #: feasibility checks run / survivors / per-reason prune counts
+    enumerated: int
+    feasible: int
+    pruned: tuple[tuple[str, int], ...]
+    #: objective memoization counters (satellite: hit rate is reported)
+    cache_hits: int
+    cache_misses: int
+    #: the naive default plan's score (what the winner must beat)
+    baseline: CandidateScore
+    #: top-K scored candidates, best first
+    ranked: tuple[CandidateScore, ...]
+    why: str
+    validation: tuple[ValidationRow, ...] = ()
+
+    @property
+    def winner(self) -> Candidate:
+        return self.ranked[0].candidate
+
+    @property
+    def winner_score(self) -> CandidateScore:
+        return self.ranked[0]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": REPORT_VERSION,
+            "scenario": self.scenario,
+            "searcher": self.searcher,
+            "seed": self.seed,
+            "space": self.space,
+            "num_machines": self.num_machines,
+            "horizon_hours": self.horizon_hours,
+            "eval_seeds": self.eval_seeds,
+            "pruning": {
+                "enumerated": self.enumerated,
+                "feasible": self.feasible,
+                "pruned": {reason: n for reason, n in self.pruned},
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate,
+            },
+            "baseline": self.baseline.to_dict(),
+            "ranked": [s.to_dict() for s in self.ranked],
+            "why": self.why,
+            "validation": [row.to_dict() for row in self.validation],
+        }
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key, whitespace-free) JSON; byte-stable."""
+        return canonical_json(self.to_dict())
+
+    def describe(self) -> str:
+        """Human-readable report (the ``repro plan --optimize`` output)."""
+        pruned = ", ".join(
+            f"{reason} {n}" for reason, n in self.pruned
+        ) or "none"
+        lines = [
+            f"plan search: scenario {self.scenario!r}, "
+            f"searcher {self.searcher!r}, seed {self.seed}",
+            f"  space:     {self.space}",
+            f"  horizon:   {self.horizon_hours:g} h on "
+            f"{self.num_machines} machines, {self.eval_seeds} paired "
+            "trace(s)",
+            f"  pruning:   {self.enumerated} checked -> "
+            f"{self.feasible} feasible ({pruned})",
+            f"  objective: {self.cache_misses} evaluations, "
+            f"{self.cache_hits} memo hits "
+            f"({self.cache_hit_rate * 100.0:.1f}%)",
+            f"  baseline:  {self.baseline.candidate.label()}  "
+            f"{self.baseline.goodput_samples_per_sec:.4g} samples/s "
+            f"({self.baseline.goodput_fraction * 100.0:.1f}% of "
+            "failure-free)",
+            f"  winner:    {self.winner.label()}",
+            f"  why:       {self.why}",
+            "",
+            f"  {'#':>2} {'candidate':<40} {'samples/s':>12} "
+            f"{'goodput':>8} {'E[crash]':>8}",
+        ]
+        for i, s in enumerate(self.ranked):
+            lines.append(
+                f"  {i + 1:>2} {s.candidate.label():<40} "
+                f"{s.goodput_samples_per_sec:>12.4g} "
+                f"{s.goodput_fraction * 100.0:>7.1f}% "
+                f"{s.mean_crashes:>8.1f}"
+            )
+        if self.validation:
+            lines.append("")
+            lines.append(
+                f"  engine validation ({len(self.validation)} paired "
+                "run sets):"
+            )
+            lines.append(
+                f"  {'role':<9} {'candidate':<40} {'predicted':>10} "
+                f"{'measured':>10} {'recov':>5} {'lost':>5}"
+            )
+            for row in self.validation:
+                lines.append(
+                    f"  {row.role:<9} {row.label:<40} "
+                    f"{row.predicted_goodput:>10.4g} "
+                    f"{row.measured_goodput:>10.4g} "
+                    f"{row.recoveries:>5} {row.lost_iterations:>5}"
+                )
+        return "\n".join(lines)

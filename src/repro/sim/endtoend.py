@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.checkpoint import checkfreq_interval
+from repro.errors import ConfigurationError
 from repro.sim.costmodel import CostModel
 from repro.sim.workloads import Workload
 
@@ -33,8 +34,15 @@ def per_iteration_overhead(
 
     Shared between :class:`EndToEndSimulator` and the scenario-driven
     goodput evaluation in :mod:`repro.chaos.evaluate`, so the two always
-    price a method's steady-state cost identically.
+    price a method's steady-state cost identically.  A non-positive
+    ``interval`` — a plan search exploring a degenerate cadence — raises
+    :class:`~repro.errors.ConfigurationError` rather than dividing by
+    zero.
     """
+    if interval < 1:
+        raise ConfigurationError(
+            f"checkpoint interval must be >= 1, got {interval}"
+        )
     if method == "global_checkpoint":
         return cost.global_checkpoint_stall() / interval
     if method in ("checkfreq", "elastic_horovod"):
@@ -46,7 +54,7 @@ def per_iteration_overhead(
     if method == "swift_replication":
         # zero failure-free overhead; only the safety-net checkpoints
         return cost.global_checkpoint_stall() / max(
-            workload.checkpoint_interval_iters, interval
+            workload.checkpoint_interval_iters, interval, 1
         )
     if method in ("swift_logging", "swift_logging_pr"):
         return (
@@ -129,17 +137,32 @@ class EndToEndSimulator:
         Swift) or snapshot interval (CheckFreq/Elastic Horovod) in
         iterations; it defaults to the workload's Table 4 setting, except
         CheckFreq-style methods default to their tuned snapshot frequency.
+
+        Degenerate configurations — non-positive MTBF, a workload whose
+        iteration prices to zero seconds — raise
+        :class:`~repro.errors.ConfigurationError` instead of dividing by
+        zero or looping forever.
         """
         mtbf = median_tbf_hours or self.median_tbf_hours
+        if mtbf <= 0:
+            raise ConfigurationError(
+                f"median_tbf_hours must be > 0, got {mtbf}"
+            )
         if interval is None:
             if method in ("checkfreq", "elastic_horovod"):
                 interval = checkfreq_interval(
                     self.cost.iteration_time, self.cost.snapshot_stall()
                 )
             else:
-                interval = self.w.checkpoint_interval_iters
+                interval = self.w.checkpoint_interval_iters or 100
         iter_time = self.cost.iteration_time \
             + self._per_iteration_overhead(method, interval)
+        if iter_time <= 0:
+            raise ConfigurationError(
+                f"workload {self.w.name!r} prices a non-positive "
+                "iteration time; set experiment_iteration_time or "
+                "total_iterations + end_to_end_hours"
+            )
         total_iters = self.w.total_iterations
         failure_free_hours = total_iters * iter_time / 3600.0
         rate = np.log(2.0) / mtbf  # exponential rate from the median
@@ -203,9 +226,14 @@ class EndToEndSimulator:
         """
         from repro.chaos.evaluate import evaluate_scenario
 
+        num_seeds = seeds if seeds is not None else self.repeats
+        if num_seeds < 1:
+            raise ConfigurationError(
+                f"simulate_scenario needs >= 1 seed, got {num_seeds}"
+            )
         results = evaluate_scenario(
             scenario, self.w, method,
-            seeds=range(self.seed, self.seed + (seeds or self.repeats)),
+            seeds=range(self.seed, self.seed + num_seeds),
             interval=interval,
         )
         hours = [r.hours for r in results]

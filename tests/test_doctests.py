@@ -5,9 +5,10 @@ Two guarantees, wired into tier-1 so they cannot rot:
 1. every doctest in the public-facing modules executes and passes (the
    examples in the docs are real, running code);
 2. every non-module export of ``repro.__all__``, ``repro.api.__all__``,
-   and ``repro.serve.__all__`` carries a docstring *with an executable
-   example* (a ``>>>`` block) — the documentation site renders these,
-   so an undocumented export is a broken docs build too.
+   ``repro.serve.__all__``, and ``repro.plan.__all__`` carries a
+   docstring *with an executable example* (a ``>>>`` block) — the
+   documentation site renders these, so an undocumented export is a
+   broken docs build too.
 """
 
 import doctest
@@ -18,6 +19,7 @@ import pytest
 
 import repro
 import repro.api
+import repro.plan
 import repro.serve
 
 #: modules whose doctests run as part of tier-1
@@ -43,6 +45,11 @@ DOCTEST_MODULES = [
     "repro.obs.export",
     "repro.obs.recorder",
     "repro.obs.telemetry",
+    "repro.plan.autoplan",
+    "repro.plan.objective",
+    "repro.plan.report",
+    "repro.plan.search",
+    "repro.plan.space",
     "repro.serve.client",
     "repro.serve.drill",
     "repro.serve.mirror",
@@ -74,7 +81,7 @@ def test_module_doctests_pass(module_name):
 def _audit_surface():
     """(qualname, object) for every documented export under audit."""
     seen = {}
-    for module in (repro, repro.api, repro.serve):
+    for module in (repro, repro.api, repro.plan, repro.serve):
         for name in module.__all__:
             obj = getattr(module, name)
             if inspect.ismodule(obj):

@@ -173,9 +173,13 @@ class TestCLI:
         assert "groups" in out and "expected recovery" in out
 
     def test_plan_rejects_dp_workload(self, capsys):
-        # wrn is not a planner choice at parser level
-        with pytest.raises(SystemExit):
-            cli_main(["plan", "--workload", "wrn", "--budget-gb", "1"])
+        # wrn is a valid --optimize target but the selective-logging
+        # planner needs a pipeline: usage error, exit 2
+        assert cli_main(
+            ["plan", "--workload", "wrn", "--budget-gb", "1"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "pipeline" in err
 
     def test_fleet(self, capsys):
         assert cli_main(["fleet", "--iterations", "6"]) == 0
