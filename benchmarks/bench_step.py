@@ -43,7 +43,13 @@ from repro.data import ClassificationTask
 from repro.models import make_mlp
 from repro.nn import CrossEntropyLoss
 from repro.optim import Adam
-from repro.parallel import DataParallelEngine, PipelineEngine
+from repro.parallel import (
+    DataParallelEngine,
+    PipelineEngine,
+    build_program,
+    default_virtual_stages,
+    simulate_program,
+)
 from repro.parallel.pipeline import PipelineStage
 from repro.utils import FlatBuffer, state_equal
 
@@ -182,7 +188,91 @@ def bench_replay_sync(quick: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
-# 3. equivalence: fused and per-parameter paths must agree bitwise
+# 3. schedule programs: bubble time across gpipe / 1f1b / interleaved-1f1b
+# ---------------------------------------------------------------------------
+
+#: (fwd, bwd, comm) seconds per full stage — the Fig. 8 cost model
+SCHED_FWD, SCHED_BWD, SCHED_COMM = 1.0, 2.0, 0.05
+
+SCHED_SHAPES_QUICK = [(2, 4), (4, 8)]
+SCHED_SHAPES_FULL = [(2, 4), (4, 8), (4, 16), (8, 16), (8, 32)]
+
+SCHEDULES = ("gpipe", "1f1b", "interleaved_1f1b")
+
+
+def bench_schedules(quick: bool) -> dict:
+    """Price every registered schedule program across pipeline shapes.
+
+    The Fig. 8 / Table 5 sweep extended over the schedule dimension:
+    each (schedule, p, m) cell is lowered to its instruction stream with
+    :func:`build_program` and priced by :func:`simulate_program` under
+    the shared cost model, so the numbers here are exactly what
+    ``ExecutionPlan`` and ``repro.plan`` see when they search over
+    schedules.  Interleaved 1F1B divides the warm-up bubble by the
+    virtual-stage count, which is the property the gate in ``main``
+    pins: at ``m >= 2p`` its per-iteration bubble must beat GPipe's.
+    """
+    shapes = SCHED_SHAPES_QUICK if quick else SCHED_SHAPES_FULL
+    rows = []
+    for p, m in shapes:
+        for name in SCHEDULES:
+            v = default_virtual_stages(name)
+            if v > 1 and m % p != 0:
+                continue  # interleaving needs m divisible by p
+            program = build_program(name, p, m, v)
+            timing = simulate_program(
+                program, [SCHED_FWD] * p, [SCHED_BWD] * p, SCHED_COMM
+            )
+            rows.append({
+                "schedule": name,
+                "num_stages": p,
+                "num_microbatches": m,
+                "virtual_stages": v,
+                "num_instructions": program.num_instructions,
+                "iteration_time": timing.iteration_time,
+                "bubble_time": sum(timing.stage_bubble) / p,
+                "peak_in_flight": max(timing.max_in_flight),
+            })
+    return {
+        "fwd_time": SCHED_FWD,
+        "bwd_time": SCHED_BWD,
+        "comm_time": SCHED_COMM,
+        "rows": rows,
+    }
+
+
+def schedule_gate_failures(schedules: dict) -> list[str]:
+    """The bench-smoke schedule gate: interleaved beats GPipe at m >= 2p.
+
+    Checked on every shape the sweep covers with ``m >= 2p`` so a
+    regression in either the interleaved generator or the program
+    simulator fails CI rather than silently shipping a worse plan.
+    """
+    by_key = {
+        (r["schedule"], r["num_stages"], r["num_microbatches"]): r
+        for r in schedules["rows"]
+    }
+    failures = []
+    checked = 0
+    for (name, p, m), row in by_key.items():
+        if name != "interleaved_1f1b" or m < 2 * p:
+            continue
+        gpipe = by_key.get(("gpipe", p, m))
+        if gpipe is None:
+            continue
+        checked += 1
+        if not row["bubble_time"] < gpipe["bubble_time"]:
+            failures.append(
+                f"interleaved_1f1b bubble {row['bubble_time']:.2f}s is not "
+                f"below gpipe {gpipe['bubble_time']:.2f}s at p={p}, m={m}"
+            )
+    if checked == 0:
+        failures.append("schedule gate never ran: no m >= 2p shape in sweep")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# 4. equivalence: fused and per-parameter paths must agree bitwise
 # ---------------------------------------------------------------------------
 
 def worker_states(eng: DataParallelEngine) -> dict[int, dict[str, np.ndarray]]:
@@ -291,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
 
     dp = bench_dp_iteration(args.quick)
     replay = bench_replay_sync(args.quick)
+    schedules = bench_schedules(args.quick)
     equivalence = check_equivalence(args.quick)
 
     rows = [
@@ -299,8 +390,17 @@ def main(argv: list[str] | None = None) -> int:
         ["replay grad sync", f"{replay['eager_s']*1e3:.2f}ms",
          f"{replay['flat_s']*1e3:.2f}ms", f"{replay['speedup']:.1f}x"],
     ]
+    sched_rows = [
+        [r["schedule"], f"p={r['num_stages']}, m={r['num_microbatches']}",
+         r["virtual_stages"], f"{r['iteration_time']:.2f}s",
+         f"{r['bubble_time']:.2f}s", r["peak_in_flight"]]
+        for r in schedules["rows"]
+    ]
     emit("step", fmt_table(
         ["path", "per-parameter", "fused flat", "speedup"], rows
+    ) + "\n\n" + fmt_table(
+        ["schedule", "pipeline", "v", "span", "bubble/stage", "peak in-flight"],
+        sched_rows,
     ) + "\n\nequivalence: " + ", ".join(
         f"{k}={v}" for k, v in equivalence.items()
     ))
@@ -309,11 +409,12 @@ def main(argv: list[str] | None = None) -> int:
         "quick": args.quick,
         "dp_iteration": dp,
         "replay_sync": replay,
+        "schedules": schedules,
         "equivalence": equivalence,
     }
     write_bench_json("step", results)
 
-    failures = []
+    failures = schedule_gate_failures(schedules)
     if not all(equivalence.values()):
         failures.append(f"fused/eager equivalence violated: {equivalence}")
     if dp["speedup"] < args.min_speedup:

@@ -43,6 +43,7 @@ PAGES = [
     ("index.md", "Overview"),
     ("architecture.md", "Architecture"),
     ("recovery-policies.md", "Recovery policies"),
+    ("schedules.md", "Pipeline schedules"),
     ("scenarios.md", "Failure scenarios"),
     ("observability.md", "Observability"),
     ("serve.md", "Serve control plane"),

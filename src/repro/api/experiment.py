@@ -43,11 +43,8 @@ from repro.core.strategy import (
 from repro.errors import ConfigurationError
 from repro.jobs.spec import JobSpec
 from repro.parallel.hybrid import ParallelLayout, StagePlacement
-from repro.parallel.schedules import (
-    schedule_1f1b,
-    schedule_gpipe,
-    simulate_schedule,
-)
+from repro.parallel.programs import build_program
+from repro.parallel.schedules import simulate_program
 
 __all__ = ["Experiment", "ExecutionPlan"]
 
@@ -108,6 +105,12 @@ class ExecutionPlan:
     checkpoint_prefix: str
     checkpoint_interval: int
     incremental_checkpoints: bool
+    #: pipeline schedule program the engine will execute ("1f1b" unless
+    #: the spec asked for another registered schedule)
+    schedule: str = "1f1b"
+    #: virtual pipeline stages per worker (1 = flat; >1 = interleaved,
+    #: ``partition_sizes`` then lists one entry per *chunk*)
+    virtual_stages: int = 1
     #: Section 5.3 grouping under ``log_budget_bytes`` (logging plans only)
     selective: PlanResult | None = None
     workload_name: str | None = None
@@ -141,6 +144,16 @@ class ExecutionPlan:
             f"  strategy:        "
             f"{getattr(self.strategy, 'value', self.strategy)} "
             f"({self.strategy_source})",
+        ]
+        if self.engine_kind == "pp":
+            lines.append(
+                f"  schedule:        {self.schedule}"
+                + (
+                    f" ({self.virtual_stages} virtual stages/worker)"
+                    if self.virtual_stages > 1 else ""
+                )
+            )
+        lines += [
             f"  checkpoints:     every {self.checkpoint_interval} "
             f"iterations under {self.checkpoint_prefix!r}"
             + (" (incremental)" if self.incremental_checkpoints else ""),
@@ -246,6 +259,7 @@ class Experiment:
                     f"num_microbatches ({par.num_microbatches})"
                 )
             num_layers = model.num_partitionable_layers()
+            v = par.resolved_virtual_stages()
             if par.partition_sizes is not None:
                 if sum(par.partition_sizes) != num_layers:
                     raise ConfigurationError(
@@ -253,11 +267,17 @@ class Experiment:
                         f"{sum(par.partition_sizes)} but the "
                         f"{model.family} model has {num_layers} layers"
                     )
-            elif num_layers < par.num_workers:
+            elif num_layers < par.num_workers * v:
                 raise ConfigurationError(
                     f"cannot split {num_layers} layers over "
                     f"{par.num_workers} pipeline stages"
+                    + (f" x {v} virtual stages" if v > 1 else "")
                 )
+            # surface schedule-shape errors (e.g. interleaved needs
+            # num_microbatches % num_workers == 0) at composition time
+            build_program(
+                par.schedule, par.num_workers, par.num_microbatches, v
+            )
         strategy = self.fault_tolerance.strategy
         if strategy != "auto":
             try:
@@ -278,15 +298,23 @@ class Experiment:
         return self.parallelism.resolve_placement(self.cluster)
 
     def resolved_partition_sizes(self) -> tuple[int, ...] | None:
-        """Pipeline layer counts per stage (balanced when unspecified)."""
+        """Pipeline layer counts per chunk (balanced when unspecified).
+
+        One entry per stage for flat schedules; with virtual stages the
+        model is cut into ``num_workers * virtual_stages`` chunks and
+        chunk ``c`` lives on stage ``c % num_workers``.
+        """
         if self.parallelism.kind != "pp":
             return None
         if self.parallelism.partition_sizes is not None:
             return tuple(self.parallelism.partition_sizes)
-        stages = self.parallelism.num_workers
+        chunks = (
+            self.parallelism.num_workers
+            * self.parallelism.resolved_virtual_stages()
+        )
         layers = self.model.num_partitionable_layers()
-        base, rem = divmod(layers, stages)
-        return tuple(base + 1 if s < rem else base for s in range(stages))
+        base, rem = divmod(layers, chunks)
+        return tuple(base + 1 if c < rem else base for c in range(chunks))
 
     def derive_layout(self) -> ParallelLayout:
         """Placement as the Section 3 replica/stage question."""
@@ -308,10 +336,14 @@ class Experiment:
         """Engine-default schedule makespan (pp) — the timing the logging
         calculus compares the PCIe copy against."""
         par = self.parallelism
-        maker = schedule_1f1b if par.schedule == "1f1b" else schedule_gpipe
-        ops = maker(par.num_workers, par.num_microbatches)
-        timing = simulate_schedule(
-            ops,
+        program = build_program(
+            par.schedule,
+            par.num_workers,
+            par.num_microbatches,
+            par.resolved_virtual_stages(),
+        )
+        timing = simulate_program(
+            program,
             [DEFAULT_FWD_TIME] * par.num_workers,
             [DEFAULT_BWD_TIME] * par.num_workers,
             par.comm_time,
@@ -341,6 +373,7 @@ class Experiment:
         state_bytes = self._model_state_bytes()
         feasibility = None
         log_bytes = self._predicted_log_bytes()
+        virtual_stages = par.resolved_virtual_stages() if par.kind == "pp" else 1
         if par.kind == "pp":
             feasibility = logging_worth_it(
                 log_bytes,
@@ -350,6 +383,30 @@ class Experiment:
                 self.cluster.bandwidth_model().pcie,
                 model_state_bytes=state_bytes,
             )
+            if virtual_stages > 1:
+                # logging replay rebuilds a *contiguous* layer span per
+                # stage; interleaved schedules scatter each stage's
+                # chunks across the pipeline, so replay is unsupported
+                feasibility = replace(
+                    feasibility,
+                    worth_it=False,
+                    reason=(
+                        f"schedule {par.schedule!r} interleaves "
+                        f"{virtual_stages} virtual stages per worker; "
+                        "logging replay needs contiguous stages — using "
+                        "checkpoints"
+                    ),
+                )
+            if (
+                virtual_stages > 1
+                and ft.strategy == FTStrategy.LOGGING.value
+            ):
+                raise ConfigurationError(
+                    "strategy 'logging' cannot replay interleaved "
+                    f"schedules (schedule {par.schedule!r} uses "
+                    f"{virtual_stages} virtual stages per worker); use "
+                    "'auto' or 'checkpoint_only'"
+                )
         if ft.strategy == "auto":
             strategy = choose_strategy(
                 layout, feasibility,
@@ -399,6 +456,8 @@ class Experiment:
             checkpoint_prefix=ft.checkpoint_prefix,
             checkpoint_interval=ft.checkpoint_interval,
             incremental_checkpoints=ft.incremental_checkpoints,
+            schedule=par.schedule,
+            virtual_stages=virtual_stages,
             selective=selective,
             scenario=scenario_name,
             predicted_failure_rate_per_hour=rate,

@@ -353,12 +353,19 @@ class ParallelismSpec:
     # -- pipeline-only knobs ----------------------------------------------
     num_microbatches: int = 4
     partition_sizes: tuple[int, ...] | None = None
+    #: any schedule registered via :func:`repro.parallel.register_schedule`
     schedule: str = "1f1b"
+    #: model chunks per pipeline stage (Megatron-style interleaving); 0
+    #: means "the schedule's default" (1 for flat schedules, 2 for
+    #: interleaved_1f1b)
+    virtual_stages: int = 0
     comm_time: float = 0.0
     #: fused flat-buffer reduce+update path (DP; bitwise-equal to eager)
     fused: bool = True
 
     def __post_init__(self) -> None:
+        from repro.parallel.programs import schedule_names
+
         if self.kind not in ("dp", "pp", "fsdp"):
             raise ConfigurationError(
                 f"unknown parallelism kind {self.kind!r}; expected "
@@ -372,10 +379,16 @@ class ParallelismSpec:
             )
         if self.num_microbatches < 1:
             raise ConfigurationError("num_microbatches must be >= 1")
-        if self.schedule not in ("1f1b", "gpipe"):
+        if self.schedule not in schedule_names():
             raise ConfigurationError(
-                f"unknown schedule {self.schedule!r}; expected "
-                "'1f1b' or 'gpipe'"
+                f"unknown schedule {self.schedule!r}; registered "
+                f"schedules: {', '.join(schedule_names())}"
+            )
+        if self.virtual_stages < 0:
+            raise ConfigurationError("virtual_stages must be >= 0")
+        if self.virtual_stages > 1 and self.kind != "pp":
+            raise ConfigurationError(
+                "virtual_stages only applies to pipeline parallelism"
             )
         if (
             self.placement is not None
@@ -390,6 +403,12 @@ class ParallelismSpec:
                 raise ConfigurationError(
                     "partition_sizes only applies to pipeline parallelism"
                 )
+            if self.resolved_virtual_stages() > 1:
+                raise ConfigurationError(
+                    "explicit partition_sizes are unsupported with "
+                    "virtual stages; layers are split into "
+                    "num_workers * virtual_stages balanced chunks"
+                )
             if len(self.partition_sizes) != self.num_workers:
                 raise ConfigurationError(
                     f"partition_sizes has {len(self.partition_sizes)} "
@@ -397,6 +416,24 @@ class ParallelismSpec:
                 )
             if any(s < 1 for s in self.partition_sizes):
                 raise ConfigurationError("every partition size must be >= 1")
+
+    def resolved_virtual_stages(self) -> int:
+        """The effective chunk multiplier (0 -> the schedule's default).
+
+        >>> ParallelismSpec(kind="pp").resolved_virtual_stages()
+        1
+        >>> ParallelismSpec(kind="pp", schedule="interleaved_1f1b",
+        ...                 num_microbatches=2, num_workers=2,
+        ...                 ).resolved_virtual_stages()
+        2
+        """
+        from repro.parallel.programs import default_virtual_stages
+
+        if self.virtual_stages > 0:
+            return self.virtual_stages
+        if self.kind != "pp":
+            return 1
+        return default_virtual_stages(self.schedule)
 
     def resolve_placement(
         self, cluster: ClusterSpec

@@ -70,6 +70,9 @@ class ChaosEvent:
     after_updates: int = 0
     #: straggler slowdown factor / storage outage duration in hours
     magnitude: float = 0.0
+    #: INSTRUCTION phase only: the pipeline instruction op name at whose
+    #: boundary the crash lands (e.g. "SendGrad"); ``None`` otherwise
+    instruction: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
@@ -84,6 +87,20 @@ class ChaosEvent:
                 f"unknown failure phase {self.phase!r}; expected "
                 f"{[p.value for p in FailurePhase]}"
             ) from None
+        if self.phase == FailurePhase.INSTRUCTION.value:
+            from repro.parallel.instructions import INSTRUCTION_OPS
+
+            if self.instruction not in INSTRUCTION_OPS:
+                raise ConfigurationError(
+                    f"instruction-phase events need an instruction from "
+                    f"{INSTRUCTION_OPS}; got {self.instruction!r}"
+                )
+        elif self.instruction is not None:
+            raise ConfigurationError(
+                f"instruction={self.instruction!r} requires "
+                f"phase={FailurePhase.INSTRUCTION.value!r} "
+                f"(got {self.phase!r})"
+            )
         if self.time_hours < 0:
             raise ConfigurationError("time_hours must be >= 0")
         if self.machine_id < 0:
@@ -99,6 +116,9 @@ class ChaosEvent:
             "after_updates": self.after_updates,
             "magnitude": self.magnitude,
         }
+        # conditional so pre-existing traces stay byte-stable
+        if self.instruction is not None:
+            payload["instruction"] = self.instruction
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     @classmethod
@@ -114,6 +134,10 @@ class ChaosEvent:
             phase=str(d.get("phase", FailurePhase.ITERATION_START.value)),
             after_updates=int(d.get("after_updates", 0)),
             magnitude=float(d.get("magnitude", 0.0)),
+            instruction=(
+                None if d.get("instruction") is None
+                else str(d["instruction"])
+            ),
         )
 
 
@@ -246,6 +270,7 @@ class FailureTrace:
                     iteration=it,
                     phase=FailurePhase(e.phase),
                     after_updates=e.after_updates,
+                    instruction=e.instruction,
                 ))
         return FailureSchedule(events)
 

@@ -13,6 +13,9 @@ Usage::
     python -m repro.cli fleet --scenario rack_burst [--scenario-seed 0]
     python -m repro.cli chaos --list
     python -m repro.cli chaos --scenario rack_burst --seeds 5
+    python -m repro.cli schedule --list
+    python -m repro.cli schedule --dump 1f1b -p 4 -m 8 [-o prog.jsonl]
+    python -m repro.cli schedule --verify prog.jsonl
     python -m repro.cli chaos --trace traces/rack_burst_seed0.jsonl
     python -m repro.cli obs traces/telemetry.jsonl [--chrome out.json]
     python -m repro.cli obs traces/live.jsonl --follow
@@ -280,6 +283,74 @@ def _plan_optimize(args: argparse.Namespace) -> int:
         print(f"plan: {exc}", file=sys.stderr)
         return 2
     print(report.to_json() if args.json else report.describe())
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    """``repro schedule``: list/dump/verify pipeline schedule programs."""
+    from repro.parallel import (
+        ScheduleProgram,
+        ScheduleVerificationError,
+        build_program,
+        default_virtual_stages,
+        schedule_names,
+        simulate_program,
+        verify_program,
+    )
+
+    modes = sum(1 for f in (args.list, args.dump, args.verify) if f)
+    if modes != 1:
+        print("schedule: exactly one of --list/--dump/--verify is required",
+              file=sys.stderr)
+        return 2
+    if args.list:
+        print(f"{'schedule':<20} {'virtual stages':>14}")
+        for name in schedule_names():
+            print(f"{name:<20} {default_virtual_stages(name):>14}")
+        return 0
+    if args.verify:
+        try:
+            program = ScheduleProgram.load(args.verify)
+        except (OSError, ValueError, KeyError, ConfigurationError) as exc:
+            print(f"schedule: unreadable program {args.verify!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        try:
+            check = verify_program(program)
+        except ScheduleVerificationError as exc:
+            print(f"schedule: INVALID {program.name!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"schedule {program.name!r} OK: "
+              f"{program.num_stages} stages x "
+              f"{program.num_microbatches} micro-batches "
+              f"({program.virtual_stages} virtual), "
+              f"{check.num_instructions} instructions, "
+              f"peak in-flight {list(check.peak_in_flight)}")
+        return 0
+    # --dump NAME
+    try:
+        v = args.virtual_stages or default_virtual_stages(args.dump)
+        program = build_program(
+            args.dump, args.num_stages, args.num_microbatches, v
+        )
+        verify_program(program)
+    except ConfigurationError as exc:
+        print(f"schedule: {exc}", file=sys.stderr)
+        return 2
+    text = program.to_jsonl()
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        timing = simulate_program(
+            program,
+            [1e-3] * program.num_stages,
+            [2e-3] * program.num_stages,
+        )
+        print(f"wrote {program.num_instructions} instructions to "
+              f"{args.output} (simulated iteration "
+              f"{timing.iteration_time * 1e3:.2f} ms)")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -993,6 +1064,24 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--json", action="store_true",
                       help="emit canonical JSON instead of the table")
     plan.set_defaults(fn=cmd_plan)
+
+    sched = sub.add_parser(
+        "schedule",
+        help="list, dump, or verify pipeline schedule programs",
+    )
+    sched.add_argument("--list", action="store_true",
+                       help="registered schedule generators")
+    sched.add_argument("--dump", metavar="NAME", default=None,
+                       help="emit NAME's instruction program as JSONL")
+    sched.add_argument("--verify", metavar="FILE", default=None,
+                       help="statically verify a program JSONL file")
+    sched.add_argument("-p", "--num-stages", type=int, default=4)
+    sched.add_argument("-m", "--num-microbatches", type=int, default=8)
+    sched.add_argument("--virtual-stages", type=int, default=0,
+                       help="chunks per stage (0 = schedule default)")
+    sched.add_argument("-o", "--output", default=None,
+                       help="write the dump here instead of stdout")
+    sched.set_defaults(fn=cmd_schedule)
     return parser
 
 

@@ -46,6 +46,9 @@ class FailurePhase(str, Enum):
     #: between two layer-wise parameter updates — the crash-consistency window
     MID_UPDATE = "mid_update"
     ITERATION_END = "iteration_end"
+    #: at the boundary *before* a named pipeline instruction (mid-bubble,
+    #: mid-p2p, pre-step — any point the schedule program can name)
+    INSTRUCTION = "instruction"
 
 
 @dataclass(frozen=True)
@@ -56,8 +59,13 @@ class FailureEvent:
     iteration: int
     phase: FailurePhase = FailurePhase.ITERATION_START
     #: for MID_UPDATE: how many parameters were already updated when the
-    #: crash hit (the "some layers updated, others not" state of Figure 4)
+    #: crash hit (the "some layers updated, others not" state of Figure 4).
+    #: For INSTRUCTION: how many matching instruction boundaries on the
+    #: failed machine are skipped before the crash fires.
     after_updates: int = 0
+    #: for INSTRUCTION: the pipeline instruction op name (e.g. "SendGrad",
+    #: "OptimizerStep") at whose boundary the crash lands
+    instruction: str | None = None
 
 
 @runtime_checkable

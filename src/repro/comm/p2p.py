@@ -152,6 +152,28 @@ class Transport:
             msg.buffer.release()
         return msg
 
+    def recv_matching(self, dst: int, src: int, phase: str) -> Message:
+        """Pop the oldest (src → dst) message of the given phase.
+
+        Interleaved pipeline schedules multiplex activations ("fwd") and
+        gradients ("bwd") over the same directed stage pair, so the
+        receiver selects by phase; within one phase the channel stays
+        FIFO (which the static schedule verifier enforces).
+        """
+        self._check(src, dst)
+        channel = self._channels.get((src, dst))
+        if channel:
+            for i, msg in enumerate(channel):
+                if msg.phase == phase:
+                    del channel[i]
+                    if msg.buffer is not None:
+                        msg.buffer.seen_by_consumer = True
+                        msg.buffer.release()
+                    return msg
+        raise CommunicationError(
+            src, dst, f"recv on channel {src} -> {dst}: no {phase!r} message"
+        )
+
     def pending(self, src: int, dst: int) -> int:
         return len(self._channels.get((src, dst), ()))
 

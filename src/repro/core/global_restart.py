@@ -19,7 +19,7 @@ from repro.core.detector import FailureDetector
 from repro.core.replication import RecoveryReport
 from repro.errors import RecoveryError
 from repro.parallel.data_parallel import DataParallelEngine
-from repro.parallel.pipeline import PipelineEngine, PipelineStage
+from repro.parallel.pipeline import PipelineEngine
 
 __all__ = ["GlobalCheckpointRecovery"]
 
@@ -60,10 +60,7 @@ class GlobalCheckpointRecovery:
         if isinstance(self.engine, PipelineEngine):
             for stage in list(self.engine.stages):
                 state, t = self.checkpoints.load(stage.stage_id, ckpt_iter)
-                module = self.engine.build_stage_module(stage.stage_id)
-                optimizer = self.engine.opt_factory(module)
-                fresh = PipelineStage(stage.stage_id, module, optimizer,
-                                      stage.device)
+                fresh = self.engine.new_stage(stage.stage_id, stage.device)
                 fresh.load_full_state(state)
                 self.engine.stages[stage.stage_id] = fresh
                 self.engine.transport.rebind(stage.stage_id, fresh.device)

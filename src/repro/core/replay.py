@@ -31,7 +31,7 @@ from repro.core.detector import FailureDetector
 from repro.core.replication import RecoveryReport
 from repro.core.tlog import GroupingPlan, TensorLog
 from repro.core.undo import resolve_pipeline_consistency
-from repro.errors import RecoveryError
+from repro.errors import ConfigurationError, RecoveryError
 from repro.cluster.storage import pipelined_transfer_time
 from repro.parallel.pipeline import PipelineEngine, PipelineStage
 from repro.utils.flat import FlatBuffer
@@ -87,6 +87,12 @@ class LoggingRecovery:
         logging_init_time: float = 1.0,
         transfer_chunks: int = 8,
     ):
+        if getattr(engine, "virtual_stages", 1) != 1:
+            raise ConfigurationError(
+                "logging recovery replays contiguous stage spans; "
+                "interleaved schedules (virtual_stages > 1) scatter each "
+                "stage's chunks across the pipeline — use checkpoint_only"
+            )
         self.engine = engine
         self.tlog = tlog
         self.checkpoints = checkpoints
@@ -138,12 +144,8 @@ class LoggingRecovery:
         rebuilt: dict[int, PipelineStage] = {}
         load_time = 0.0
         for sid in stage_ids:
-            module = self.engine.build_stage_module(sid)
-            optimizer = self.engine.opt_factory(module)
             state, t = self.checkpoints.load(sid, from_iteration)
-            stage = PipelineStage(
-                sid, module, optimizer, self.engine.stages[sid].device
-            )
+            stage = self.engine.new_stage(sid, self.engine.stages[sid].device)
             stage.load_full_state(state)
             rebuilt[sid] = stage
             load_time = max(load_time, t)  # loads proceed in parallel

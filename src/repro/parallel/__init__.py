@@ -19,14 +19,31 @@ from repro.parallel.partition import (
     partition_by_sizes,
     stage_boundaries,
 )
+from repro.parallel.instructions import (
+    INSTRUCTION_OPS,
+    Instruction,
+    ProgramCheck,
+    ScheduleProgram,
+    ScheduleVerificationError,
+    verify_program,
+)
 from repro.parallel.pipeline import PipelineEngine, PipelineStage
+from repro.parallel.programs import (
+    build_program,
+    default_virtual_stages,
+    get_schedule,
+    register_schedule,
+    schedule_names,
+)
 from repro.parallel.results import IterationResult
 from repro.parallel.schedules import (
     ScheduleTiming,
     StageOp,
     bubble_ratio,
+    program_op_key,
     schedule_1f1b,
     schedule_gpipe,
+    simulate_program,
     simulate_schedule,
 )
 
@@ -50,9 +67,22 @@ __all__ = [
     "schedule_1f1b",
     "schedule_gpipe",
     "simulate_schedule",
+    "simulate_program",
+    "program_op_key",
     "bubble_ratio",
     "ScheduleTiming",
     "StageOp",
+    "INSTRUCTION_OPS",
+    "Instruction",
+    "ScheduleProgram",
+    "ProgramCheck",
+    "ScheduleVerificationError",
+    "verify_program",
+    "register_schedule",
+    "get_schedule",
+    "schedule_names",
+    "default_virtual_stages",
+    "build_program",
     "ParallelLayout",
     "StagePlacement",
     "megatron_figure2_layout",

@@ -1,0 +1,343 @@
+"""Schedule generators and the ``register_schedule`` registry.
+
+Built-in generators — ``gpipe``, ``1f1b``, ``interleaved_1f1b`` — emit
+:class:`~repro.parallel.instructions.ScheduleProgram` instruction
+streams.  The first two are *lowered* from the classic per-stage
+compute-op makers in :mod:`repro.parallel.schedules`, which guarantees
+the compute order (and therefore the engine's numerics) is identical to
+the pre-instruction-stream engine.  ``interleaved_1f1b`` implements the
+Megatron-LM interleaved schedule: each physical stage hosts
+``virtual_stages`` model chunks, shrinking the pipeline bubble by the
+same factor at the cost of more p2p traffic.
+
+Third-party schedules plug in through :func:`register_schedule`; every
+generated program is validated by
+:func:`~repro.parallel.instructions.verify_program` before the engine
+will execute it — schedules are data, not trusted code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import ConfigurationError
+from repro.parallel.instructions import (
+    Instruction,
+    ScheduleProgram,
+)
+from repro.parallel.schedules import StageOp, schedule_1f1b, schedule_gpipe
+
+__all__ = [
+    "ScheduleGenerator",
+    "register_schedule",
+    "get_schedule",
+    "schedule_names",
+    "default_virtual_stages",
+    "build_program",
+    "program_from_stage_ops",
+    "program_gpipe",
+    "program_1f1b",
+    "program_interleaved_1f1b",
+]
+
+#: a generator maps (num_stages, num_microbatches, virtual_stages) to a
+#: :class:`ScheduleProgram`
+ScheduleGenerator = Callable[[int, int, int], ScheduleProgram]
+
+_REGISTRY: dict[str, tuple[ScheduleGenerator, int]] = {}
+
+
+def register_schedule(
+    name: str,
+    generator: ScheduleGenerator,
+    *,
+    virtual_stages: int = 1,
+    overwrite: bool = False,
+) -> None:
+    """Register a schedule generator under ``name``.
+
+    ``virtual_stages`` is the default chunk multiplier a planner should
+    use when the user does not pick one (1 for flat schedules, 2 for
+    interleaved).  Registered schedules become valid values for
+    ``ParallelismSpec.schedule`` and show up in ``repro schedule
+    --list``; their programs are statically verified before execution.
+
+    >>> from dataclasses import replace
+    >>> from repro.parallel.programs import build_program
+    >>> def tiny(p, m, v):
+    ...     return replace(program_gpipe(p, m, v), name="tiny_gpipe")
+    >>> register_schedule("tiny_gpipe", tiny)
+    >>> build_program("tiny_gpipe", 2, 2).name
+    'tiny_gpipe'
+    >>> register_schedule("tiny_gpipe", tiny)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: schedule 'tiny_gpipe' is already ...
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("schedule name must be a non-empty string")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"schedule {name!r} is already registered "
+            f"(pass overwrite=True to replace it)"
+        )
+    if virtual_stages < 1:
+        raise ConfigurationError("virtual_stages must be >= 1")
+    _REGISTRY[name] = (generator, virtual_stages)
+
+
+def get_schedule(name: str) -> ScheduleGenerator:
+    """Look up a registered generator, or raise naming the options.
+
+    >>> get_schedule("1f1b") is program_1f1b
+    True
+    """
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown schedule {name!r}; registered schedules: "
+            f"{', '.join(schedule_names())}"
+        ) from None
+
+
+def schedule_names() -> tuple[str, ...]:
+    """All registered schedule names, sorted.
+
+    >>> [n for n in schedule_names() if not n.startswith("tiny")]
+    ['1f1b', 'gpipe', 'interleaved_1f1b']
+    """
+    return tuple(sorted(_REGISTRY))
+
+
+def default_virtual_stages(name: str) -> int:
+    """The chunk multiplier a schedule uses when none is requested.
+
+    >>> (default_virtual_stages("1f1b"),
+    ...  default_virtual_stages("interleaved_1f1b"))
+    (1, 2)
+    """
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown schedule {name!r}; registered schedules: "
+            f"{', '.join(schedule_names())}"
+        )
+    return _REGISTRY[name][1]
+
+
+def build_program(
+    name: str,
+    num_stages: int,
+    num_microbatches: int,
+    virtual_stages: int = 1,
+) -> ScheduleProgram:
+    """Generate the named schedule's program for (p, m, v).
+
+    >>> prog = build_program("gpipe", 2, 3)
+    >>> [i.op for i in prog.streams[1][:2]]
+    ['RecvActivation', 'Forward']
+    """
+    if num_stages < 1:
+        raise ConfigurationError("need at least one stage")
+    if num_microbatches < 1:
+        raise ConfigurationError("need at least one micro-batch")
+    if virtual_stages < 1:
+        raise ConfigurationError("virtual_stages must be >= 1")
+    return get_schedule(name)(num_stages, num_microbatches, virtual_stages)
+
+
+def program_from_stage_ops(
+    name: str,
+    per_stage_ops: Iterable[Iterable[StageOp]],
+    num_stages: int,
+    num_microbatches: int,
+) -> ScheduleProgram:
+    """Lower classic per-stage F/B op lists into an instruction stream.
+
+    Each ``F`` becomes load-or-recv + ``Forward`` + send (unless last
+    stage); each ``B`` becomes recv (unless last stage) + ``Backward`` +
+    send (unless first stage); a single ``OptimizerStep`` closes every
+    stream.  Compute order is preserved exactly, which is what keeps the
+    lowered ``1f1b``/``gpipe`` programs bitwise-faithful to the
+    pre-instruction-stream engine.
+
+    >>> ops = schedule_gpipe(1, 2)
+    >>> prog = program_from_stage_ops("demo", ops, 1, 2)
+    >>> [i.op for i in prog.streams[0]]
+    ['LoadMicroBatch', 'Forward', 'LoadMicroBatch', 'Forward', \
+'Backward', 'Backward', 'OptimizerStep']
+    """
+    last = num_stages - 1
+    streams: list[tuple[Instruction, ...]] = []
+    for s, ops in enumerate(per_stage_ops):
+        instrs: list[Instruction] = []
+        for op in ops:
+            if op.kind == "F":
+                if s == 0:
+                    instrs.append(
+                        Instruction("LoadMicroBatch", s, op.microbatch, s)
+                    )
+                else:
+                    instrs.append(
+                        Instruction("RecvActivation", s, op.microbatch, s)
+                    )
+                instrs.append(Instruction("Forward", s, op.microbatch, s))
+                if s < last:
+                    instrs.append(
+                        Instruction("SendActivation", s, op.microbatch, s)
+                    )
+            else:
+                if s < last:
+                    instrs.append(
+                        Instruction("RecvGrad", s, op.microbatch, s)
+                    )
+                instrs.append(Instruction("Backward", s, op.microbatch, s))
+                if s > 0:
+                    instrs.append(
+                        Instruction("SendGrad", s, op.microbatch, s)
+                    )
+        instrs.append(Instruction("OptimizerStep", s))
+        streams.append(tuple(instrs))
+    return ScheduleProgram(
+        name=name,
+        num_stages=num_stages,
+        num_microbatches=num_microbatches,
+        num_chunks=num_stages,
+        streams=tuple(streams),
+    )
+
+
+def _require_flat(name: str, virtual_stages: int) -> None:
+    if virtual_stages != 1:
+        raise ConfigurationError(
+            f"schedule {name!r} does not support virtual stages "
+            f"(got virtual_stages={virtual_stages}); use "
+            f"'interleaved_1f1b' for v > 1"
+        )
+
+
+def program_gpipe(
+    num_stages: int, num_microbatches: int, virtual_stages: int = 1
+) -> ScheduleProgram:
+    """GPipe: all forwards, then all backwards, per stage.
+
+    >>> program_gpipe(2, 2).compute_instructions(0)[0].op
+    'Forward'
+    """
+    _require_flat("gpipe", virtual_stages)
+    ops = schedule_gpipe(num_stages, num_microbatches)
+    return program_from_stage_ops(
+        "gpipe", ops, num_stages, num_microbatches
+    )
+
+
+def program_1f1b(
+    num_stages: int, num_microbatches: int, virtual_stages: int = 1
+) -> ScheduleProgram:
+    """1F1B: warm-up forwards, then strict one-forward-one-backward.
+
+    >>> prog = program_1f1b(2, 4)
+    >>> [
+    ...     (i.op[0], i.microbatch)
+    ...     for i in prog.compute_instructions(0)[:4]
+    ... ]
+    [('F', 0), ('F', 1), ('B', 0), ('F', 2)]
+    """
+    _require_flat("1f1b", virtual_stages)
+    ops = schedule_1f1b(num_stages, num_microbatches)
+    return program_from_stage_ops("1f1b", ops, num_stages, num_microbatches)
+
+
+def program_interleaved_1f1b(
+    num_stages: int, num_microbatches: int, virtual_stages: int = 2
+) -> ScheduleProgram:
+    """Megatron-LM interleaved 1F1B over ``virtual_stages`` chunks.
+
+    Each physical stage hosts ``v`` model chunks (stage ``s`` holds
+    chunks ``s, s+p, ..., s+(v-1)p``); micro-batches advance in groups
+    of ``p``, and each stage's warm-up covers ``(p - s - 1) * 2 +
+    (v - 1) * p`` compute units before entering 1F1B steady state.  The
+    bubble shrinks to ``(p-1)/v`` compute slots per iteration — the
+    reason this schedule beats GPipe and flat 1F1B at equal (p, m).
+
+    Requires ``v >= 2`` and ``m % p == 0`` (micro-batch groups must
+    fill the pipeline width, as in Megatron-LM).
+
+    >>> prog = program_interleaved_1f1b(2, 4, 2)
+    >>> (prog.num_chunks, prog.virtual_stages)
+    (4, 2)
+    >>> [
+    ...     (i.op[0], i.chunk, i.microbatch)
+    ...     for i in prog.compute_instructions(0)[:4]
+    ... ]
+    [('F', 0, 0), ('F', 0, 1), ('F', 2, 0), ('F', 2, 1)]
+    """
+    p, m, v = num_stages, num_microbatches, virtual_stages
+    if v < 2:
+        raise ConfigurationError(
+            f"interleaved_1f1b needs virtual_stages >= 2 (got {v}); "
+            f"use '1f1b' for a flat pipeline"
+        )
+    if m % p != 0:
+        raise ConfigurationError(
+            f"interleaved_1f1b needs num_microbatches divisible by "
+            f"num_stages (got m={m}, p={p})"
+        )
+    num_chunks = p * v
+    total = m * v  # compute units of each kind per stage
+    streams: list[tuple[Instruction, ...]] = []
+    for s in range(p):
+        def f_unit(i: int) -> tuple[int, int]:
+            group, k = divmod(i, p * v)
+            return (s + (k // p) * p, group * p + k % p)
+
+        def b_unit(i: int) -> tuple[int, int]:
+            group, k = divmod(i, p * v)
+            return (s + (v - 1 - k // p) * p, group * p + k % p)
+
+        if m == p:
+            warmup = total
+        else:
+            warmup = min(total, (p - s - 1) * 2 + (v - 1) * p)
+        units: list[tuple[str, int, int]] = []
+        for i in range(warmup):
+            units.append(("F",) + f_unit(i))
+        for i in range(total - warmup):
+            units.append(("F",) + f_unit(warmup + i))
+            units.append(("B",) + b_unit(i))
+        for i in range(total - warmup, total):
+            units.append(("B",) + b_unit(i))
+
+        instrs: list[Instruction] = []
+        for kind, chunk, mb in units:
+            if kind == "F":
+                if chunk == 0:
+                    instrs.append(Instruction("LoadMicroBatch", s, mb, chunk))
+                else:
+                    instrs.append(Instruction("RecvActivation", s, mb, chunk))
+                instrs.append(Instruction("Forward", s, mb, chunk))
+                if chunk < num_chunks - 1:
+                    instrs.append(
+                        Instruction("SendActivation", s, mb, chunk)
+                    )
+            else:
+                if chunk < num_chunks - 1:
+                    instrs.append(Instruction("RecvGrad", s, mb, chunk))
+                instrs.append(Instruction("Backward", s, mb, chunk))
+                if chunk > 0:
+                    instrs.append(Instruction("SendGrad", s, mb, chunk))
+        instrs.append(Instruction("OptimizerStep", s))
+        streams.append(tuple(instrs))
+    return ScheduleProgram(
+        name="interleaved_1f1b",
+        num_stages=p,
+        num_microbatches=m,
+        num_chunks=num_chunks,
+        streams=tuple(streams),
+    )
+
+
+register_schedule("gpipe", program_gpipe)
+register_schedule("1f1b", program_1f1b)
+register_schedule("interleaved_1f1b", program_interleaved_1f1b,
+                  virtual_stages=2)

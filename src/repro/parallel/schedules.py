@@ -22,6 +22,8 @@ __all__ = [
     "schedule_gpipe",
     "ScheduleTiming",
     "simulate_schedule",
+    "simulate_program",
+    "program_op_key",
 ]
 
 
@@ -96,7 +98,7 @@ class ScheduleTiming:
         peaks = []
         by_stage: dict[int, list[tuple[float, int]]] = {}
         for (stage, kind, _), (start, _end) in self.op_times.items():
-            delta = 1 if kind == "F" else -1
+            delta = 1 if kind.startswith("F") else -1
             by_stage.setdefault(stage, []).append((start, delta))
         for stage in sorted(by_stage):
             level = peak = 0
@@ -161,6 +163,117 @@ def simulate_schedule(
     stage_finish, stage_bubble = [], []
     for stage in range(p):
         ops = [done[(o.stage, o.kind, o.microbatch)] for o in per_stage_ops[stage]]
+        busy = sum(end - start for start, end in ops)
+        first = min(start for start, _ in ops)
+        last = max(end for _, end in ops)
+        stage_finish.append(last)
+        stage_bubble.append((last - first) - busy)
+    return ScheduleTiming(done, stage_finish, stage_bubble)
+
+
+def program_op_key(op: str, stage: int, chunk: int, microbatch: int,
+                   num_stages: int, virtual_stages: int) -> tuple[int, str, int]:
+    """The ``ScheduleTiming.op_times`` key of one compute instruction.
+
+    Flat programs keep the classic ``(stage, "F"/"B", microbatch)`` keys;
+    interleaved programs qualify the kind with the local chunk index so
+    one stage's chunks stay distinguishable: ``(stage, "F0"/"B1"/...,
+    microbatch)``.
+
+    >>> program_op_key("Forward", 1, 1, 0, num_stages=2, virtual_stages=1)
+    (1, 'F', 0)
+    >>> program_op_key("Backward", 1, 3, 2, num_stages=2, virtual_stages=2)
+    (1, 'B1', 2)
+    """
+    kind = "F" if op == "Forward" else "B"
+    if virtual_stages > 1:
+        kind += str(chunk // num_stages)
+    return (stage, kind, microbatch)
+
+
+def simulate_program(
+    program,
+    fwd_time: list[float],
+    bwd_time: list[float],
+    comm_time: float = 0.0,
+) -> ScheduleTiming:
+    """Price an arbitrary :class:`~repro.parallel.instructions.ScheduleProgram`.
+
+    The generalization of :func:`simulate_schedule` to instruction
+    streams: compute instructions serialize per stage in stream order;
+    a Forward on chunk ``c > 0`` waits for the Forward on chunk ``c-1``
+    plus transfer; a Backward on the last chunk waits for its own
+    Forward; any other Backward waits for the Backward on chunk ``c+1``
+    plus transfer.  With ``virtual_stages > 1`` each chunk costs
+    ``1/v`` of the stage's full forward/backward time.
+
+    For flat (``v == 1``) programs lowered from ``schedule_1f1b`` /
+    ``schedule_gpipe`` the result is bitwise-identical to
+    :func:`simulate_schedule` on the classic op lists — same keys, same
+    floats — so plans and goodput estimates are unchanged by the
+    instruction-stream refactor.
+
+    >>> from repro.parallel.programs import build_program
+    >>> t = simulate_program(build_program("1f1b", 2, 2), [1.0, 1.0],
+    ...                      [2.0, 2.0])
+    >>> t.op_times[(0, "F", 0)]
+    (0.0, 1.0)
+    >>> t.iteration_time
+    9.0
+    """
+    p = program.num_stages
+    v = program.virtual_stages
+    last_chunk = program.num_chunks - 1
+    per_stage = [program.compute_instructions(s) for s in range(p)]
+    done: dict[tuple[int, str, int], tuple[float, float]] = {}
+    pointer = [0] * p
+    stage_free = [0.0] * p
+
+    def key_of(instr) -> tuple[int, str, int]:
+        return program_op_key(instr.op, instr.stage, instr.chunk,
+                              instr.microbatch, p, v)
+
+    def dep_ready(instr) -> float | None:
+        if instr.op == "Forward":
+            if instr.chunk == 0:
+                return 0.0
+            c = instr.chunk - 1
+            prev = done.get(program_op_key("Forward", c % p, c,
+                                           instr.microbatch, p, v))
+        else:
+            if instr.chunk == last_chunk:
+                prev = done.get(program_op_key("Forward", instr.stage,
+                                               instr.chunk,
+                                               instr.microbatch, p, v))
+                return prev[1] if prev else None
+            c = instr.chunk + 1
+            prev = done.get(program_op_key("Backward", c % p, c,
+                                           instr.microbatch, p, v))
+        return prev[1] + comm_time if prev else None
+
+    total = sum(len(ops) for ops in per_stage)
+    while len(done) < total:
+        progressed = False
+        for stage in range(p):
+            while pointer[stage] < len(per_stage[stage]):
+                instr = per_stage[stage][pointer[stage]]
+                ready = dep_ready(instr)
+                if ready is None:
+                    break
+                start = max(stage_free[stage], ready)
+                full = fwd_time[stage] if instr.op == "Forward" else bwd_time[stage]
+                duration = full if v == 1 else full / v
+                end = start + duration
+                done[key_of(instr)] = (start, end)
+                stage_free[stage] = end
+                pointer[stage] += 1
+                progressed = True
+        if not progressed:
+            raise ConfigurationError("schedule deadlock: invalid op ordering")
+
+    stage_finish, stage_bubble = [], []
+    for stage in range(p):
+        ops = [done[key_of(i)] for i in per_stage[stage]]
         busy = sum(end - start for start, end in ops)
         first = min(start for start, _ in ops)
         last = max(end for _, end in ops)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.strategy import logging_worth_it
 from repro.errors import ConfigurationError
 from repro.optim import optimizer_invertible
+from repro.parallel.programs import default_virtual_stages
 from repro.sim.costmodel import HardwareConfig
 from repro.sim.workloads import Workload
 
@@ -87,6 +88,8 @@ class Candidate:
     checkpoint_interval: int
     parallel_recovery_degree: int = 1
     log_budget_gb: float | None = None
+    #: registered pipeline schedule program (pp candidates only)
+    schedule: str = "1f1b"
 
     def key(self) -> tuple:
         """Total-order identity (used for deterministic tie-breaking)."""
@@ -94,6 +97,7 @@ class Candidate:
             self.kind, self.num_workers, self.num_microbatches,
             self.strategy, self.checkpoint_interval,
             self.parallel_recovery_degree,
+            self.schedule,
             -1.0 if self.log_budget_gb is None else float(self.log_budget_gb),
         )
 
@@ -101,13 +105,15 @@ class Candidate:
         """Analytic-cost identity: the budget does not change the
         cost-model pricing (group count affects storage, not timing), so
         budget variants share one objective evaluation."""
-        return self.key()[:6]
+        return self.key()[:7]
 
     def label(self) -> str:
         """Compact human-readable name, e.g. ``dp4/replication/ckpt50``."""
         layout = f"{self.kind}{self.num_workers}"
         if self.kind == "pp":
             layout += f"xm{self.num_microbatches}"
+            if self.schedule != "1f1b":
+                layout += f"-{self.schedule}"
         parts = [layout, self.strategy, f"ckpt{self.checkpoint_interval}"]
         if self.strategy == "logging":
             parts.append(f"pr{self.parallel_recovery_degree}")
@@ -124,6 +130,7 @@ class Candidate:
             "checkpoint_interval": self.checkpoint_interval,
             "parallel_recovery_degree": self.parallel_recovery_degree,
             "log_budget_gb": self.log_budget_gb,
+            "schedule": self.schedule,
         }
 
     def apply(self, base: "Experiment") -> "Experiment":
@@ -152,6 +159,8 @@ class Candidate:
             num_microbatches=max(1, self.num_microbatches),
             placement=None,
             partition_sizes=None,
+            schedule=self.schedule if self.kind == "pp" else "1f1b",
+            virtual_stages=0,  # resolve from the schedule's default
         )
         ft = replace(
             base.fault_tolerance,
@@ -202,7 +211,7 @@ class SearchSpace:
 
     Subclasses provide the per-dimension grids (``kinds``,
     ``worker_counts``, ``microbatch_counts``, ``intervals``,
-    ``recovery_degrees``, ``log_budgets_gb``) plus
+    ``recovery_degrees``, ``log_budgets_gb``, ``schedules``) plus
     ``_feasibility_reason``, ``default``, ``to_workload`` and
     ``describe``; everything else — candidate enumeration, prune
     accounting, seeded mutation — lives here.
@@ -261,6 +270,7 @@ class SearchSpace:
         """Yield the raw grid (feasible and infeasible alike)."""
         for kind in self.kinds:
             micros = self.microbatch_counts if kind == "pp" else (1,)
+            scheds = self.schedules if kind == "pp" else ("1f1b",)
             for workers in self.worker_counts:
                 for m in micros:
                     for strategy in self._strategies_for(kind):
@@ -274,15 +284,17 @@ class SearchSpace:
                         for interval in self.intervals:
                             for degree in degrees:
                                 for budget in budgets:
-                                    yield Candidate(
-                                        kind=kind,
-                                        num_workers=workers,
-                                        num_microbatches=m,
-                                        strategy=strategy,
-                                        checkpoint_interval=interval,
-                                        parallel_recovery_degree=degree,
-                                        log_budget_gb=budget,
-                                    )
+                                    for sched in scheds:
+                                        yield Candidate(
+                                            kind=kind,
+                                            num_workers=workers,
+                                            num_microbatches=m,
+                                            strategy=strategy,
+                                            checkpoint_interval=interval,
+                                            parallel_recovery_degree=degree,
+                                            log_budget_gb=budget,
+                                            schedule=sched,
+                                        )
 
     def feasible(self, candidate: Candidate) -> str | None:
         """``None`` if the candidate survives, else the prune reason
@@ -311,7 +323,9 @@ class SearchSpace:
                 candidate, parallel_recovery_degree=1, log_budget_gb=None
             )
         if candidate.kind != "pp":
-            candidate = replace(candidate, num_microbatches=1)
+            candidate = replace(
+                candidate, num_microbatches=1, schedule="1f1b"
+            )
         return candidate
 
     def _mutation_dims(self, candidate: Candidate) -> dict:
@@ -323,6 +337,8 @@ class SearchSpace:
             dims["num_workers"] = self.worker_counts
         if candidate.kind == "pp":
             dims["num_microbatches"] = self.microbatch_counts
+            if len(self.schedules) > 1:
+                dims["schedule"] = self.schedules
         if candidate.strategy == "logging":
             dims["parallel_recovery_degree"] = self.recovery_degrees
             if len(self.log_budgets_gb) > 1:
@@ -366,6 +382,7 @@ class SearchSpace:
                 pick(self.log_budgets_gb)
                 if strategy == "logging" else None
             ),
+            schedule=pick(self.schedules) if kind == "pp" else "1f1b",
         ))
 
 
@@ -413,6 +430,7 @@ class ExperimentSearchSpace(SearchSpace):
         recovery_degrees: tuple[int, ...] = (1, 2, 4),
         log_budgets_gb: tuple[float | None, ...] = (None,),
         strategies: tuple[str, ...] | None = None,
+        schedules: tuple[str, ...] = ("1f1b",),
     ) -> None:
         super().__init__()
         self.base = base
@@ -429,6 +447,7 @@ class ExperimentSearchSpace(SearchSpace):
         self.recovery_degrees = tuple(recovery_degrees)
         self.log_budgets_gb = tuple(log_budgets_gb)
         self.strategies = tuple(strategies) if strategies else None
+        self.schedules = tuple(schedules)
         self._experiments: dict[Candidate, "Experiment"] = {}
 
     def _spanned_machines(self, num_workers: int) -> int:
@@ -454,12 +473,23 @@ class ExperimentSearchSpace(SearchSpace):
             if not optimizer_invertible(base.model.table1_optimizer):
                 return "optimizer_not_invertible"
         if c.kind == "pp":
+            try:
+                v = default_virtual_stages(c.schedule)
+            except ConfigurationError:
+                return "unknown_schedule"
             if base.data.batch_size < c.num_microbatches:
                 return "microbatch"
-            if base.model.num_partitionable_layers() < c.num_workers:
+            if base.model.num_partitionable_layers() < c.num_workers * v:
                 return "partition"
-            if c.strategy == "logging" and spanned < 2:
-                return "single_machine"
+            if v > 1 and c.num_microbatches % c.num_workers != 0:
+                return "schedule_shape"
+            if c.strategy == "logging":
+                if spanned < 2:
+                    return "single_machine"
+                if v > 1:
+                    # logging replay needs contiguous stage spans;
+                    # interleaving scatters each stage's chunks
+                    return "logging_interleaved"
         # final authority: the full cross-field spec validators
         try:
             exp = self._experiment(c)
@@ -508,6 +538,7 @@ class ExperimentSearchSpace(SearchSpace):
             strategy=strategy,
             checkpoint_interval=ft.checkpoint_interval,
             parallel_recovery_degree=1,
+            schedule=par.schedule if par.kind == "pp" else "1f1b",
         )
 
     def to_workload(self, c: Candidate) -> Workload:
@@ -570,7 +601,8 @@ class ExperimentSearchSpace(SearchSpace):
             f"microbatches={self.microbatch_counts}, "
             f"intervals={self.intervals}, "
             f"degrees={self.recovery_degrees}, "
-            f"budgets_gb={self.log_budgets_gb})"
+            f"budgets_gb={self.log_budgets_gb}, "
+            f"schedules={self.schedules})"
         )
 
 
@@ -638,6 +670,8 @@ class WorkloadSearchSpace(SearchSpace):
         self.recovery_degrees = tuple(recovery_degrees)
         self.log_budgets_gb = tuple(log_budgets_gb)
         self.strategies = tuple(strategies) if strategies else None
+        #: analytic timing is pinned to the published flat-1F1B rows
+        self.schedules = ("1f1b",)
 
     def _feasibility_reason(self, c: Candidate) -> str | None:
         w = self.workload

@@ -45,6 +45,9 @@ DOCTEST_MODULES = [
     "repro.obs.export",
     "repro.obs.recorder",
     "repro.obs.telemetry",
+    "repro.parallel.instructions",
+    "repro.parallel.programs",
+    "repro.parallel.schedules",
     "repro.plan.autoplan",
     "repro.plan.objective",
     "repro.plan.report",

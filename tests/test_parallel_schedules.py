@@ -144,3 +144,63 @@ class TestScheduleTiming:
         )
         # the slow middle stage is the bottleneck: span >= m * its fwd+bwd
         assert t.iteration_time >= m * 6.0
+
+
+class TestWarmupWithFewMicrobatches:
+    """Regression (PR 10 satellite): ``schedule_1f1b`` warm-up for
+    m < p - 1 was suspected of leaving trailing no-op slots that padded
+    ``simulate_schedule``'s makespan.  It does not — these tests pin the
+    exact op counts and timing so the bug can never be introduced."""
+
+    CASES = [(4, 1), (4, 2), (5, 3), (3, 1), (6, 2)]
+
+    @pytest.mark.parametrize("p,m", CASES)
+    def test_no_noop_slots(self, p, m):
+        """Every stage emits exactly m forwards + m backwards, nothing
+        else, even when the warm-up cap (p - s - 1) exceeds m."""
+        for maker in (schedule_1f1b, schedule_gpipe):
+            assert_valid_schedule(maker(p, m), p, m)
+            for ops in maker(p, m):
+                assert len(ops) == 2 * m
+
+    @pytest.mark.parametrize("p,m", CASES)
+    def test_exact_makespan(self, p, m):
+        """Uniform stages, m <= p - 1: the makespan is exactly
+        (m + p - 1) * (f + b) — no padding from degenerate warm-up."""
+        f, b = 1.0, 2.0
+        for maker in (schedule_1f1b, schedule_gpipe):
+            t = simulate_schedule(maker(p, m), [f] * p, [b] * p)
+            assert t.iteration_time == (m + p - 1) * (f + b)
+            assert len(t.op_times) == 2 * p * m
+
+    @pytest.mark.parametrize("p,m", CASES)
+    def test_bubble_pinned_against_bubble_ratio(self, p, m):
+        """Stage 0's idle time equals the analytic bubble fraction of
+        the makespan, and per-stage bubbles fall linearly to zero on
+        the last stage."""
+        f, b = 1.0, 2.0
+        t = simulate_schedule(schedule_1f1b(p, m), [f] * p, [b] * p)
+        assert t.stage_bubble[0] == pytest.approx(
+            t.iteration_time * bubble_ratio(p, m)
+        )
+        for s in range(p):
+            assert t.stage_bubble[s] == pytest.approx(
+                (p - 1 - s) * (f + b)
+            )
+
+    @pytest.mark.parametrize("p,m", CASES)
+    def test_program_timing_bitwise_equal(self, p, m):
+        """simulate_program prices the lowered instruction stream
+        bitwise-identically to simulate_schedule's classic op view."""
+        from repro.parallel import build_program, simulate_program
+
+        f = [1.0 + 0.25 * s for s in range(p)]
+        b = [2.0 + 0.5 * s for s in range(p)]
+        for name, maker in (("1f1b", schedule_1f1b),
+                            ("gpipe", schedule_gpipe)):
+            classic = simulate_schedule(maker(p, m), f, b, 0.01)
+            program = simulate_program(build_program(name, p, m), f, b, 0.01)
+            assert program.iteration_time == classic.iteration_time
+            assert program.op_times == classic.op_times
+            assert program.stage_finish == classic.stage_finish
+            assert program.stage_bubble == classic.stage_bubble
